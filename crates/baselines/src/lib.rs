@@ -1,0 +1,30 @@
+//! # `baselines` — prior-work cost models and naive sizing strategies
+//!
+//! The paper's related-work section (§II) surveys earlier PR cost models,
+//! each covering only part of the design space. This crate implements them
+//! as comparators:
+//!
+//! * [`papadimitriou`] — Papadimitriou, Dollas & Hauck's reconfiguration-
+//!   time model parameterized by the bitstream storage medium \[7\]; the
+//!   paper notes its 30–60 % estimation error, which we expose as bounds.
+//! * [`claus`] — Claus et al.'s ICAP busy-factor throughput model \[1\]
+//!   (valid only when the ICAP is the bottleneck).
+//! * [`duhem`] — Duhem et al.'s FaRM controller model \[2\]: fixed controller
+//!   overhead plus a compression-scaled transfer term.
+//! * [`naive`] — naive PRR sizing strategies (full device height, single
+//!   row, square-ish aspect) that a designer without the paper's model
+//!   might pick; benches compare their bitstream/reconfiguration cost
+//!   against the model-planned PRR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claus;
+pub mod duhem;
+pub mod naive;
+pub mod papadimitriou;
+
+pub use claus::ClausModel;
+pub use duhem::FarmModel;
+pub use naive::{NaiveStrategy, naive_plan};
+pub use papadimitriou::{PapadimitriouModel, StorageMedium};

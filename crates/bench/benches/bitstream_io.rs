@@ -1,0 +1,32 @@
+//! Criterion bench: bitstream generation and parsing throughput (the
+//! substrate standing in for bitgen; relevant for the multitasking
+//! simulator's reconfiguration path).
+
+use bitstream::parser::parse_words;
+use bitstream::writer::{generate, BitstreamSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fabric::database::xc5vlx110t;
+use std::hint::black_box;
+use synth::PaperPrm;
+
+fn spec() -> BitstreamSpec {
+    let device = xc5vlx110t();
+    let plan = prcost::plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
+    BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window)
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let s = spec();
+    let bytes = prcost::bitstream_size_bytes(&s.organization);
+    let mut g = c.benchmark_group("bitstream");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("generate_mips_v5", |b| b.iter(|| generate(black_box(&s)).unwrap()));
+    let bs = generate(&s).unwrap();
+    g.bench_function("parse_mips_v5", |b| {
+        b.iter(|| parse_words(black_box(&bs.words), true).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

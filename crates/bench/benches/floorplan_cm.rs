@@ -1,0 +1,37 @@
+//! Criterion bench: automatic multi-PRR floorplanning and the
+//! configuration-memory load path.
+
+use bitstream::cm::load_bitstream;
+use bitstream::writer::{generate, BitstreamSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fabric::database::xc5vlx110t;
+use parflow::autofloorplan::{auto_floorplan, PrrSpec};
+use std::hint::black_box;
+use synth::PaperPrm;
+
+fn bench_autofloorplan(c: &mut Criterion) {
+    let device = xc5vlx110t();
+    let specs: Vec<PrrSpec> = PaperPrm::ALL
+        .iter()
+        .map(|p| PrrSpec::single(p.module_name(), p.synth_report(device.family())))
+        .collect();
+    c.bench_function("auto_floorplan_3prrs_lx110t", |b| {
+        b.iter(|| auto_floorplan(black_box(&specs), &device, 10_000).unwrap())
+    });
+}
+
+fn bench_cm_load(c: &mut Criterion) {
+    let device = xc5vlx110t();
+    let plan = prcost::plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
+    let spec = BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window);
+    let bs = generate(&spec).unwrap();
+    let mut g = c.benchmark_group("config_port");
+    g.throughput(Throughput::Bytes(bs.len_bytes()));
+    g.bench_function("load_mips_v5", |b| {
+        b.iter(|| load_bitstream(device.params().frames, black_box(&bs.words)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_autofloorplan, bench_cm_load);
+criterion_main!(benches);

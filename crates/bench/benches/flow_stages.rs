@@ -1,0 +1,43 @@
+//! Criterion bench: simulated design-flow stage costs (the thing the cost
+//! models let designers skip). Compare against `model_eval` to reproduce
+//! the Table VIII contrast on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::database::xc5vlx110t;
+use fabric::grid::SiteGrid;
+use parflow::flow::{run_paper_flow, FlowOptions};
+use parflow::optimize::{optimize, OptimizeOptions};
+use parflow::place::{place, PlacerConfig};
+use std::hint::black_box;
+use synth::PaperPrm;
+
+fn bench_optimize(c: &mut Criterion) {
+    let nl = PaperPrm::Mips.netlist(fabric::Family::Virtex5, 3);
+    let target = PaperPrm::Mips.post_par_report(fabric::Family::Virtex5).unwrap();
+    c.bench_function("optimize_mips_v5", |b| {
+        b.iter(|| optimize(black_box(&nl), &OptimizeOptions::TowardTarget(target.clone())).unwrap())
+    });
+}
+
+fn bench_place(c: &mut Criterion) {
+    let device = xc5vlx110t();
+    let grid = SiteGrid::new(&device);
+    let plan = prcost::plan_prr(&PaperPrm::Sdram.synth_report(device.family()), &device).unwrap();
+    let nl = PaperPrm::Sdram.netlist(device.family(), 3);
+    c.bench_function("place_sdram_v5_fast", |b| {
+        b.iter(|| place(black_box(&nl), &grid, &plan.window, &PlacerConfig::fast(7)).unwrap())
+    });
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let device = xc5vlx110t();
+    let mut g = c.benchmark_group("full_flow");
+    g.sample_size(10);
+    g.bench_function("sdram_v5", |b| {
+        b.iter(|| run_paper_flow(PaperPrm::Sdram, &device, &FlowOptions::fast(1)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimize, bench_place, bench_full_flow);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: cost-model evaluation throughput.
+//!
+//! The paper's productivity claim rests on the models being effectively
+//! free compared to the design flow; this bench pins down "free" on this
+//! host (full Fig. 1 planning per PRM/device, the Eq. 18 formula alone,
+//! and multi-PRM shared planning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::database::{xc5vlx110t, xc6vlx75t};
+use prcost::search::plan_prr;
+use prcost::{bitstream_size_bytes, plan_shared_prr};
+use std::hint::black_box;
+use synth::PaperPrm;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_prr");
+    for (prm, device) in [
+        (PaperPrm::Fir, xc5vlx110t()),
+        (PaperPrm::Mips, xc5vlx110t()),
+        (PaperPrm::Sdram, xc5vlx110t()),
+        (PaperPrm::Mips, xc6vlx75t()),
+    ] {
+        let report = prm.synth_report(device.family());
+        g.bench_function(format!("{prm:?}_{}", device.name()), |b| {
+            b.iter(|| plan_prr(black_box(&report), black_box(&device)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitstream_formula(c: &mut Criterion) {
+    let device = xc5vlx110t();
+    let plan = plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
+    c.bench_function("eq18_bitstream_size", |b| {
+        b.iter(|| bitstream_size_bytes(black_box(&plan.organization)))
+    });
+}
+
+fn bench_shared(c: &mut Criterion) {
+    let device = xc6vlx75t();
+    let reports: Vec<_> =
+        PaperPrm::ALL.iter().map(|p| p.synth_report(device.family())).collect();
+    c.bench_function("plan_shared_prr_3prms", |b| {
+        b.iter(|| plan_shared_prr(black_box(&reports), black_box(&device)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_plan, bench_bitstream_formula, bench_shared);
+criterion_main!(benches);

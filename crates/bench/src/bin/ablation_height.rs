@@ -1,0 +1,69 @@
+//! Ablation: predicted bitstream size as a function of the PRR height H,
+//! for each paper PRM on both devices. This visualizes the objective the
+//! Fig. 1 search minimizes and where the optimum falls (the paper's Table
+//! V heights).
+
+use prcost::prr::PrrOrganization;
+use prcost::{bitstream_size_bytes, PrrRequirements};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    prm: String,
+    device: String,
+    h: u32,
+    feasible: bool,
+    bitstream_bytes: Option<u64>,
+    prr_size: Option<u64>,
+}
+
+fn main() {
+    let mut json = Vec::new();
+    for (prm, device) in bench::evaluation_matrix() {
+        let req = PrrRequirements::from_report(&prm.synth_report(device.family()));
+        let single = device.dsp_column_count() == 1;
+        let mut rows = Vec::new();
+        for h in 1..=device.rows() {
+            let point = match PrrOrganization::for_height(&req, h, single) {
+                Ok(org) if device.has_window(&org.window_request()) => {
+                    let bytes = bitstream_size_bytes(&org);
+                    rows.push(vec![
+                        h.to_string(),
+                        format!("{}+{}+{}", org.clb_cols, org.dsp_cols, org.bram_cols),
+                        org.prr_size().to_string(),
+                        bytes.to_string(),
+                    ]);
+                    Point {
+                        prm: format!("{prm:?}"),
+                        device: device.name().into(),
+                        h,
+                        feasible: true,
+                        bitstream_bytes: Some(bytes),
+                        prr_size: Some(org.prr_size()),
+                    }
+                }
+                _ => {
+                    rows.push(vec![h.to_string(), "-".into(), "-".into(), "infeasible".into()]);
+                    Point {
+                        prm: format!("{prm:?}"),
+                        device: device.name().into(),
+                        h,
+                        feasible: false,
+                        bitstream_bytes: None,
+                        prr_size: None,
+                    }
+                }
+            };
+            json.push(point);
+        }
+        println!(
+            "{}",
+            bench::render_table(
+                &format!("{prm:?} on {} — bitstream vs H", device.name()),
+                &["H", "W_CLB+W_DSP+W_BRAM", "PRR_size", "S_bitstream (B)"],
+                &rows,
+            )
+        );
+    }
+    bench::write_json("ablation_height", &json);
+}

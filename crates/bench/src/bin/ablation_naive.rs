@@ -1,0 +1,66 @@
+//! Ablation: naive PRR sizing strategies vs the paper's model plan.
+//!
+//! Quantifies what a designer loses by skipping the Fig. 1 search:
+//! bitstream inflation (and hence reconfiguration-time inflation) per
+//! strategy, plus outright failures (single-row sizing cannot satisfy the
+//! Eq. 4 DSP-row constraint for FIR on the LX110T).
+
+use baselines::naive::{naive_plan, NaiveStrategy};
+use prcost::search::plan_prr_from_requirements;
+use prcost::PrrRequirements;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    prm: String,
+    device: String,
+    strategy: String,
+    bitstream_bytes: Option<u64>,
+    inflation: Option<f64>,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (prm, device) in bench::evaluation_matrix() {
+        let req = PrrRequirements::from_report(&prm.synth_report(device.family()));
+        let model = plan_prr_from_requirements(&req, &device).unwrap();
+        rows.push(vec![
+            format!("{prm:?}/{}", device.family()),
+            "model (Fig. 1)".into(),
+            model.bitstream_bytes.to_string(),
+            "1.00x".into(),
+        ]);
+        for strat in NaiveStrategy::ALL {
+            let (bytes, inflation, text) = match naive_plan(strat, &req, &device) {
+                Ok(p) => {
+                    let f = p.bitstream_bytes as f64 / model.bitstream_bytes as f64;
+                    (Some(p.bitstream_bytes), Some(f), format!("{:.2}x", f))
+                }
+                Err(_) => (None, None, "INFEASIBLE".into()),
+            };
+            rows.push(vec![
+                String::new(),
+                strat.name().into(),
+                bytes.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                text,
+            ]);
+            json.push(Row {
+                prm: format!("{prm:?}"),
+                device: device.name().into(),
+                strategy: strat.name().into(),
+                bitstream_bytes: bytes,
+                inflation,
+            });
+        }
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            "Naive sizing vs model plan (bitstream bytes; inflation vs model)",
+            &["PRM/family", "strategy", "S_bitstream", "inflation"],
+            &rows,
+        )
+    );
+    bench::write_json("ablation_naive", &json);
+}

@@ -1,0 +1,76 @@
+//! Ablation: simulated-annealing vs analytic (force-directed) placement —
+//! wirelength/runtime trade of the two implementation engines behind
+//! Tables VI/VIII.
+
+use fabric::grid::SiteGrid;
+use parflow::analytic::place_analytic;
+use parflow::place::{place, PlacerConfig};
+use parflow::timing::analyze;
+use serde::Serialize;
+use std::time::Instant;
+use synth::PaperPrm;
+
+#[derive(Serialize)]
+struct Row {
+    prm: String,
+    cells: usize,
+    sa_hpwl: u64,
+    sa_ms: f64,
+    sa_fmax_mhz: f64,
+    analytic_hpwl: u64,
+    analytic_ms: f64,
+    analytic_fmax_mhz: f64,
+}
+
+fn main() {
+    let device = fabric::database::xc5vlx110t();
+    let grid = SiteGrid::new(&device);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for prm in PaperPrm::ALL {
+        let report = prm.synth_report(device.family());
+        let plan = prcost::plan_prr(&report, &device).unwrap();
+        let nl = prm.netlist(device.family(), 7);
+
+        let t = Instant::now();
+        let sa = place(&nl, &grid, &plan.window, &PlacerConfig::default()).unwrap();
+        let sa_ms = t.elapsed().as_secs_f64() * 1e3;
+        let sa_t = analyze(&nl, &grid, &plan.window, &sa);
+
+        let t = Instant::now();
+        let an = place_analytic(&nl, &grid, &plan.window, 7).unwrap();
+        let an_ms = t.elapsed().as_secs_f64() * 1e3;
+        let an_t = analyze(&nl, &grid, &plan.window, &an);
+
+        rows.push(vec![
+            format!("{prm:?}"),
+            nl.cells.len().to_string(),
+            sa.hpwl.to_string(),
+            format!("{sa_ms:.2}"),
+            format!("{:.1}", sa_t.max_frequency_mhz),
+            an.hpwl.to_string(),
+            format!("{an_ms:.2}"),
+            format!("{:.1}", an_t.max_frequency_mhz),
+        ]);
+        json.push(Row {
+            prm: format!("{prm:?}"),
+            cells: nl.cells.len(),
+            sa_hpwl: sa.hpwl,
+            sa_ms,
+            sa_fmax_mhz: sa_t.max_frequency_mhz,
+            analytic_hpwl: an.hpwl,
+            analytic_ms: an_ms,
+            analytic_fmax_mhz: an_t.max_frequency_mhz,
+        });
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            "Placer comparison inside the model-predicted PRRs (Virtex-5 LX110T)",
+            &["PRM", "cells", "SA HPWL", "SA ms", "SA fmax", "analytic HPWL", "analytic ms", "analytic fmax"],
+            &rows,
+        )
+    );
+    println!("\nAnalytic placement trades wirelength for an order-of-magnitude runtime win.");
+    bench::write_json("ablation_placers", &json);
+}

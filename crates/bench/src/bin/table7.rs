@@ -1,0 +1,69 @@
+//! Regenerate Table VII: partial bitstream sizes per PRM/device.
+//!
+//! Two columns per entry: the Eq. 18 model prediction, and the byte length
+//! of the bitstream actually emitted by the generator substrate — they
+//! must agree exactly (the paper validated against bitgen output; its
+//! absolute byte values were lost in the available transcription, so the
+//! generator is our ground truth; see DESIGN.md §5).
+
+use bitstream::writer::{generate, BitstreamSpec};
+use prcost::search::plan_prr;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    prm: String,
+    device: String,
+    model_bytes: u64,
+    generated_bytes: u64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (prm, device) in bench::evaluation_matrix() {
+        let report = prm.synth_report(device.family());
+        let plan = plan_prr(&report, &device).unwrap();
+        let spec = BitstreamSpec::from_plan(
+            device.name(),
+            prm.module_name(),
+            plan.organization,
+            &plan.window,
+        );
+        let bs = generate(&spec).unwrap();
+        assert_eq!(
+            bs.len_bytes(),
+            plan.bitstream_bytes,
+            "model and generator must agree byte-for-byte"
+        );
+        rows.push(vec![
+            format!("{prm:?}"),
+            device.name().to_string(),
+            plan.bitstream_bytes.to_string(),
+            bs.len_bytes().to_string(),
+            format!(
+                "H={} W=({},{},{})",
+                plan.organization.height,
+                plan.organization.clb_cols,
+                plan.organization.dsp_cols,
+                plan.organization.bram_cols
+            ),
+        ]);
+        json.push(Row {
+            prm: format!("{prm:?}"),
+            device: device.name().to_string(),
+            model_bytes: plan.bitstream_bytes,
+            generated_bytes: bs.len_bytes(),
+        });
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            "Table VII: partial bitstream sizes (bytes)",
+            &["PRM", "Device", "Model (Eq. 18)", "Generated", "PRR"],
+            &rows,
+        )
+    );
+    println!("\nModel == generator for all six entries (byte-for-byte).");
+    bench::write_json("table7", &json);
+}

@@ -1,0 +1,128 @@
+//! # `bench` — experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p bench --bin <name>`):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table2` | Table II — family fabric constants |
+//! | `table4` | Table IV — bitstream-model constants |
+//! | `table5` | Table V — PRR size/organization model results |
+//! | `table6` | Table VI — post-PAR counts and savings vs Table V |
+//! | `table7` | Table VII — partial bitstream sizes (model vs generator) |
+//! | `table8` | Table VIII — flow wall times vs cost-model time |
+//! | `fig1` | Fig. 1 — the PRR search flow trace |
+//! | `fig2` | Fig. 2 — partial bitstream structure dump |
+//! | `ablation_height` | bitstream size vs PRR height sweep |
+//! | `ablation_naive` | naive sizing strategies vs the model plan |
+//! | `ablation_multitask` | PRR sizing impact on multitasking makespan |
+//! | `ablation_reconfig_models` | prior-work reconfiguration-time models |
+//! | `ablation_pr_vs_nonpr` | PR vs static vs full-reconfiguration designs |
+//! | `ablation_preemption` | context-switch cost vs PRR sizing |
+//! | `ablation_placers` | SA vs analytic placement trade |
+//!
+//! Each binary prints a formatted table and writes a JSON artifact into
+//! `results/` for `EXPERIMENTS.md`. Criterion microbenches live in
+//! `benches/`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Render an ASCII table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{c:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Directory experiment artifacts are written to (`results/` at the
+/// workspace root, overridable with `PRFPGA_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PRFPGA_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // The workspace root is two levels above this crate's manifest.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
+        PathBuf::from("results")
+    })
+}
+
+/// Serialize `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("warning: cannot create {}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// The paper's evaluation matrix: the three PRMs on the two devices.
+pub fn evaluation_matrix() -> Vec<(synth::PaperPrm, fabric::Device)> {
+    let v5 = fabric::database::xc5vlx110t();
+    let v6 = fabric::database::xc6vlx75t();
+    let mut out = Vec::new();
+    for device in [v5, v6] {
+        for prm in synth::PaperPrm::ALL {
+            out.push((prm, device.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render_table(
+            "T",
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long_header"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn evaluation_matrix_is_3x2() {
+        let m = evaluation_matrix();
+        assert_eq!(m.len(), 6);
+    }
+}

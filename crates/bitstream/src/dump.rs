@@ -1,0 +1,144 @@
+//! Human-readable bitstream structure dump (the paper's Fig. 2).
+
+use crate::packet::{Command, ConfigRegister, Packet, SYNC_WORD};
+use crate::parser::{parse_words, ParsedBitstream};
+use crate::writer::PartialBitstream;
+use std::fmt::Write as _;
+
+/// Render a Fig.-2-style annotated structure dump of a partial bitstream:
+/// the initial words, each per-row FAR/FDRI block with its frame counts,
+/// BRAM initialization blocks, and the final words.
+pub fn dump_structure(bs: &PartialBitstream) -> String {
+    let parsed = parse_words(&bs.words, false);
+    let mut out = String::new();
+    let geom = &bs.spec.organization.family.params().frames;
+    let _ = writeln!(
+        out,
+        "Partial bitstream for `{}` on `{}` ({})",
+        bs.spec.module,
+        bs.spec.device,
+        bs.spec.organization.family.name()
+    );
+    let o = &bs.spec.organization;
+    let _ = writeln!(
+        out,
+        "PRR: H={} W_CLB={} W_DSP={} W_BRAM={} at column {}, row {}",
+        o.height, o.clb_cols, o.dsp_cols, o.bram_cols, bs.spec.start_col, bs.spec.start_row
+    );
+    let _ = writeln!(
+        out,
+        "{} words = {} bytes (frame = {} words)",
+        bs.words.len(),
+        bs.len_bytes(),
+        geom.fr_size
+    );
+    out.push('\n');
+
+    // Initial words.
+    let _ = writeln!(out, "-- initial words (IW = {}) --", geom.iw);
+    for (i, &w) in bs.words.iter().take(geom.iw as usize).enumerate() {
+        let note = annotate(w, bs.words.get(i.wrapping_sub(1)).copied());
+        let _ = writeln!(out, "  {i:>6}  {w:#010x}  {note}");
+    }
+
+    match parsed {
+        Ok(p) => summarize_blocks(&mut out, bs, &p),
+        Err(e) => {
+            let _ = writeln!(out, "  <unparseable: {e}>");
+        }
+    }
+
+    // Final words.
+    let n = bs.words.len();
+    let _ = writeln!(out, "-- final words (FW = {}) --", geom.fw);
+    for (i, &w) in bs.words.iter().enumerate().skip(n - geom.fw as usize) {
+        let note = annotate(w, bs.words.get(i.wrapping_sub(1)).copied());
+        let _ = writeln!(out, "  {i:>6}  {w:#010x}  {note}");
+    }
+    out
+}
+
+fn summarize_blocks(out: &mut String, bs: &PartialBitstream, parsed: &ParsedBitstream) {
+    let geom = &bs.spec.organization.family.params().frames;
+    for w in &parsed.frame_writes {
+        let frames = w.words / geom.fr_size;
+        let kind = match w.far.block {
+            crate::far::BlockType::Config => "configuration",
+            crate::far::BlockType::BramContent => "BRAM initialization",
+        };
+        let _ = writeln!(
+            out,
+            "-- row {} {kind}: FAR(col {}, minor {}), FAR_FDRI = {} words, \
+             {} frames x {} words = {} payload words --",
+            w.far.row, w.far.column, w.far.minor, geom.far_fdri, frames, geom.fr_size, w.words
+        );
+    }
+    let _ = writeln!(
+        out,
+        "-- CRC {} --",
+        if parsed.crc_ok { "OK" } else { "MISMATCH" }
+    );
+}
+
+fn annotate(word: u32, _prev: Option<u32>) -> &'static str {
+    if word == SYNC_WORD {
+        return "SYNC";
+    }
+    if word == 0xFFFF_FFFF {
+        return "dummy";
+    }
+    if word == 0x0000_00BB {
+        return "bus width sync";
+    }
+    if word == 0x1122_0044 {
+        return "bus width detect";
+    }
+    match Packet::decode(word) {
+        Some(Packet::Noop) => "NOOP",
+        Some(Packet::Type1Write { register: ConfigRegister::Cmd, .. }) => "T1 write CMD",
+        Some(Packet::Type1Write { register: ConfigRegister::Far, .. }) => "T1 write FAR",
+        Some(Packet::Type1Write { register: ConfigRegister::Fdri, .. }) => "T1 write FDRI",
+        Some(Packet::Type1Write { register: ConfigRegister::Idcode, .. }) => "T1 write IDCODE",
+        Some(Packet::Type1Write { register: ConfigRegister::Crc, .. }) => "T1 write CRC",
+        Some(Packet::Type1Write { .. }) => "T1 write",
+        Some(Packet::Type2Write { .. }) => "T2 write",
+        None => match Command::from_code(word) {
+            Some(Command::Rcrc) => "RCRC",
+            Some(Command::Wcfg) => "WCFG",
+            Some(Command::Desync) => "DESYNC",
+            Some(Command::Start) => "START",
+            Some(Command::Lfrm) => "LFRM",
+            _ => "",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{generate, BitstreamSpec};
+    use fabric::database::xc5vlx110t;
+    use prcost::search::plan_prr;
+    use synth::PaperPrm;
+
+    #[test]
+    fn dump_contains_structure_sections() {
+        let device = xc5vlx110t();
+        let plan = plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
+        let spec = BitstreamSpec::from_plan(
+            device.name(),
+            "mips_r3000",
+            plan.organization,
+            &plan.window,
+        );
+        let bs = generate(&spec).unwrap();
+        let dump = dump_structure(&bs);
+        assert!(dump.contains("initial words (IW = 16)"));
+        assert!(dump.contains("final words (FW = 14)"));
+        assert!(dump.contains("SYNC"));
+        assert!(dump.contains("DESYNC"));
+        assert!(dump.contains("BRAM initialization"));
+        assert!(dump.contains("CRC OK"));
+        assert!(dump.contains("configuration"));
+    }
+}

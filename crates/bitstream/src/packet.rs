@@ -1,0 +1,234 @@
+//! Configuration packet encoding (Virtex-5-style Type-1/Type-2 packets).
+//!
+//! Word layout (UG191 table 6-2/6-4):
+//!
+//! ```text
+//! Type 1: [31:29]=001  [28:27]=opcode  [17:13]=register  [10:0]=word count
+//! Type 2: [31:29]=010  [28:27]=opcode  [26:0]=word count
+//! NOOP  : type 1 with opcode 00 and all-zero payload fields (0x2000_0000)
+//! ```
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Configuration registers addressable by Type-1 packets (UG191 table 6-5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ConfigRegister {
+    Crc = 0x00,
+    Far = 0x01,
+    Fdri = 0x02,
+    Fdro = 0x03,
+    Cmd = 0x04,
+    Ctl0 = 0x05,
+    Mask = 0x06,
+    Stat = 0x07,
+    Lout = 0x08,
+    Cor0 = 0x09,
+    Mfwr = 0x0a,
+    Cbc = 0x0b,
+    Idcode = 0x0c,
+    Axss = 0x0d,
+}
+
+impl ConfigRegister {
+    /// Decode a 5-bit register address.
+    pub fn from_addr(addr: u32) -> Option<ConfigRegister> {
+        use ConfigRegister::*;
+        Some(match addr {
+            0x00 => Crc,
+            0x01 => Far,
+            0x02 => Fdri,
+            0x03 => Fdro,
+            0x04 => Cmd,
+            0x05 => Ctl0,
+            0x06 => Mask,
+            0x07 => Stat,
+            0x08 => Lout,
+            0x09 => Cor0,
+            0x0a => Mfwr,
+            0x0b => Cbc,
+            0x0c => Idcode,
+            0x0d => Axss,
+            _ => return None,
+        })
+    }
+}
+
+/// CMD register command codes (UG191 table 6-6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Command {
+    Null = 0,
+    Wcfg = 1,
+    Mfw = 2,
+    Lfrm = 3,
+    Rcfg = 4,
+    Start = 5,
+    Rcap = 6,
+    Rcrc = 7,
+    Aghigh = 8,
+    Switch = 9,
+    Grestore = 10,
+    Shutdown = 11,
+    Gcapture = 12,
+    Desync = 13,
+}
+
+impl Command {
+    /// Decode a command word.
+    pub fn from_code(code: u32) -> Option<Command> {
+        use Command::*;
+        Some(match code {
+            0 => Null,
+            1 => Wcfg,
+            2 => Mfw,
+            3 => Lfrm,
+            4 => Rcfg,
+            5 => Start,
+            6 => Rcap,
+            7 => Rcrc,
+            8 => Aghigh,
+            9 => Switch,
+            10 => Grestore,
+            11 => Shutdown,
+            12 => Gcapture,
+            13 => Desync,
+            _ => return None,
+        })
+    }
+}
+
+/// The device synchronization word.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+/// Dummy padding word preceding synchronization.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+/// Bus-width auto-detect words.
+pub const BUS_WIDTH_SYNC: u32 = 0x0000_00BB;
+/// Bus-width auto-detect pattern.
+pub const BUS_WIDTH_DETECT: u32 = 0x1122_0044;
+/// A no-operation packet header.
+pub const NOOP: u32 = 0x2000_0000;
+
+/// A decoded configuration packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet {
+    /// No-operation.
+    Noop,
+    /// Type-1 write: `word_count` payload words into `register`.
+    Type1Write {
+        /// Destination register.
+        register: ConfigRegister,
+        /// Payload word count (<= 2047).
+        word_count: u32,
+    },
+    /// Type-2 write: extends the preceding Type-1 with a large word count.
+    Type2Write {
+        /// Payload word count (<= 2^27 - 1).
+        word_count: u32,
+    },
+}
+
+impl Packet {
+    /// Encode to a 32-bit header word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Packet::Noop => NOOP,
+            Packet::Type1Write { register, word_count } => {
+                assert!(word_count <= 0x7ff, "type-1 word count field is 11 bits");
+                (0b001 << 29) | (0b10 << 27) | ((register as u32) << 13) | word_count
+            }
+            Packet::Type2Write { word_count } => {
+                assert!(word_count < (1 << 27), "type-2 word count field is 27 bits");
+                (0b010 << 29) | (0b10 << 27) | word_count
+            }
+        }
+    }
+
+    /// Decode a 32-bit header word.
+    pub fn decode(word: u32) -> Option<Packet> {
+        let header_type = word >> 29;
+        let opcode = (word >> 27) & 0b11;
+        match (header_type, opcode) {
+            (0b001, 0b00) => Some(Packet::Noop),
+            (0b001, 0b10) => {
+                let register = ConfigRegister::from_addr((word >> 13) & 0x1f)?;
+                Some(Packet::Type1Write { register, word_count: word & 0x7ff })
+            }
+            (0b010, 0b10) => Some(Packet::Type2Write { word_count: word & 0x07ff_ffff }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Noop => write!(f, "NOOP"),
+            Packet::Type1Write { register, word_count } => {
+                write!(f, "T1 WRITE {register:?} x{word_count}")
+            }
+            Packet::Type2Write { word_count } => write!(f, "T2 WRITE x{word_count}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings_match_ug191() {
+        // Well-known header words from UG191 examples.
+        assert_eq!(
+            Packet::Type1Write { register: ConfigRegister::Cmd, word_count: 1 }.encode(),
+            0x3000_8001
+        );
+        assert_eq!(
+            Packet::Type1Write { register: ConfigRegister::Far, word_count: 1 }.encode(),
+            0x3000_2001
+        );
+        assert_eq!(
+            Packet::Type1Write { register: ConfigRegister::Fdri, word_count: 0 }.encode(),
+            0x3000_4000
+        );
+        assert_eq!(Packet::Noop.encode(), 0x2000_0000);
+        assert_eq!(Packet::Type2Write { word_count: 5 }.encode(), 0x5000_0005);
+    }
+
+    #[test]
+    fn round_trip_all_registers() {
+        for addr in 0..14 {
+            let reg = ConfigRegister::from_addr(addr).unwrap();
+            for wc in [0u32, 1, 41, 2047] {
+                let p = Packet::Type1Write { register: reg, word_count: wc };
+                assert_eq!(Packet::decode(p.encode()), Some(p));
+            }
+        }
+        let t2 = Packet::Type2Write { word_count: 123_456 };
+        assert_eq!(Packet::decode(t2.encode()), Some(t2));
+        assert_eq!(Packet::decode(NOOP), Some(Packet::Noop));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Packet::decode(DUMMY_WORD), None);
+        assert_eq!(Packet::decode(SYNC_WORD), None);
+        assert_eq!(Packet::decode(0x3000_0000 | (0x1f << 13)), None, "unknown register");
+    }
+
+    #[test]
+    #[should_panic(expected = "type-1 word count")]
+    fn type1_word_count_overflow_panics() {
+        let _ = Packet::Type1Write { register: ConfigRegister::Fdri, word_count: 2048 }.encode();
+    }
+
+    #[test]
+    fn command_codes_round_trip() {
+        for code in 0..14 {
+            let c = Command::from_code(code).unwrap();
+            assert_eq!(c as u32, code);
+        }
+        assert_eq!(Command::from_code(14), None);
+    }
+}

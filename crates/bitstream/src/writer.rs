@@ -1,0 +1,383 @@
+//! Partial bitstream generation (the bitgen substitute).
+
+use crate::crc::Crc32;
+use crate::far::FrameAddress;
+use crate::packet::{
+    Command, ConfigRegister, Packet, BUS_WIDTH_DETECT, BUS_WIDTH_SYNC, DUMMY_WORD, SYNC_WORD,
+};
+use core::fmt;
+use fabric::{ResourceKind, Window};
+use prcost::PrrOrganization;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to emit one PRM's partial bitstream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitstreamSpec {
+    /// Target part name (determines the IDCODE word).
+    pub device: String,
+    /// PRM name (seeds the frame payload so different PRMs produce
+    /// different configuration data).
+    pub module: String,
+    /// PRR organization (heights and per-kind column counts).
+    pub organization: PrrOrganization,
+    /// Leftmost device column of the PRR.
+    pub start_col: u32,
+    /// Bottom fabric row of the PRR (1-based).
+    pub start_row: u32,
+    /// The window's column kinds, left to right (must match the
+    /// organization's per-kind counts and contain no IOB/CLK columns).
+    pub columns: Vec<ResourceKind>,
+}
+
+impl BitstreamSpec {
+    /// Build a spec from a planned organization and its placement window.
+    pub fn from_plan(
+        device: &str,
+        module: &str,
+        organization: PrrOrganization,
+        window: &Window,
+    ) -> Self {
+        BitstreamSpec {
+            device: device.to_string(),
+            module: module.to_string(),
+            organization,
+            start_col: window.start_col as u32,
+            start_row: window.row,
+            columns: window.columns.clone(),
+        }
+    }
+}
+
+/// Errors from [`generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The window's column mix does not match the organization.
+    CompositionMismatch {
+        /// Expected (clb, dsp, bram) column counts.
+        expected: (u32, u32, u32),
+        /// Column counts found in the window.
+        found: (u32, u32, u32),
+    },
+    /// The window contains a column kind not allowed inside PRRs.
+    ForbiddenColumn(ResourceKind),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::CompositionMismatch { expected, found } => write!(
+                f,
+                "window columns {found:?} do not match organization {expected:?} (CLB, DSP, BRAM)"
+            ),
+            GenError::ForbiddenColumn(kind) => {
+                write!(f, "{kind} columns are not supported inside PRRs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A generated partial bitstream: 32-bit words, already stripped of the
+/// `.bit`-file header the paper removes before analysis ("we remove the
+/// initial bytes, including the name of the *.ncd file ... resulting in a
+/// 32-bit word aligned bitstream").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialBitstream {
+    /// The spec this bitstream was generated from.
+    pub spec: BitstreamSpec,
+    /// Configuration words, in transmission order.
+    pub words: Vec<u32>,
+}
+
+impl PartialBitstream {
+    /// Size in bytes (`words * Bytes_word`).
+    pub fn len_bytes(&self) -> u64 {
+        self.words.len() as u64 * u64::from(self.spec.organization.family.params().frames.bytes_word)
+    }
+
+    /// Serialize to big-endian bytes (ICAP transmission order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from big-endian bytes.
+    pub fn words_from_bytes(bytes: &[u8]) -> Vec<u32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+}
+
+/// FNV-1a hash for deterministic idcode/payload seeding.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn t1(register: ConfigRegister, word_count: u32) -> u32 {
+    Packet::Type1Write { register, word_count }.encode()
+}
+
+/// Emit the initial-word block. Exactly `IW` (=16) words: dummies,
+/// bus-width sync, device sync, CRC reset, IDCODE check, WCFG command.
+fn push_initial(words: &mut Vec<u32>, idcode: u32) {
+    words.extend_from_slice(&[
+        DUMMY_WORD,
+        DUMMY_WORD,
+        BUS_WIDTH_SYNC,
+        BUS_WIDTH_DETECT,
+        DUMMY_WORD,
+        SYNC_WORD,
+        Packet::Noop.encode(),
+        t1(ConfigRegister::Cmd, 1),
+        Command::Rcrc as u32,
+        Packet::Noop.encode(),
+        Packet::Noop.encode(),
+        t1(ConfigRegister::Idcode, 1),
+        idcode,
+        t1(ConfigRegister::Cmd, 1),
+        Command::Wcfg as u32,
+        Packet::Noop.encode(),
+    ]);
+}
+
+/// Emit one FAR + FDRI block: exactly `FAR_FDRI` (=5) header words followed
+/// by `payload_words` words of frame data.
+fn push_frame_block(
+    words: &mut Vec<u32>,
+    crc: &mut Crc32,
+    far: FrameAddress,
+    payload_words: u32,
+    seed: u64,
+) {
+    words.push(t1(ConfigRegister::Far, 1));
+    words.push(far.encode());
+    words.push(t1(ConfigRegister::Fdri, 0));
+    words.push(Packet::Type2Write { word_count: payload_words }.encode());
+    words.push(Packet::Noop.encode());
+    let mut state = seed ^ u64::from(far.encode());
+    for _ in 0..payload_words {
+        // splitmix64 step — deterministic frame contents per (module, FAR).
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let w = (z ^ (z >> 31)) as u32;
+        crc.push_word(w);
+        words.push(w);
+    }
+}
+
+/// Emit the final-word block. Exactly `FW` (=14) words: CRC check, LFRM,
+/// START, DESYNC.
+fn push_final(words: &mut Vec<u32>, crc_value: u32) {
+    words.extend_from_slice(&[
+        t1(ConfigRegister::Crc, 1),
+        crc_value,
+        Packet::Noop.encode(),
+        t1(ConfigRegister::Cmd, 1),
+        Command::Lfrm as u32,
+        Packet::Noop.encode(),
+        t1(ConfigRegister::Cmd, 1),
+        Command::Start as u32,
+        Packet::Noop.encode(),
+        t1(ConfigRegister::Cmd, 1),
+        Command::Desync as u32,
+        Packet::Noop.encode(),
+        Packet::Noop.encode(),
+        Packet::Noop.encode(),
+    ]);
+}
+
+/// Generate the partial bitstream for `spec`.
+///
+/// ```
+/// use bitstream::{generate, BitstreamSpec};
+/// use fabric::database::xc5vlx110t;
+/// use synth::PaperPrm;
+///
+/// let device = xc5vlx110t();
+/// let plan = prcost::plan_prr(&PaperPrm::Fir.synth_report(device.family()), &device).unwrap();
+/// let spec = BitstreamSpec::from_plan(device.name(), "fir32", plan.organization, &plan.window);
+/// let bs = generate(&spec).unwrap();
+/// assert_eq!(bs.len_bytes(), plan.bitstream_bytes); // Eq. 18, byte-exact
+/// ```
+///
+/// The emitted structure is exactly the paper's Fig. 2 / the Eq. 18 model:
+/// per PRR row, one configuration FDRI write covering every column's frames
+/// plus one pad frame; then, if the PRR has BRAM columns, per row one
+/// BRAM-content FDRI write of `W_BRAM * DF_BRAM + 1` frames.
+pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
+    let org = &spec.organization;
+    let geom = &org.family.params().frames;
+
+    // Validate the window against the organization.
+    let (mut clb, mut dsp, mut bram) = (0u32, 0u32, 0u32);
+    for &kind in &spec.columns {
+        match kind {
+            ResourceKind::Clb => clb += 1,
+            ResourceKind::Dsp => dsp += 1,
+            ResourceKind::Bram => bram += 1,
+            other => return Err(GenError::ForbiddenColumn(other)),
+        }
+    }
+    let expected = (org.clb_cols, org.dsp_cols, org.bram_cols);
+    if (clb, dsp, bram) != expected {
+        return Err(GenError::CompositionMismatch { expected, found: (clb, dsp, bram) });
+    }
+
+    let seed = fnv1a(&spec.module);
+    let idcode = (fnv1a(&spec.device) as u32) | 1; // LSB always set, as on real parts
+    let fr = geom.fr_size;
+
+    // Frames per PRR row: every column's configuration frames + 1 pad.
+    let config_frames: u32 = spec
+        .columns
+        .iter()
+        .map(|&k| geom.frames_per_column(k))
+        .sum::<u32>()
+        + 1;
+    let bram_frames: u32 = if org.bram_cols > 0 { org.bram_cols * geom.df_bram + 1 } else { 0 };
+
+    let mut words = Vec::new();
+    let mut crc = Crc32::new();
+    push_initial(&mut words, idcode);
+
+    // Configuration frames, row by row (bottom to top).
+    for r in 0..org.height {
+        let far = FrameAddress::config(spec.start_row + r, spec.start_col, 0);
+        push_frame_block(&mut words, &mut crc, far, config_frames * fr, seed);
+    }
+    // BRAM initialization frames, row by row.
+    if bram_frames > 0 {
+        // Address the first BRAM column in the window.
+        let bram_col = spec
+            .columns
+            .iter()
+            .position(|&k| k == ResourceKind::Bram)
+            .expect("bram_cols > 0 implies a BRAM column") as u32;
+        for r in 0..org.height {
+            let far =
+                FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
+            push_frame_block(&mut words, &mut crc, far, bram_frames * fr, seed);
+        }
+    }
+
+    push_final(&mut words, crc.value());
+    Ok(PartialBitstream { spec: spec.clone(), words })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use prcost::search::plan_prr;
+    use synth::PaperPrm;
+
+    fn spec_for(prm: PaperPrm, device: &fabric::Device) -> BitstreamSpec {
+        let plan = plan_prr(&prm.synth_report(device.family()), device).unwrap();
+        BitstreamSpec::from_plan(device.name(), prm.module_name(), plan.organization, &plan.window)
+    }
+
+    /// The headline cross-validation: generated length == Eq. 18 prediction
+    /// for all six paper PRM/device pairs.
+    #[test]
+    fn generated_length_matches_cost_model() {
+        for device in [xc5vlx110t(), xc6vlx75t()] {
+            for prm in PaperPrm::ALL {
+                let spec = spec_for(prm, &device);
+                let bs = generate(&spec).unwrap();
+                let predicted = prcost::bitstream_size_bytes(&spec.organization);
+                assert_eq!(
+                    bs.len_bytes(),
+                    predicted,
+                    "{prm:?} on {}: generator vs model",
+                    device.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_module_and_distinct_across_modules() {
+        let device = xc5vlx110t();
+        let a = generate(&spec_for(PaperPrm::Fir, &device)).unwrap();
+        let b = generate(&spec_for(PaperPrm::Fir, &device)).unwrap();
+        assert_eq!(a, b);
+        let mips = generate(&spec_for(PaperPrm::Mips, &device)).unwrap();
+        assert_ne!(a.words, mips.words);
+    }
+
+    #[test]
+    fn byte_serialization_round_trips() {
+        let device = xc6vlx75t();
+        let bs = generate(&spec_for(PaperPrm::Sdram, &device)).unwrap();
+        let bytes = bs.to_bytes();
+        assert_eq!(bytes.len() as u64, bs.len_bytes());
+        assert_eq!(PartialBitstream::words_from_bytes(&bytes), bs.words);
+    }
+
+    #[test]
+    fn composition_mismatch_is_rejected() {
+        let device = xc5vlx110t();
+        let mut spec = spec_for(PaperPrm::Sdram, &device);
+        spec.columns.push(ResourceKind::Clb);
+        assert!(matches!(generate(&spec), Err(GenError::CompositionMismatch { .. })));
+    }
+
+    #[test]
+    fn forbidden_columns_are_rejected() {
+        let device = xc5vlx110t();
+        let mut spec = spec_for(PaperPrm::Sdram, &device);
+        spec.columns[0] = ResourceKind::Clk;
+        assert!(matches!(generate(&spec), Err(GenError::ForbiddenColumn(ResourceKind::Clk))));
+    }
+
+    #[test]
+    fn bram_blocks_only_when_bram_present() {
+        let device = xc5vlx110t();
+        let sdram = generate(&spec_for(PaperPrm::Sdram, &device)).unwrap();
+        let mips = generate(&spec_for(PaperPrm::Mips, &device)).unwrap();
+        let has_bram_far = |bs: &PartialBitstream| {
+            bs.words.iter().any(|&w| {
+                FrameAddress::decode(w)
+                    .is_some_and(|f| f.block == crate::far::BlockType::BramContent && f.row >= 1)
+            })
+        };
+        // SDRAM has no BRAM columns; its words contain no BRAM-content FAR
+        // following a FAR write header. (Decode-scan is approximate but the
+        // payload is pseudorandom, so require the MIPS stream to contain at
+        // least one exact BRAM FAR at its known position.)
+        let bram_col = mips
+            .spec
+            .columns
+            .iter()
+            .position(|&k| k == ResourceKind::Bram)
+            .unwrap() as u32;
+        let expected_far =
+            FrameAddress::bram(mips.spec.start_row, mips.spec.start_col + bram_col, 0).encode();
+        assert!(mips.words.contains(&expected_far));
+        let _ = has_bram_far;
+        let sdram_far =
+            FrameAddress::bram(sdram.spec.start_row, sdram.spec.start_col, 0).encode();
+        // The exact SDRAM BRAM FAR must not appear as a FAR write.
+        let far_hdr = t1(ConfigRegister::Far, 1);
+        let writes: Vec<u32> = sdram
+            .words
+            .windows(2)
+            .filter(|w| w[0] == far_hdr)
+            .map(|w| w[1])
+            .collect();
+        assert!(!writes.contains(&sdram_far));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for cost-model evaluation.
+
+use crate::search::SearchTrace;
+use core::fmt;
+use fabric::Family;
+
+/// Errors from PRR planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// The synthesis report targets a different family than the device.
+    FamilyMismatch {
+        /// Family of the synthesis report.
+        report: Family,
+        /// Family of the target device.
+        device: Family,
+    },
+    /// The PRM requires no resources; there is nothing to place.
+    EmptyRequirements,
+    /// No PRR satisfying the requirements fits on the device at any height.
+    NoFeasiblePlacement {
+        /// Target device name.
+        device: String,
+        /// Full candidate-by-candidate evaluation trace (Fig. 1).
+        trace: SearchTrace,
+    },
+    /// `plan_shared_prr` was called with no PRMs.
+    NoPrms,
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::FamilyMismatch { report, device } => write!(
+                f,
+                "synthesis report targets {report} but the device is {device}; \
+                 re-synthesize for the target family"
+            ),
+            CostError::EmptyRequirements => {
+                write!(f, "the PRM requires no CLB/DSP/BRAM resources; nothing to place")
+            }
+            CostError::NoFeasiblePlacement { device, trace } => write!(
+                f,
+                "no feasible PRR placement on `{device}` (evaluated {} heights)",
+                trace.candidates.len()
+            ),
+            CostError::NoPrms => write!(f, "a shared PRR needs at least one PRM"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_family_mismatch() {
+        let e = CostError::FamilyMismatch { report: Family::Virtex5, device: Family::Virtex6 };
+        let msg = e.to_string();
+        assert!(msg.contains("Virtex-5") && msg.contains("Virtex-6"));
+    }
+}

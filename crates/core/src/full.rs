@@ -1,0 +1,126 @@
+//! Full-device bitstream size model (the non-PR comparator).
+//!
+//! The paper's opening comparison: partial reconfiguration "affords faster
+//! reconfiguration time and smaller bitstreams" than full reconfiguration,
+//! which rewrites *every* frame of *every* column (IOB and clock columns
+//! included) and halts the whole device while doing so. This module
+//! extends Eq. 18 to the full device so the PR-vs-non-PR trade can be
+//! quantified (see `multitask::sim::simulate_full_reconfig` and the
+//! `ablation_pr_vs_nonpr` bench target).
+
+use fabric::{Device, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// Word-level decomposition of a full-device bitstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullBitstreamBreakdown {
+    /// Configuration frames per device row (all columns + pad frame).
+    pub config_frames_per_row: u64,
+    /// BRAM initialization frames per device row (all BRAM columns + pad).
+    pub bram_frames_per_row: u64,
+    /// Device rows.
+    pub rows: u64,
+    /// Total words including `IW`/`FW` and per-row `FAR_FDRI` overhead.
+    pub total_words: u64,
+    /// Bytes per configuration word.
+    pub bytes_per_word: u64,
+}
+
+impl FullBitstreamBreakdown {
+    /// Full bitstream size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_words * self.bytes_per_word
+    }
+}
+
+/// Evaluate the full-device analogue of Eqs. 18–23 for `device`.
+pub fn full_breakdown(device: &Device) -> FullBitstreamBreakdown {
+    let g = &device.params().frames;
+    let fr = u64::from(g.fr_size);
+    let far_fdri = u64::from(g.far_fdri);
+
+    let config_frames: u64 = device
+        .columns()
+        .iter()
+        .map(|&c| u64::from(g.frames_per_column(c)))
+        .sum::<u64>()
+        + 1;
+    let bram_cols = device
+        .columns()
+        .iter()
+        .filter(|&&c| c == ResourceKind::Bram)
+        .count() as u64;
+    let bram_frames = if bram_cols > 0 { bram_cols * u64::from(g.df_bram) + 1 } else { 0 };
+
+    let rows = u64::from(device.rows());
+    let per_row = far_fdri
+        + config_frames * fr
+        + if bram_frames > 0 { far_fdri + bram_frames * fr } else { 0 };
+    let total_words = u64::from(g.iw) + rows * per_row + u64::from(g.fw);
+
+    FullBitstreamBreakdown {
+        config_frames_per_row: config_frames,
+        bram_frames_per_row: bram_frames,
+        rows,
+        total_words,
+        bytes_per_word: u64::from(g.bytes_word),
+    }
+}
+
+/// Full-device bitstream size in bytes.
+pub fn full_bitstream_size_bytes(device: &Device) -> u64 {
+    full_breakdown(device).total_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bitstream_size_bytes;
+    use crate::prr::PrrOrganization;
+    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use fabric::Family;
+
+    /// Paper claim: the full bitstream dwarfs any partial bitstream. The
+    /// real LX110T full bitstream is ~3.9 MB; our synthetic layout lands
+    /// in the same regime and is >20x the largest paper partial bitstream.
+    #[test]
+    fn full_dwarfs_partial() {
+        let device = xc5vlx110t();
+        let full = full_bitstream_size_bytes(&device);
+        assert!(full > 3_000_000, "full bitstream {full} B");
+        assert!(full < 8_000_000, "full bitstream {full} B");
+        assert!(full > 20 * 157_272, "vs MIPS partial");
+    }
+
+    /// A PRR covering every reconfigurable column of every row still costs
+    /// less than the full bitstream (IOB/CLK frames and their overhead are
+    /// the difference).
+    #[test]
+    fn whole_fabric_prr_is_below_full() {
+        let device = xc6vlx75t();
+        let counts = device.column_counts();
+        let org = PrrOrganization {
+            family: Family::Virtex6,
+            height: device.rows(),
+            clb_cols: counts.clb() as u32,
+            dsp_cols: counts.dsp() as u32,
+            bram_cols: counts.bram() as u32,
+        };
+        assert!(bitstream_size_bytes(&org) < full_bitstream_size_bytes(&device));
+    }
+
+    #[test]
+    fn scales_with_device_size() {
+        let small = fabric::device_by_name("xc6slx16").unwrap();
+        let big = fabric::device_by_name("xc6slx45").unwrap();
+        assert!(full_bitstream_size_bytes(&big) > full_bitstream_size_bytes(&small));
+    }
+
+    #[test]
+    fn sixteen_bit_words_halve_byte_cost() {
+        let s6 = fabric::device_by_name("xc6slx16").unwrap();
+        let b = full_breakdown(&s6);
+        assert_eq!(b.bytes_per_word, 2);
+        assert_eq!(b.total_bytes(), b.total_words * 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Human-readable plan datasheets (Table-V-style rendering).
+
+use crate::search::PrrPlan;
+use std::fmt::Write as _;
+
+/// Render a single-PRM Table-V-style datasheet for `plan`.
+///
+/// All the quantities the paper tabulates for one PRM/device pair:
+/// requirements, organization, availability, utilization and the predicted
+/// bitstream.
+pub fn datasheet(plan: &PrrPlan) -> String {
+    let req = &plan.requirements;
+    let org = &plan.organization;
+    let avail = org.available();
+    let ru = plan.utilization.rounded();
+    let mut out = String::with_capacity(640);
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(out, "{k:>12}  {v}");
+    };
+    row("family", org.family.name().to_string());
+    row("LUT_FF_req", req.lut_ff_req.to_string());
+    row("LUT_req", req.lut_req.to_string());
+    row("FF_req", req.ff_req.to_string());
+    row("DSP_req", req.dsp_req.to_string());
+    row("BRAM_req", req.bram_req.to_string());
+    row("CLB_req", format!("{}  (Eq. 1)", req.clb_req));
+    row("H", org.height.to_string());
+    row(
+        "W",
+        format!(
+            "{} = {} CLB + {} DSP + {} BRAM  (Eq. 6)",
+            org.width(),
+            org.clb_cols,
+            org.dsp_cols,
+            org.bram_cols
+        ),
+    );
+    row("PRR_size", format!("{}  (Eq. 7)", org.prr_size()));
+    row(
+        "avail",
+        format!(
+            "{} CLB / {} FF / {} LUT / {} DSP / {} BRAM",
+            avail.clb(),
+            org.ff_avail(),
+            org.lut_avail(),
+            avail.dsp(),
+            avail.bram()
+        ),
+    );
+    row(
+        "RU",
+        format!(
+            "CLB {}%  FF {}%  LUT {}%  DSP {}%  BRAM {}%  (Eqs. 13-17)",
+            ru[0], ru[1], ru[2], ru[3], ru[4]
+        ),
+    );
+    row(
+        "placement",
+        format!(
+            "columns {}..{}, rows {}..{}",
+            plan.window.start_col,
+            plan.window.end_col() - 1,
+            plan.window.row,
+            plan.window.top_row()
+        ),
+    );
+    row("S_bitstream", format!("{} bytes  (Eq. 18)", plan.bitstream_bytes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::plan_prr;
+    use fabric::database::xc5vlx110t;
+    use synth::PaperPrm;
+
+    #[test]
+    fn datasheet_contains_all_table5_quantities() {
+        let device = xc5vlx110t();
+        let plan = plan_prr(&PaperPrm::Fir.synth_report(device.family()), &device).unwrap();
+        let sheet = datasheet(&plan);
+        for needle in [
+            "LUT_FF_req  1300",
+            "CLB_req  163",
+            "H  5",
+            "2 CLB + 1 DSP + 0 BRAM",
+            "PRR_size  15",
+            "200 CLB / 1600 FF / 1600 LUT / 40 DSP / 0 BRAM",
+            "CLB 82%",
+            "S_bitstream  83040 bytes",
+        ] {
+            assert!(sheet.contains(needle), "missing {needle:?} in:\n{sheet}");
+        }
+    }
+}

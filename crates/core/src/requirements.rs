@@ -1,0 +1,136 @@
+//! PRM resource requirements: the Table I `*_req` parameters plus Eq. (1).
+
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+use synth::SynthReport;
+
+/// The cost-model inputs for one PRM, extracted from a synthesis report.
+///
+/// `clb_req` is derived via the paper's Eq. (1):
+/// `CLB_req = ceil(LUT_FF_req / LUT_CLB)` — the ceiling guarantees
+/// sufficient CLB resources when the division is non-integral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrrRequirements {
+    /// Family the requirements were synthesized for.
+    pub family: Family,
+    /// `LUT_FF_req`: LUT–FF pair slots.
+    pub lut_ff_req: u64,
+    /// `LUT_req`: slice LUTs.
+    pub lut_req: u64,
+    /// `FF_req`: slice registers.
+    pub ff_req: u64,
+    /// `DSP_req`: DSP blocks.
+    pub dsp_req: u64,
+    /// `BRAM_req`: block RAMs.
+    pub bram_req: u64,
+    /// `CLB_req`: CLBs, from Eq. (1).
+    pub clb_req: u64,
+}
+
+impl PrrRequirements {
+    /// Extract requirements from a synthesis report (applies Eq. 1).
+    pub fn from_report(report: &SynthReport) -> Self {
+        let lut_clb = u64::from(report.family.params().lut_clb);
+        PrrRequirements {
+            family: report.family,
+            lut_ff_req: report.lut_ff_pairs,
+            lut_req: report.luts,
+            ff_req: report.ffs,
+            dsp_req: report.dsps,
+            bram_req: report.brams,
+            clb_req: report.lut_ff_pairs.div_ceil(lut_clb),
+        }
+    }
+
+    /// Build requirements directly (e.g. from a parsed report file).
+    pub fn new(
+        family: Family,
+        lut_ff_req: u64,
+        lut_req: u64,
+        ff_req: u64,
+        dsp_req: u64,
+        bram_req: u64,
+    ) -> Self {
+        let lut_clb = u64::from(family.params().lut_clb);
+        PrrRequirements {
+            family,
+            lut_ff_req,
+            lut_req,
+            ff_req,
+            dsp_req,
+            bram_req,
+            clb_req: lut_ff_req.div_ceil(lut_clb),
+        }
+    }
+
+    /// True when the PRM needs no fabric resources at all.
+    pub fn is_empty(&self) -> bool {
+        self.clb_req == 0 && self.dsp_req == 0 && self.bram_req == 0
+    }
+
+    /// Component-wise maximum of requirements; used when several PRMs share
+    /// one PRR (each kind sized by its worst-case PRM).
+    pub fn max(&self, other: &PrrRequirements) -> PrrRequirements {
+        debug_assert_eq!(self.family, other.family);
+        PrrRequirements {
+            family: self.family,
+            lut_ff_req: self.lut_ff_req.max(other.lut_ff_req),
+            lut_req: self.lut_req.max(other.lut_req),
+            ff_req: self.ff_req.max(other.ff_req),
+            dsp_req: self.dsp_req.max(other.dsp_req),
+            bram_req: self.bram_req.max(other.bram_req),
+            clb_req: self.clb_req.max(other.clb_req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::PaperPrm;
+
+    /// Eq. (1) against the paper's reconstructed Table V CLB_req row.
+    #[test]
+    fn eq1_clb_req_matches_table5() {
+        let cases = [
+            (PaperPrm::Fir, Family::Virtex5, 163u64),
+            (PaperPrm::Mips, Family::Virtex5, 328),
+            (PaperPrm::Sdram, Family::Virtex5, 42),
+            (PaperPrm::Fir, Family::Virtex6, 184),
+            (PaperPrm::Mips, Family::Virtex6, 405),
+            (PaperPrm::Sdram, Family::Virtex6, 49),
+        ];
+        for (prm, fam, clb) in cases {
+            let req = PrrRequirements::from_report(&prm.synth_report(fam));
+            assert_eq!(req.clb_req, clb, "{prm:?}/{fam}");
+        }
+    }
+
+    #[test]
+    fn ceiling_behaviour_of_eq1() {
+        // 8 LUT_FF pairs on Virtex-5 (8 per CLB) = exactly 1 CLB;
+        // 9 pairs must round up to 2.
+        assert_eq!(PrrRequirements::new(Family::Virtex5, 8, 0, 0, 0, 0).clb_req, 1);
+        assert_eq!(PrrRequirements::new(Family::Virtex5, 9, 0, 0, 0, 0).clb_req, 2);
+        assert_eq!(PrrRequirements::new(Family::Virtex5, 0, 0, 0, 0, 0).clb_req, 0);
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(PrrRequirements::new(Family::Virtex5, 0, 0, 0, 0, 0).is_empty());
+        assert!(!PrrRequirements::new(Family::Virtex5, 0, 0, 0, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn max_is_componentwise() {
+        let a = PrrRequirements::new(Family::Virtex5, 100, 90, 40, 8, 0);
+        let b = PrrRequirements::new(Family::Virtex5, 50, 95, 60, 2, 3);
+        let m = a.max(&b);
+        assert_eq!(m.lut_ff_req, 100);
+        assert_eq!(m.lut_req, 95);
+        assert_eq!(m.ff_req, 60);
+        assert_eq!(m.dsp_req, 8);
+        assert_eq!(m.bram_req, 3);
+        assert_eq!(m.clb_req, 13); // ceil(100/8)
+    }
+}

@@ -1,0 +1,374 @@
+//! The Fig. 1 flow: search device heights for the best feasible PRR.
+//!
+//! For each candidate height `H` from 1 to the device's row count `R`, the
+//! flow recomputes the organization (Eqs. 2–6), checks that the required
+//! columns exist contiguously on the device (no IOB/CLK columns inside the
+//! span), predicts the partial bitstream size (Eqs. 18–23), and finally
+//! selects the candidate with the **smallest predicted bitstream**, breaking
+//! ties by smaller `PRR_size` and then smaller `H`. This selection criterion
+//! is the one consistent with the paper's reported Table V results — e.g.
+//! FIR on the LX110T picks H=5 (bitstream 83 040 B, PRR size 15) over the
+//! also-feasible H=4 (90 100 B, size 16); see `DESIGN.md` §6.
+
+use crate::bits::bitstream_size_bytes;
+use crate::error::CostError;
+use crate::prr::{OrganizationError, PrrOrganization, Utilization};
+use crate::requirements::PrrRequirements;
+use fabric::{Device, Window};
+use serde::{Deserialize, Serialize};
+use synth::SynthReport;
+
+/// Outcome of evaluating one candidate height.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CandidateOutcome {
+    /// A placeable PRR with its predicted bitstream size.
+    Feasible {
+        /// Organization at this height. When `padded_clb_cols > 0`, its
+        /// `clb_cols` already includes the padding.
+        organization: PrrOrganization,
+        /// Leftmost placement window on the device.
+        window: Window,
+        /// Predicted `S_bitstream` in bytes.
+        bitstream_bytes: u64,
+        /// Extra `[CLB, DSP, BRAM]` columns beyond the Eqs. 2–5 counts
+        /// that had to be absorbed because no exact-composition window
+        /// exists on the device at this height (`[0, 0, 0]` for an exact
+        /// fit). Padding is a designer-realistic fallback beyond the
+        /// paper's flow, chosen to minimize the padded bitstream; it never
+        /// activates for the paper's evaluation points.
+        padded_cols: [u32; 3],
+    },
+    /// Eq. (4) case: a single-DSP-column device needs at least `min_height`
+    /// rows to supply the PRM's DSPs.
+    DspRowsInsufficient {
+        /// Minimum feasible height.
+        min_height: u32,
+    },
+    /// The organization is arithmetically valid but no contiguous column
+    /// window with that composition exists on the device.
+    NoWindow {
+        /// The organization that failed to place.
+        organization: PrrOrganization,
+    },
+}
+
+/// One row of the Fig. 1 search trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Candidate height `H`.
+    pub height: u32,
+    /// What happened at this height.
+    pub outcome: CandidateOutcome,
+}
+
+impl Candidate {
+    /// Bitstream size if feasible.
+    pub fn bitstream_bytes(&self) -> Option<u64> {
+        match &self.outcome {
+            CandidateOutcome::Feasible { bitstream_bytes, .. } => Some(*bitstream_bytes),
+            _ => None,
+        }
+    }
+}
+
+/// The complete candidate-by-candidate record of one search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Device searched.
+    pub device: String,
+    /// One entry per height 1..=R, in order.
+    pub candidates: Vec<Candidate>,
+}
+
+/// A selected PRR: the model's final answer for one PRM on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrrPlan {
+    /// The requirements that were planned for.
+    pub requirements: PrrRequirements,
+    /// Chosen organization.
+    pub organization: PrrOrganization,
+    /// Physical placement (leftmost feasible window, bottom rows).
+    pub window: Window,
+    /// Predicted partial bitstream size in bytes (Eq. 18).
+    pub bitstream_bytes: u64,
+    /// Resource utilization of the PRM inside the chosen PRR.
+    pub utilization: Utilization,
+    /// Full search trace (Fig. 1 reproduction).
+    pub trace: SearchTrace,
+}
+
+/// Plan the PRR for one synthesis report on `device`.
+///
+/// ```
+/// use fabric::database::xc6vlx75t;
+/// use synth::PaperPrm;
+///
+/// let device = xc6vlx75t();
+/// let plan = prcost::plan_prr(&PaperPrm::Sdram.synth_report(device.family()), &device)?;
+/// assert_eq!(plan.organization.height, 1);
+/// assert_eq!(plan.organization.clb_cols, 2);
+/// assert_eq!(plan.bitstream_bytes, 23_792);
+/// # Ok::<(), prcost::CostError>(())
+/// ```
+pub fn plan_prr(report: &SynthReport, device: &Device) -> Result<PrrPlan, CostError> {
+    if report.family != device.family() {
+        return Err(CostError::FamilyMismatch { report: report.family, device: device.family() });
+    }
+    plan_prr_from_requirements(&PrrRequirements::from_report(report), device)
+}
+
+/// Plan the PRR for explicit requirements on `device`.
+pub fn plan_prr_from_requirements(
+    req: &PrrRequirements,
+    device: &Device,
+) -> Result<PrrPlan, CostError> {
+    if req.family != device.family() {
+        return Err(CostError::FamilyMismatch { report: req.family, device: device.family() });
+    }
+    if req.is_empty() {
+        return Err(CostError::EmptyRequirements);
+    }
+
+    let mut candidates = Vec::with_capacity(device.rows() as usize);
+    for h in 1..=device.rows() {
+        candidates.push(evaluate_height(req, device, h));
+    }
+    select_best(req, device, candidates)
+}
+
+/// All candidate evaluations for `req` on `device`, one per height, in
+/// ascending height order — the raw material of the Fig. 1 search, also
+/// consumed by the multi-PRR automatic floorplanner (`parflow`), which
+/// needs every feasible organization rather than just the winner.
+pub fn candidates_for(req: &PrrRequirements, device: &Device) -> Vec<Candidate> {
+    if req.is_empty() || req.family != device.family() {
+        return Vec::new();
+    }
+    (1..=device.rows()).map(|h| evaluate_height(req, device, h)).collect()
+}
+
+/// Evaluate one candidate height of the Fig. 1 flow: organization
+/// (Eqs. 2–6), exact window search, and — only when no exact-composition
+/// window exists — minimal CLB-column padding.
+pub(crate) fn evaluate_height(req: &PrrRequirements, device: &Device, h: u32) -> Candidate {
+    let single_dsp = device.dsp_column_count() == 1;
+    let outcome = match PrrOrganization::for_height(req, h, single_dsp) {
+        Err(OrganizationError::EmptyRequirements) => {
+            unreachable!("callers reject empty requirements")
+        }
+        Err(OrganizationError::SingleDspColumnNeedsRows { min_height }) => {
+            CandidateOutcome::DspRowsInsufficient { min_height }
+        }
+        Ok(org) => {
+            let exact = device.find_window(&org.window_request());
+            let placed = match exact {
+                Some(w) => Some((org, w, [0u32; 3])),
+                None => find_padded_window(&org, device),
+            };
+            match placed {
+                None => CandidateOutcome::NoWindow { organization: org },
+                Some((org, window, padded_cols)) => CandidateOutcome::Feasible {
+                    bitstream_bytes: bitstream_size_bytes(&org),
+                    organization: org,
+                    window,
+                    padded_cols,
+                },
+            }
+        }
+    };
+    Candidate { height: h, outcome }
+}
+
+/// When no exact-composition window exists at a height, absorb extra
+/// columns: enumerate small paddings of each kind, order them by the
+/// padded organization's predicted bitstream (the search objective), and
+/// take the cheapest one with a real window.
+fn find_padded_window(
+    org: &PrrOrganization,
+    device: &Device,
+) -> Option<(PrrOrganization, Window, [u32; 3])> {
+    let counts = device.column_counts();
+    let max_clb = (counts.clb() as u32).saturating_sub(org.clb_cols);
+    let max_dsp = (counts.dsp() as u32).saturating_sub(org.dsp_cols).min(4);
+    let max_bram = (counts.bram() as u32).saturating_sub(org.bram_cols).min(4);
+
+    let mut options: Vec<(u64, [u32; 3], PrrOrganization)> = Vec::new();
+    for ec in 0..=max_clb {
+        for ed in 0..=max_dsp {
+            for eb in 0..=max_bram {
+                if ec + ed + eb == 0 {
+                    continue;
+                }
+                let padded = PrrOrganization {
+                    clb_cols: org.clb_cols + ec,
+                    dsp_cols: org.dsp_cols + ed,
+                    bram_cols: org.bram_cols + eb,
+                    ..*org
+                };
+                options.push((bitstream_size_bytes(&padded), [ec, ed, eb], padded));
+            }
+        }
+    }
+    options.sort_by_key(|(bytes, pad, _)| (*bytes, pad[0] + pad[1] + pad[2]));
+    for (_, pad, padded) in options {
+        if let Some(w) = device.find_window(&padded.window_request()) {
+            return Some((padded, w, pad));
+        }
+    }
+    None
+}
+
+/// Pick the best feasible candidate: minimum predicted bitstream, then
+/// minimum `PRR_size`, then minimum height.
+pub(crate) fn select_best(
+    req: &PrrRequirements,
+    device: &Device,
+    candidates: Vec<Candidate>,
+) -> Result<PrrPlan, CostError> {
+    let mut best: Option<(u64, u64, u32, PrrOrganization, Window)> = None;
+    for c in &candidates {
+        if let CandidateOutcome::Feasible { organization, window, bitstream_bytes, .. } =
+            &c.outcome
+        {
+            let key = (*bitstream_bytes, organization.prr_size(), c.height);
+            if best.as_ref().is_none_or(|(bb, bs, bh, ..)| key < (*bb, *bs, *bh)) {
+                best =
+                    Some((*bitstream_bytes, organization.prr_size(), c.height, *organization, window.clone()));
+            }
+        }
+    }
+    let trace = SearchTrace { device: device.name().to_string(), candidates };
+    match best {
+        None => Err(CostError::NoFeasiblePlacement { device: device.name().to_string(), trace }),
+        Some((bytes, _, _, org, window)) => Ok(PrrPlan {
+            requirements: *req,
+            utilization: org.utilization(req),
+            organization: org,
+            window,
+            bitstream_bytes: bytes,
+            trace,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use fabric::Family;
+    use synth::PaperPrm;
+
+    /// The headline Table V reproduction: the search must select exactly
+    /// the paper's PRR organization for all six PRM/device pairs.
+    #[test]
+    fn table5_organizations_selected() {
+        let v5 = xc5vlx110t();
+        let v6 = xc6vlx75t();
+        // (prm, device, H, W_CLB, W_DSP, W_BRAM)
+        let cases = [
+            (PaperPrm::Fir, &v5, 5, 2, 1, 0),
+            (PaperPrm::Mips, &v5, 1, 17, 1, 2),
+            (PaperPrm::Sdram, &v5, 1, 3, 0, 0),
+            (PaperPrm::Fir, &v6, 1, 5, 2, 0),
+            (PaperPrm::Mips, &v6, 1, 11, 1, 1),
+            (PaperPrm::Sdram, &v6, 1, 2, 0, 0),
+        ];
+        for (prm, device, h, wc, wd, wb) in cases {
+            let report = prm.synth_report(device.family());
+            let plan = plan_prr(&report, device).unwrap();
+            let o = &plan.organization;
+            assert_eq!(
+                (o.height, o.clb_cols, o.dsp_cols, o.bram_cols),
+                (h, wc, wd, wb),
+                "{prm:?} on {}",
+                device.name()
+            );
+        }
+    }
+
+    /// FIR on the LX110T: H=4 is feasible but H=5 has the smaller
+    /// bitstream; the trace must show both and the plan must pick H=5.
+    #[test]
+    fn fir_v5_prefers_smaller_bitstream_over_first_feasible() {
+        let device = xc5vlx110t();
+        let plan = plan_prr(&PaperPrm::Fir.synth_report(Family::Virtex5), &device).unwrap();
+        assert_eq!(plan.organization.height, 5);
+
+        let h4 = &plan.trace.candidates[3];
+        let h5 = &plan.trace.candidates[4];
+        let (b4, b5) = (h4.bitstream_bytes().unwrap(), h5.bitstream_bytes().unwrap());
+        assert!(b5 < b4, "H=5 ({b5} B) beats H=4 ({b4} B)");
+        assert_eq!(plan.bitstream_bytes, b5);
+
+        // Heights 1-3 fail the Eq. 4 DSP-row constraint.
+        for c in &plan.trace.candidates[..3] {
+            assert!(matches!(
+                c.outcome,
+                CandidateOutcome::DspRowsInsufficient { min_height: 4 }
+            ));
+        }
+    }
+
+    #[test]
+    fn trace_covers_every_height() {
+        let device = xc6vlx75t();
+        let plan = plan_prr(&PaperPrm::Mips.synth_report(Family::Virtex6), &device).unwrap();
+        assert_eq!(plan.trace.candidates.len(), 3);
+        assert_eq!(
+            plan.trace.candidates.iter().map(|c| c.height).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn family_mismatch_is_rejected() {
+        let device = xc6vlx75t();
+        let report = PaperPrm::Fir.synth_report(Family::Virtex5);
+        assert!(matches!(
+            plan_prr(&report, &device),
+            Err(CostError::FamilyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_requirements_are_rejected() {
+        let device = xc5vlx110t();
+        let req = PrrRequirements::new(Family::Virtex5, 0, 0, 0, 0, 0);
+        assert!(matches!(
+            plan_prr_from_requirements(&req, &device),
+            Err(CostError::EmptyRequirements)
+        ));
+    }
+
+    #[test]
+    fn oversized_prm_yields_no_placement_with_trace() {
+        let device = xc5vlx110t();
+        // More CLBs than the whole device (8640).
+        let req = PrrRequirements::new(Family::Virtex5, 100_000, 0, 0, 0, 0);
+        match plan_prr_from_requirements(&req, &device) {
+            Err(CostError::NoFeasiblePlacement { device: name, trace }) => {
+                assert_eq!(name, "xc5vlx110t");
+                assert_eq!(trace.candidates.len(), 8);
+                assert!(trace
+                    .candidates
+                    .iter()
+                    .all(|c| matches!(c.outcome, CandidateOutcome::NoWindow { .. })));
+            }
+            other => panic!("expected NoFeasiblePlacement, got {other:?}"),
+        }
+    }
+
+    /// The placed window's column mix must match the organization.
+    #[test]
+    fn window_composition_matches_organization() {
+        let device = xc5vlx110t();
+        for prm in PaperPrm::ALL {
+            let plan = plan_prr(&prm.synth_report(Family::Virtex5), &device).unwrap();
+            let counts = plan.window.column_counts();
+            assert_eq!(counts.clb(), u64::from(plan.organization.clb_cols));
+            assert_eq!(counts.dsp(), u64::from(plan.organization.dsp_cols));
+            assert_eq!(counts.bram(), u64::from(plan.organization.bram_cols));
+            assert_eq!(plan.window.height, plan.organization.height);
+        }
+    }
+}

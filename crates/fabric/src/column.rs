@@ -1,0 +1,66 @@
+//! Fabric columns: the horizontal unit of the two-dimensional PR layout.
+
+use crate::resource::ResourceKind;
+use serde::{Deserialize, Serialize};
+
+/// The kind of one fabric column. In the Virtex-5-and-newer layout modeled
+/// here, every column spans the full device height and contributes a fixed
+/// number of resources and configuration frames *per fabric row*.
+pub type ColumnKind = ResourceKind;
+
+/// A compact builder for device column layouts.
+///
+/// Device layouts in [`crate::database`] are long interleavings of CLB
+/// columns with sparse DSP/BRAM/IOB/CLK columns; `ColumnSpec` lets them be
+/// written as run-length segments and expanded once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    /// Column kind for this run.
+    pub kind: ColumnKind,
+    /// Number of consecutive columns of that kind.
+    pub run: u32,
+}
+
+impl ColumnSpec {
+    /// A run of `run` consecutive columns of `kind`.
+    pub const fn run(kind: ColumnKind, run: u32) -> Self {
+        ColumnSpec { kind, run }
+    }
+
+    /// A single column of `kind`.
+    pub const fn one(kind: ColumnKind) -> Self {
+        ColumnSpec { kind, run: 1 }
+    }
+}
+
+/// Expand run-length segments into a flat column list.
+pub fn expand(spec: &[ColumnSpec]) -> Vec<ColumnKind> {
+    let total: usize = spec.iter().map(|s| s.run as usize).sum();
+    let mut cols = Vec::with_capacity(total);
+    for s in spec {
+        cols.extend(std::iter::repeat_n(s.kind, s.run as usize));
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ResourceKind::*;
+
+    #[test]
+    fn expand_preserves_order_and_counts() {
+        let cols = expand(&[
+            ColumnSpec::one(Iob),
+            ColumnSpec::run(Clb, 3),
+            ColumnSpec::one(Bram),
+            ColumnSpec::run(Clb, 2),
+        ]);
+        assert_eq!(cols, vec![Iob, Clb, Clb, Clb, Bram, Clb, Clb]);
+    }
+
+    #[test]
+    fn expand_empty_spec() {
+        assert!(expand(&[]).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Serde round-trips for the public fabric types (device descriptions are
+//! meant to be shareable as JSON).
+
+use fabric::{all_devices, Device, Family, Resources, WindowRequest};
+
+#[test]
+fn every_database_device_round_trips_through_json() {
+    for d in all_devices() {
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Device = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d, "{}", d.name());
+        assert_eq!(back.total_resources(), d.total_resources());
+    }
+}
+
+#[test]
+fn family_params_serialize_with_stable_field_names() {
+    let json = serde_json::to_value(Family::Virtex5.params()).unwrap();
+    assert_eq!(json["clb_col"], 20);
+    assert_eq!(json["frames"]["fr_size"], 41);
+    assert_eq!(json["frames"]["bytes_word"], 4);
+}
+
+#[test]
+fn requests_and_resources_round_trip() {
+    let req = WindowRequest::new(17, 1, 2, 1);
+    let back: WindowRequest =
+        serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+    assert_eq!(back, req);
+
+    let r = Resources::new(163, 32, 0);
+    let back: Resources = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+    assert_eq!(back, r);
+}

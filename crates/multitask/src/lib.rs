@@ -1,0 +1,36 @@
+//! # `multitask` — hardware multitasking on a PR FPGA
+//!
+//! The paper's motivation: PRRs time-multiplex hardware tasks (PRMs), and
+//! the PRR size/organization chosen at design time determines partial
+//! bitstream sizes, hence reconfiguration times, hence overall system
+//! performance — a badly sized PRR can make the PR system *slower than a
+//! non-PR design*. This crate makes that end-to-end story executable:
+//!
+//! * [`task`] — hardware tasks with resource requirements, execution times
+//!   and arrivals (plus a deterministic workload generator).
+//! * [`system`] — a PR system: one device, a static region, and a set of
+//!   placed PRRs (planned by `prcost` or supplied explicitly), with the
+//!   single shared ICAP the paper describes ("desynchronization releases
+//!   the ICAP, which allows other PRRs to be reconfigured").
+//! * [`sched`] — PRR selection policies: first-fit, best-fit (least
+//!   overprovisioned PRR), and reuse-aware (prefer a PRR that already
+//!   holds the task's module, skipping reconfiguration entirely).
+//! * [`sim`] — a discrete-event simulator producing makespan, waiting
+//!   times, reconfiguration counts/time and per-PRR utilization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod preempt;
+pub mod sched;
+pub mod sim;
+pub mod system;
+pub mod task;
+pub mod trace;
+
+pub use preempt::{simulate_preemptive, PreemptReport, PreemptiveTask};
+pub use sched::{BestFit, FirstFit, ReuseAware, Scheduler};
+pub use sim::{simulate, simulate_full_reconfig, simulate_static, SimReport};
+pub use system::{PrSystem, PrrSlot, SystemError};
+pub use task::{HwTask, Workload};
+pub use trace::{parse_trace, parse_workload, write_trace, write_workload};

@@ -1,0 +1,367 @@
+//! Preemptive hardware multitasking with context save/restore.
+//!
+//! The authors' companion work (\[5\] FCCM'13, \[6\] ARC'13) makes hardware
+//! tasks preemptible: a running PRM's state is read back through the
+//! configuration plane, the PRR is given to a more urgent task, and the
+//! victim later resumes (bitstream write + context restore) on a
+//! compatible PRR. This module simulates that discipline on top of the
+//! cost models: every configuration-plane operation — context save,
+//! bitstream write, context restore — serializes through the single ICAP
+//! and is costed from the PRR organization via `prcost` Eq. 18 and
+//! `bitstream::context_cost`.
+
+use crate::system::PrSystem;
+use bitstream::readback::context_cost;
+use fabric::Resources;
+use serde::{Deserialize, Serialize};
+
+/// A prioritized hardware task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreemptiveTask {
+    /// Task id.
+    pub id: u32,
+    /// Module name (bitstream identity).
+    pub module: String,
+    /// Resources needed inside the PRR.
+    pub needs: Resources,
+    /// Arrival time (ns).
+    pub arrival_ns: u64,
+    /// Total execution time (ns).
+    pub exec_ns: u64,
+    /// Priority; higher preempts lower.
+    pub priority: u8,
+}
+
+/// Outcome metrics of a preemptive simulation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PreemptReport {
+    /// Tasks completed.
+    pub completed: u32,
+    /// Completion time of the last task.
+    pub makespan_ns: u64,
+    /// Preemptions performed.
+    pub preemptions: u32,
+    /// Plain reconfigurations (bitstream writes).
+    pub reconfigurations: u32,
+    /// Context saves + restores.
+    pub context_transfers: u32,
+    /// Total ICAP time spent on context save/restore.
+    pub context_switch_ns: u64,
+    /// Total ICAP busy time (writes + saves + restores).
+    pub icap_busy_ns: u64,
+    /// Mean response time (first dispatch - arrival) of priority >= 2
+    /// tasks ("urgent"), ns.
+    pub urgent_mean_response_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    task: PreemptiveTask,
+    remaining_ns: u64,
+    /// True if the task ran before and must restore its context.
+    saved: bool,
+    /// First-dispatch response recorded?
+    responded: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    pending_idx: usize,
+    exec_start: u64,
+    done_at: u64,
+    priority: u8,
+}
+
+/// Simulate `tasks` on `system` under preemptive priority scheduling.
+///
+/// Configuration-plane costs: a dispatch onto a PRR holding a different
+/// module pays the PRR's bitstream write; resuming a preempted task
+/// additionally pays its context restore; preempting pays the victim's
+/// context save. All serialize on the ICAP.
+pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> PreemptReport {
+    let n_slots = system.prrs.len();
+    let mut slot_free_at = vec![0u64; n_slots];
+    let mut slot_running: Vec<Option<Running>> = vec![None; n_slots];
+    let mut slot_module: Vec<Option<String>> = vec![None; n_slots];
+    let mut icap_free_at = 0u64;
+
+    let mut pending: Vec<Pending> = tasks
+        .iter()
+        .cloned()
+        .map(|task| Pending { remaining_ns: task.exec_ns, task, saved: false, responded: false })
+        .collect();
+    pending.sort_by_key(|p| (p.task.arrival_ns, p.task.id));
+
+    let mut waiting: Vec<usize> = Vec::new(); // indices into pending
+    let mut next_arrival = 0usize;
+    let mut report = PreemptReport {
+        completed: 0,
+        makespan_ns: 0,
+        preemptions: 0,
+        reconfigurations: 0,
+        context_transfers: 0,
+        context_switch_ns: 0,
+        icap_busy_ns: 0,
+        urgent_mean_response_ns: 0,
+    };
+    let mut urgent_responses: Vec<u64> = Vec::new();
+    let mut now = 0u64;
+
+    loop {
+        // Admit arrivals.
+        while next_arrival < pending.len() && pending[next_arrival].task.arrival_ns <= now {
+            waiting.push(next_arrival);
+            next_arrival += 1;
+        }
+        // Retire completed tasks.
+        for slot in slot_running.iter_mut() {
+            if let Some(run) = slot {
+                if run.done_at <= now {
+                    report.completed += 1;
+                    report.makespan_ns = report.makespan_ns.max(run.done_at);
+                    *slot = None;
+                }
+            }
+        }
+
+        // Dispatch: highest priority first, FIFO within priority.
+        waiting.sort_by_key(|&i| (std::cmp::Reverse(pending[i].task.priority), pending[i].task.arrival_ns, pending[i].task.id));
+        loop {
+            let Some(pos) = waiting.iter().position(|&i| {
+                (0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs))
+            }) else {
+                // Drop unservable tasks.
+                if !waiting.is_empty()
+                    && waiting.iter().all(|&i| {
+                        !(0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs))
+                    })
+                {
+                    waiting.clear();
+                }
+                break;
+            };
+            let pi = waiting[pos];
+            let prio = pending[pi].task.priority;
+
+            // Free fitting PRR?
+            let free = (0..n_slots).find(|&s| {
+                slot_free_at[s] <= now
+                    && slot_running[s].is_none()
+                    && system.prrs[s].fits(&pending[pi].task.needs)
+            });
+            let slot = match free {
+                Some(s) => Some(s),
+                None => {
+                    // Preempt the lowest-priority strictly-lower victim.
+                    (0..n_slots)
+                        .filter(|&s| {
+                            system.prrs[s].fits(&pending[pi].task.needs)
+                                && slot_running[s]
+                                    .as_ref()
+                                    .is_some_and(|r| r.priority < prio && r.done_at > now)
+                        })
+                        .min_by_key(|&s| slot_running[s].as_ref().map(|r| r.priority))
+                }
+            };
+            let Some(s) = slot else { break };
+
+            // If preempting, save the victim's context first.
+            let mut t = now.max(icap_free_at);
+            if let Some(victim) = slot_running[s].take() {
+                let ctx = context_cost(&system.prrs[s].organization);
+                let save_ns =
+                    ctx.save_time(&system.icap).as_nanos() as u64;
+                let ran = t.saturating_sub(victim.exec_start);
+                let vi = victim.pending_idx;
+                pending[vi].remaining_ns = pending[vi].remaining_ns.saturating_sub(ran);
+                pending[vi].saved = true;
+                waiting.push(vi);
+                t += save_ns;
+                report.preemptions += 1;
+                report.context_transfers += 1;
+                report.context_switch_ns += save_ns;
+                report.icap_busy_ns += save_ns;
+            }
+
+            // Bitstream write if the module differs, restore if resuming.
+            let needs_write = slot_module[s].as_deref() != Some(pending[pi].task.module.as_str());
+            if needs_write {
+                let w = system.reconfig_ns(&system.prrs[s]);
+                t += w;
+                report.reconfigurations += 1;
+                report.icap_busy_ns += w;
+                slot_module[s] = Some(pending[pi].task.module.clone());
+            }
+            if pending[pi].saved {
+                let ctx = context_cost(&system.prrs[s].organization);
+                let r = ctx.restore_time(&system.icap).as_nanos() as u64;
+                t += r;
+                report.context_transfers += 1;
+                report.context_switch_ns += r;
+                report.icap_busy_ns += r;
+            }
+            icap_free_at = t;
+
+            if !pending[pi].responded {
+                pending[pi].responded = true;
+                if pending[pi].task.priority >= 2 {
+                    urgent_responses.push(t - pending[pi].task.arrival_ns);
+                }
+            }
+            let done = t + pending[pi].remaining_ns;
+            slot_running[s] = Some(Running {
+                pending_idx: pi,
+                exec_start: t,
+                done_at: done,
+                priority: prio,
+            });
+            slot_free_at[s] = done;
+            waiting.remove(
+                waiting.iter().position(|&i| i == pi).expect("pi is waiting"),
+            );
+        }
+
+        // Advance the clock.
+        let mut next = u64::MAX;
+        if next_arrival < pending.len() {
+            next = next.min(pending[next_arrival].task.arrival_ns);
+        }
+        for run in slot_running.iter().flatten() {
+            if run.done_at > now {
+                next = next.min(run.done_at);
+            }
+        }
+        if !waiting.is_empty() && icap_free_at > now {
+            next = next.min(icap_free_at);
+        }
+        if next == u64::MAX {
+            break;
+        }
+        now = next;
+    }
+
+    if !urgent_responses.is_empty() {
+        report.urgent_mean_response_ns =
+            urgent_responses.iter().sum::<u64>() / urgent_responses.len() as u64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::PrSystem;
+    use bitstream::IcapModel;
+    use fabric::{database::xc5vlx110t, Family};
+    use prcost::PrrOrganization;
+
+    fn system(prrs: u32) -> PrSystem {
+        let org = PrrOrganization {
+            family: Family::Virtex5,
+            height: 1,
+            clb_cols: 4,
+            dsp_cols: 0,
+            bram_cols: 0,
+        };
+        PrSystem::homogeneous(&xc5vlx110t(), org, prrs, IcapModel::V5_DMA).unwrap()
+    }
+
+    fn task(id: u32, module: &str, arrival: u64, exec: u64, priority: u8) -> PreemptiveTask {
+        PreemptiveTask {
+            id,
+            module: module.into(),
+            needs: Resources::new(40, 0, 0),
+            arrival_ns: arrival,
+            exec_ns: exec,
+            priority,
+        }
+    }
+
+    #[test]
+    fn no_preemption_without_priority_inversion() {
+        let sys = system(1);
+        let r = simulate_preemptive(
+            &sys,
+            &[task(0, "a", 0, 1_000, 1), task(1, "b", 10, 1_000, 1)],
+        );
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.preemptions, 0, "equal priority never preempts");
+        assert_eq!(r.reconfigurations, 2);
+    }
+
+    #[test]
+    fn urgent_task_preempts_and_victim_resumes() {
+        let sys = system(1);
+        // Long low-priority task; urgent task arrives mid-flight.
+        let r = simulate_preemptive(
+            &sys,
+            &[task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)],
+        );
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.context_transfers, 2, "one save + one restore");
+        // The victim resumed: total work conserved, makespan covers both.
+        assert!(r.makespan_ns > 10_000_000);
+        // Urgent response is bounded by save + write, far below waiting
+        // out the 10 ms background task.
+        assert!(r.urgent_mean_response_ns < 1_000_000, "{}", r.urgent_mean_response_ns);
+    }
+
+    #[test]
+    fn preemption_work_is_conserved() {
+        let sys = system(1);
+        let r = simulate_preemptive(
+            &sys,
+            &[
+                task(0, "bg", 0, 5_000_000, 0),
+                task(1, "rt1", 500_000, 100_000, 2),
+                task(2, "rt2", 2_000_000, 100_000, 3),
+            ],
+        );
+        assert_eq!(r.completed, 3);
+        assert!(r.preemptions >= 2);
+        // Makespan >= sum of exec (single PRR) — nothing vanishes.
+        assert!(r.makespan_ns >= 5_200_000);
+    }
+
+    #[test]
+    fn two_prrs_avoid_preemption_when_possible() {
+        let sys = system(2);
+        let r = simulate_preemptive(
+            &sys,
+            &[task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)],
+        );
+        assert_eq!(r.preemptions, 0, "free PRR available, no need to preempt");
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn unservable_tasks_are_dropped() {
+        let sys = system(1);
+        let mut big = task(0, "huge", 0, 1_000, 3);
+        big.needs = Resources::new(100_000, 0, 0);
+        let r = simulate_preemptive(&sys, &[big, task(1, "a", 0, 1_000, 0)]);
+        assert_eq!(r.completed, 1);
+    }
+
+    /// Context-switch overhead scales with the PRR organization — the
+    /// paper's size/bitstream trade shows up in preemption latency too.
+    #[test]
+    fn bigger_prrs_pay_bigger_context_switches() {
+        let small_sys = system(1);
+        let big_org = PrrOrganization {
+            family: Family::Virtex5,
+            height: 4,
+            clb_cols: 8,
+            dsp_cols: 0,
+            bram_cols: 0,
+        };
+        let big_sys =
+            PrSystem::homogeneous(&xc5vlx110t(), big_org, 1, IcapModel::V5_DMA).unwrap();
+        let tasks =
+            [task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)];
+        let small = simulate_preemptive(&small_sys, &tasks);
+        let big = simulate_preemptive(&big_sys, &tasks);
+        assert!(big.context_switch_ns > small.context_switch_ns);
+    }
+}

@@ -1,0 +1,185 @@
+//! PRR selection policies.
+
+use crate::system::PrrSlot;
+use crate::task::HwTask;
+
+/// Runtime state of one PRR the scheduler can inspect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrrState {
+    /// Whether a task is currently executing (or the slot is mid-reconfig).
+    pub busy: bool,
+    /// Module currently configured into the PRR, if any.
+    pub loaded_module: Option<String>,
+}
+
+/// A PRR selection policy: pick a free PRR for `task`, or `None` to wait.
+pub trait Scheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Choose among the indices of free, fitting PRRs. `candidates` is
+    /// never empty.
+    fn choose(
+        &self,
+        task: &HwTask,
+        candidates: &[usize],
+        slots: &[PrrSlot],
+        states: &[PrrState],
+    ) -> usize;
+}
+
+/// First fit: lowest-id free PRR that fits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn choose(
+        &self,
+        _task: &HwTask,
+        candidates: &[usize],
+        _slots: &[PrrSlot],
+        _states: &[PrrState],
+    ) -> usize {
+        candidates[0]
+    }
+}
+
+/// Best fit: the fitting PRR with the fewest spare resources (least
+/// internal fragmentation), measured in CLB-equivalents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+fn spare_cost(task: &HwTask, slot: &PrrSlot) -> u64 {
+    let avail = slot.available();
+    let spare = avail.saturating_sub(&task.needs);
+    // Weight DSP/BRAM columns by their CLB-equivalent area.
+    spare.clb() + spare.dsp() * 3 + spare.bram() * 5
+}
+
+impl Scheduler for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn choose(
+        &self,
+        task: &HwTask,
+        candidates: &[usize],
+        slots: &[PrrSlot],
+        _states: &[PrrState],
+    ) -> usize {
+        *candidates
+            .iter()
+            .min_by_key(|&&i| (spare_cost(task, &slots[i]), i))
+            .expect("candidates is non-empty")
+    }
+}
+
+/// Reuse aware: prefer a free PRR that already holds this task's module
+/// (skipping reconfiguration entirely); fall back to best fit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReuseAware;
+
+impl Scheduler for ReuseAware {
+    fn name(&self) -> &'static str {
+        "reuse-aware"
+    }
+
+    fn choose(
+        &self,
+        task: &HwTask,
+        candidates: &[usize],
+        slots: &[PrrSlot],
+        states: &[PrrState],
+    ) -> usize {
+        if let Some(&hit) = candidates
+            .iter()
+            .find(|&&i| states[i].loaded_module.as_deref() == Some(task.module.as_str()))
+        {
+            return hit;
+        }
+        BestFit.choose(task, candidates, slots, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Family, Resources};
+    use prcost::PrrOrganization;
+
+    fn slot(id: u32, clb_cols: u32) -> PrrSlot {
+        let org = PrrOrganization {
+            family: Family::Virtex5,
+            height: 1,
+            clb_cols,
+            dsp_cols: 0,
+            bram_cols: 0,
+        };
+        PrrSlot {
+            id,
+            organization: org,
+            window: fabric::Window {
+                start_col: id as usize * 10,
+                width: clb_cols,
+                row: 1,
+                height: 1,
+                columns: vec![fabric::ResourceKind::Clb; clb_cols as usize],
+            },
+            bitstream_bytes: prcost::bitstream_size_bytes(&org),
+        }
+    }
+
+    fn task(module: &str, clbs: u64) -> HwTask {
+        HwTask {
+            id: 0,
+            module: module.into(),
+            needs: Resources::new(clbs, 0, 0),
+            arrival_ns: 0,
+            exec_ns: 100,
+        }
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_index() {
+        let slots = vec![slot(0, 8), slot(1, 2)];
+        let states = vec![
+            PrrState { busy: false, loaded_module: None },
+            PrrState { busy: false, loaded_module: None },
+        ];
+        let t = task("m", 10);
+        assert_eq!(FirstFit.choose(&t, &[0, 1], &slots, &states), 0);
+    }
+
+    #[test]
+    fn best_fit_minimizes_spare() {
+        let slots = vec![slot(0, 8), slot(1, 2)];
+        let states = vec![
+            PrrState { busy: false, loaded_module: None },
+            PrrState { busy: false, loaded_module: None },
+        ];
+        // Task needs 30 CLBs: slot 1 (2 cols = 40 CLBs) is tighter than
+        // slot 0 (8 cols = 160 CLBs).
+        let t = task("m", 30);
+        assert_eq!(BestFit.choose(&t, &[0, 1], &slots, &states), 1);
+    }
+
+    #[test]
+    fn reuse_beats_best_fit() {
+        let slots = vec![slot(0, 8), slot(1, 2)];
+        let states = vec![
+            PrrState { busy: false, loaded_module: Some("m".into()) },
+            PrrState { busy: false, loaded_module: None },
+        ];
+        let t = task("m", 30);
+        // Best fit would pick 1; reuse-aware picks 0 (already loaded).
+        assert_eq!(ReuseAware.choose(&t, &[0, 1], &slots, &states), 0);
+        // Different module: falls back to best fit.
+        let other = task("x", 30);
+        assert_eq!(ReuseAware.choose(&other, &[0, 1], &slots, &states), 1);
+    }
+}

@@ -1,0 +1,556 @@
+//! Discrete-event simulation of hardware multitasking.
+//!
+//! Semantics:
+//!
+//! * Tasks arrive at fixed times and queue FIFO.
+//! * Dispatch: when a task is at the head of the queue and a free PRR fits
+//!   it, the scheduler picks one. If the PRR already holds the task's
+//!   module, execution starts immediately (bitstream reuse); otherwise the
+//!   PRR must be reconfigured first.
+//! * Reconfigurations serialize through the single ICAP (the paper: only
+//!   desynchronization "releases the ICAP, which allows other PRRs to be
+//!   reconfigured"); each takes `bitstream_bytes / effective ICAP rate`.
+//!   Crucially the bitstream covers the *whole PRR*, so oversized PRRs pay
+//!   proportionally longer reconfiguration — the paper's core motivation.
+//! * Execution inside one PRR does not block other PRRs (isolated
+//!   reconfiguration).
+
+use crate::sched::{PrrState, Scheduler};
+use crate::system::PrSystem;
+use crate::task::Workload;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Simulation outcome metrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimReport {
+    /// Scheduler used.
+    pub scheduler: &'static str,
+    /// Tasks completed.
+    pub completed: u32,
+    /// Completion time of the last task (ns from start).
+    pub makespan_ns: u64,
+    /// Reconfigurations performed.
+    pub reconfigurations: u32,
+    /// Dispatches that reused an already-loaded module (no reconfig).
+    pub reuse_hits: u32,
+    /// Total time the ICAP spent transferring bitstreams (ns).
+    pub icap_busy_ns: u64,
+    /// Sum of task waiting times: dispatch start - arrival (ns).
+    pub total_wait_ns: u64,
+    /// Sum of task execution times (ns) — invariant under scheduling.
+    pub total_exec_ns: u64,
+}
+
+impl SimReport {
+    /// Mean waiting time per completed task.
+    pub fn mean_wait_ns(&self) -> u64 {
+        if self.completed == 0 {
+            0
+        } else {
+            self.total_wait_ns / u64::from(self.completed)
+        }
+    }
+
+    /// Fraction of dispatches that skipped reconfiguration.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.reconfigurations + self.reuse_hits;
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(self.reuse_hits) / f64::from(total)
+        }
+    }
+}
+
+/// Per-PRR runtime bookkeeping.
+struct SlotRt {
+    free_at: u64,
+    loaded: Option<String>,
+}
+
+/// Simulate `workload` on `system` under `scheduler`.
+///
+/// Tasks that fit no PRR at all are dropped (counted out of `completed`).
+///
+/// ```
+/// use multitask::{simulate, PrSystem, ReuseAware, Workload};
+/// use bitstream::IcapModel;
+/// use fabric::{device_by_name, Family};
+/// use prcost::PrrOrganization;
+///
+/// let device = device_by_name("xc5vsx95t").unwrap();
+/// let org = PrrOrganization {
+///     family: Family::Virtex5, height: 1, clb_cols: 6, dsp_cols: 1, bram_cols: 1,
+/// };
+/// let system = PrSystem::homogeneous(&device, org, 4, IcapModel::V5_DMA).unwrap();
+/// let workload = system.filter_workload(
+///     &Workload::generate(7, Family::Virtex5, 100, 8, 300, 5_000, 100_000),
+/// );
+/// let report = simulate(&system, &workload, &ReuseAware);
+/// assert_eq!(report.completed as usize, workload.tasks.len());
+/// ```
+pub fn simulate(system: &PrSystem, workload: &Workload, scheduler: &dyn Scheduler) -> SimReport {
+    let n_slots = system.prrs.len();
+    let mut rt: Vec<SlotRt> =
+        (0..n_slots).map(|_| SlotRt { free_at: 0, loaded: None }).collect();
+    let mut icap_free_at = 0u64;
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut next_arrival = 0usize;
+    let tasks = &workload.tasks;
+
+    let mut report = SimReport {
+        scheduler: scheduler.name(),
+        completed: 0,
+        makespan_ns: 0,
+        reconfigurations: 0,
+        reuse_hits: 0,
+        icap_busy_ns: 0,
+        total_wait_ns: 0,
+        total_exec_ns: 0,
+    };
+
+    // Event-driven loop over "interesting" times: arrivals and slot/icap
+    // frees. We advance a virtual clock to the earliest time progress can
+    // happen, then dispatch greedily.
+    let mut now = 0u64;
+    loop {
+        // Admit arrivals up to `now`.
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival_ns <= now {
+            queue.push_back(next_arrival);
+            next_arrival += 1;
+        }
+
+        // Dispatch FIFO head(s) while possible.
+        let mut dispatched_any = true;
+        while dispatched_any {
+            dispatched_any = false;
+            if let Some(&ti) = queue.front() {
+                let task = &tasks[ti];
+                let candidates: Vec<usize> = (0..n_slots)
+                    .filter(|&i| rt[i].free_at <= now && system.prrs[i].fits(&task.needs))
+                    .collect();
+                let fits_ever =
+                    (0..n_slots).any(|i| system.prrs[i].fits(&task.needs));
+                if !fits_ever {
+                    // Unservable task: drop it.
+                    queue.pop_front();
+                    dispatched_any = true;
+                    continue;
+                }
+                if !candidates.is_empty() {
+                    let states: Vec<PrrState> = rt
+                        .iter()
+                        .map(|s| PrrState {
+                            busy: s.free_at > now,
+                            loaded_module: s.loaded.clone(),
+                        })
+                        .collect();
+                    let chosen = scheduler.choose(task, &candidates, &system.prrs, &states);
+                    debug_assert!(candidates.contains(&chosen));
+                    queue.pop_front();
+
+                    let reuse = rt[chosen].loaded.as_deref() == Some(task.module.as_str());
+                    let exec_start = if reuse {
+                        report.reuse_hits += 1;
+                        now
+                    } else {
+                        let reconfig = system.reconfig_ns(&system.prrs[chosen]);
+                        let start = now.max(icap_free_at);
+                        icap_free_at = start + reconfig;
+                        report.reconfigurations += 1;
+                        report.icap_busy_ns += reconfig;
+                        rt[chosen].loaded = Some(task.module.clone());
+                        icap_free_at
+                    };
+                    let done = exec_start + task.exec_ns;
+                    rt[chosen].free_at = done;
+                    report.total_wait_ns += exec_start - task.arrival_ns;
+                    report.total_exec_ns += task.exec_ns;
+                    report.completed += 1;
+                    report.makespan_ns = report.makespan_ns.max(done);
+                    dispatched_any = true;
+                }
+            }
+        }
+
+        // Advance the clock to the next event.
+        let mut next = u64::MAX;
+        if next_arrival < tasks.len() {
+            next = next.min(tasks[next_arrival].arrival_ns);
+        }
+        if !queue.is_empty() {
+            for s in &rt {
+                if s.free_at > now {
+                    next = next.min(s.free_at);
+                }
+            }
+            if icap_free_at > now {
+                next = next.min(icap_free_at);
+            }
+        }
+        if next == u64::MAX {
+            break;
+        }
+        now = next;
+    }
+
+    report
+}
+
+/// Simulate the **full-reconfiguration** baseline the paper's introduction
+/// contrasts PR against: the whole device holds one module at a time, a
+/// module switch transfers the *full* bitstream, and — unlike isolated PRR
+/// reconfiguration — nothing executes during the transfer.
+pub fn simulate_full_reconfig(
+    device: &fabric::Device,
+    workload: &Workload,
+    icap: &bitstream::IcapModel,
+) -> SimReport {
+    let full_bytes = prcost::full_bitstream_size_bytes(device);
+    let reconfig = icap.transfer_time(full_bytes).as_nanos() as u64;
+
+    let mut report = SimReport {
+        scheduler: "full-reconfig",
+        completed: 0,
+        makespan_ns: 0,
+        reconfigurations: 0,
+        reuse_hits: 0,
+        icap_busy_ns: 0,
+        total_wait_ns: 0,
+        total_exec_ns: 0,
+    };
+    let mut now = 0u64;
+    let mut loaded: Option<&str> = None;
+    for task in &workload.tasks {
+        now = now.max(task.arrival_ns);
+        if loaded != Some(task.module.as_str()) {
+            now += reconfig;
+            report.reconfigurations += 1;
+            report.icap_busy_ns += reconfig;
+            loaded = Some(task.module.as_str());
+        } else {
+            report.reuse_hits += 1;
+        }
+        report.total_wait_ns += now - task.arrival_ns;
+        now += task.exec_ns;
+        report.total_exec_ns += task.exec_ns;
+        report.completed += 1;
+        report.makespan_ns = report.makespan_ns.max(now);
+    }
+    report
+}
+
+/// Simulate the **static (non-PR)** baseline: every distinct module is
+/// permanently resident side by side, so there is no reconfiguration at
+/// all — but tasks of the same module serialize on its single instance,
+/// and the design only exists if all modules fit the device together.
+/// Returns `None` when the combined resources exceed the device.
+pub fn simulate_static(device: &fabric::Device, workload: &Workload) -> Option<SimReport> {
+    // Capacity check: sum of per-module needs against the whole device.
+    let mut modules: Vec<(&str, fabric::Resources)> = Vec::new();
+    for t in &workload.tasks {
+        if !modules.iter().any(|(m, _)| *m == t.module.as_str()) {
+            modules.push((t.module.as_str(), t.needs));
+        }
+    }
+    let total: fabric::Resources = modules.iter().map(|(_, r)| *r).sum();
+    if !device.total_resources().covers(&total) {
+        return None;
+    }
+
+    let mut report = SimReport {
+        scheduler: "static",
+        completed: 0,
+        makespan_ns: 0,
+        reconfigurations: 0,
+        reuse_hits: 0,
+        icap_busy_ns: 0,
+        total_wait_ns: 0,
+        total_exec_ns: 0,
+    };
+    let mut free_at: Vec<(&str, u64)> = modules.iter().map(|(m, _)| (*m, 0u64)).collect();
+    for task in &workload.tasks {
+        let slot = free_at
+            .iter_mut()
+            .find(|(m, _)| *m == task.module.as_str())
+            .expect("module registered above");
+        let start = task.arrival_ns.max(slot.1);
+        let done = start + task.exec_ns;
+        slot.1 = done;
+        report.total_wait_ns += start - task.arrival_ns;
+        report.total_exec_ns += task.exec_ns;
+        report.completed += 1;
+        report.makespan_ns = report.makespan_ns.max(done);
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{BestFit, FirstFit, ReuseAware};
+    use crate::system::PrSystem;
+    use crate::task::HwTask;
+    use bitstream::IcapModel;
+    use fabric::database::xc5vlx110t;
+    use fabric::{Family, Resources};
+    use prcost::PrrOrganization;
+
+    fn org(h: u32, clb: u32) -> PrrOrganization {
+        PrrOrganization {
+            family: Family::Virtex5,
+            height: h,
+            clb_cols: clb,
+            dsp_cols: 0,
+            bram_cols: 0,
+        }
+    }
+
+    fn mixed_org(h: u32, clb: u32, dsp: u32, bram: u32) -> PrrOrganization {
+        PrrOrganization { family: Family::Virtex5, height: h, clb_cols: clb, dsp_cols: dsp, bram_cols: bram }
+    }
+
+    fn simple_system(prrs: u32) -> PrSystem {
+        PrSystem::homogeneous(&xc5vlx110t(), org(1, 4), prrs, IcapModel::V5_DMA).unwrap()
+    }
+
+    /// PRRs with CLB+DSP+BRAM columns on the DSP-rich SX95T, so the random
+    /// workload generator's mixed-resource tasks are servable.
+    fn mixed_system(prrs: u32, h: u32, clb: u32, dsp: u32, bram: u32) -> PrSystem {
+        let device = fabric::device_by_name("xc5vsx95t").unwrap();
+        PrSystem::homogeneous(&device, mixed_org(h, clb, dsp, bram), prrs, IcapModel::V5_DMA)
+            .unwrap()
+    }
+
+    fn task(id: u32, module: &str, arrival: u64, exec: u64) -> HwTask {
+        HwTask {
+            id,
+            module: module.into(),
+            needs: Resources::new(40, 0, 0),
+            arrival_ns: arrival,
+            exec_ns: exec,
+        }
+    }
+
+    #[test]
+    fn single_task_timeline() {
+        let sys = simple_system(1);
+        let w = Workload::new(vec![task(0, "a", 0, 1000)]);
+        let r = simulate(&sys, &w, &FirstFit);
+        let reconfig = sys.reconfig_ns(&sys.prrs[0]);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.reconfigurations, 1);
+        assert_eq!(r.makespan_ns, reconfig + 1000);
+        assert_eq!(r.total_wait_ns, reconfig);
+    }
+
+    #[test]
+    fn reuse_skips_reconfiguration() {
+        let sys = simple_system(1);
+        let w = Workload::new(vec![task(0, "a", 0, 100), task(1, "a", 0, 100)]);
+        let r = simulate(&sys, &w, &ReuseAware);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.reconfigurations, 1);
+        assert_eq!(r.reuse_hits, 1);
+        assert!(r.reuse_rate() > 0.49);
+    }
+
+    #[test]
+    fn different_modules_force_reconfiguration() {
+        let sys = simple_system(1);
+        let w = Workload::new(vec![task(0, "a", 0, 100), task(1, "b", 0, 100)]);
+        let r = simulate(&sys, &w, &ReuseAware);
+        assert_eq!(r.reconfigurations, 2);
+        assert_eq!(r.reuse_hits, 0);
+    }
+
+    #[test]
+    fn icap_serializes_reconfigurations() {
+        let sys = simple_system(2);
+        // Two tasks, two PRRs: both need reconfig; the second must wait for
+        // the ICAP even though its PRR is free.
+        let w = Workload::new(vec![task(0, "a", 0, 10), task(1, "b", 0, 10)]);
+        let r = simulate(&sys, &w, &FirstFit);
+        let reconfig = sys.reconfig_ns(&sys.prrs[0]);
+        assert_eq!(r.reconfigurations, 2);
+        assert_eq!(r.makespan_ns, 2 * reconfig + 10);
+        assert_eq!(r.icap_busy_ns, 2 * reconfig);
+    }
+
+    #[test]
+    fn unservable_tasks_are_dropped() {
+        let sys = simple_system(1);
+        let mut t = task(0, "huge", 0, 10);
+        t.needs = Resources::new(10_000, 0, 0);
+        let w = Workload::new(vec![t, task(1, "a", 0, 10)]);
+        let r = simulate(&sys, &w, &FirstFit);
+        assert_eq!(r.completed, 1);
+    }
+
+    /// For an execution-bound workload (execution time >> reconfiguration
+    /// time) more PRRs increase parallelism and shrink makespan. Note this
+    /// is NOT true for ICAP-bound workloads, where extra PRRs just cause
+    /// extra serialized reconfigurations — exactly the paper's warning
+    /// that bad PR sizing decisions can underperform.
+    #[test]
+    fn more_prrs_help_execution_bound_workloads() {
+        let sys2 = mixed_system(2, 1, 6, 1, 1);
+        let sys6 = mixed_system(6, 1, 6, 1, 1);
+        let wl = sys2.filter_workload(&Workload::generate(
+            5,
+            Family::Virtex5,
+            60,
+            6,
+            250,
+            1_000,
+            3_000_000,
+        ));
+        assert!(wl.tasks.len() >= 10, "servable tasks: {}", wl.tasks.len());
+        let r1 = simulate(&sys2, &wl, &BestFit);
+        let r2 = simulate(&sys6, &wl, &BestFit);
+        assert_eq!(r1.completed as usize, wl.tasks.len());
+        assert!(r2.makespan_ns <= r1.makespan_ns, "6 PRRs {} vs 2 PRRs {}", r2.makespan_ns, r1.makespan_ns);
+    }
+
+    /// The paper's core motivation: oversizing the PRR inflates the
+    /// bitstream and reconfiguration time, degrading makespan for the same
+    /// workload.
+    #[test]
+    fn oversized_prrs_degrade_makespan() {
+        let right = mixed_system(4, 1, 6, 1, 1);
+        let oversized = mixed_system(4, 2, 12, 2, 2);
+        let wl = right.filter_workload(&Workload::generate(
+            7,
+            Family::Virtex5,
+            80,
+            8,
+            250,
+            1_000,
+            5_000,
+        ));
+        assert!(wl.tasks.len() >= 10, "servable tasks: {}", wl.tasks.len());
+        let r1 = simulate(&right, &wl, &BestFit);
+        let r2 = simulate(&oversized, &wl, &BestFit);
+        assert!(
+            r2.makespan_ns > r1.makespan_ns,
+            "oversized {} vs right-sized {}",
+            r2.makespan_ns,
+            r1.makespan_ns
+        );
+        assert!(r2.icap_busy_ns > r1.icap_busy_ns);
+    }
+
+    #[test]
+    fn exec_time_is_conserved_across_schedulers() {
+        let sys = mixed_system(4, 1, 6, 1, 1);
+        let wl = sys.filter_workload(&Workload::generate(
+            13,
+            Family::Virtex5,
+            100,
+            8,
+            250,
+            1_000,
+            10_000,
+        ));
+        assert!(wl.tasks.len() >= 10);
+        let a = simulate(&sys, &wl, &FirstFit);
+        let b = simulate(&sys, &wl, &BestFit);
+        let c = simulate(&sys, &wl, &ReuseAware);
+        assert_eq!(a.total_exec_ns, b.total_exec_ns);
+        assert_eq!(b.total_exec_ns, c.total_exec_ns);
+        assert_eq!(a.completed, c.completed);
+    }
+
+    #[test]
+    fn reuse_aware_beats_first_fit_on_repetitive_workloads() {
+        let sys = mixed_system(4, 1, 6, 1, 1);
+        // Heavily repetitive: few modules, many tasks.
+        let wl = sys.filter_workload(&Workload::generate(
+            21,
+            Family::Virtex5,
+            120,
+            3,
+            250,
+            500,
+            2_000,
+        ));
+        assert!(wl.tasks.len() >= 10, "servable tasks: {}", wl.tasks.len());
+        let ff = simulate(&sys, &wl, &FirstFit);
+        let ra = simulate(&sys, &wl, &ReuseAware);
+        assert!(ra.reuse_hits >= ff.reuse_hits);
+        assert!(ra.makespan_ns <= ff.makespan_ns);
+    }
+
+    #[test]
+    fn full_reconfig_pays_per_module_switch() {
+        let device = xc5vlx110t();
+        let w = Workload::new(vec![
+            task(0, "a", 0, 100),
+            task(1, "a", 0, 100),
+            task(2, "b", 0, 100),
+        ]);
+        let r = simulate_full_reconfig(&device, &w, &IcapModel::V5_DMA);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.reconfigurations, 2, "a then b");
+        assert_eq!(r.reuse_hits, 1);
+        let full = prcost::full_bitstream_size_bytes(&device);
+        let t_full = IcapModel::V5_DMA.transfer_time(full).as_nanos() as u64;
+        assert_eq!(r.makespan_ns, 2 * t_full + 300);
+    }
+
+    #[test]
+    fn static_system_has_zero_reconfig_but_serializes_per_module() {
+        let device = xc5vlx110t();
+        let w = Workload::new(vec![
+            task(0, "a", 0, 100),
+            task(1, "a", 0, 100),
+            task(2, "b", 0, 100),
+        ]);
+        let r = simulate_static(&device, &w).expect("3 small modules fit");
+        assert_eq!(r.reconfigurations, 0);
+        assert_eq!(r.icap_busy_ns, 0);
+        // Two "a" tasks serialize; "b" runs in parallel.
+        assert_eq!(r.makespan_ns, 200);
+    }
+
+    #[test]
+    fn static_system_rejects_oversubscribed_module_sets() {
+        let device = xc5vlx110t();
+        // 200 distinct modules of 100 CLBs each = 20,000 CLBs > 8640.
+        let tasks: Vec<HwTask> = (0..200)
+            .map(|i| HwTask {
+                id: i,
+                module: format!("m{i}"),
+                needs: Resources::new(100, 0, 0),
+                arrival_ns: 0,
+                exec_ns: 10,
+            })
+            .collect();
+        assert!(simulate_static(&device, &Workload::new(tasks)).is_none());
+    }
+
+    /// The paper's headline warning, inverted: with partial bitstreams the
+    /// PR system beats full reconfiguration by roughly the full/partial
+    /// bitstream ratio on reconfiguration-bound workloads.
+    #[test]
+    fn pr_beats_full_reconfiguration() {
+        let device = xc5vlx110t();
+        let sys = PrSystem::homogeneous(&device, org(1, 4), 4, IcapModel::V5_DMA).unwrap();
+        let w = Workload::new(
+            (0..40)
+                .map(|i| task(i, ["a", "b", "c", "d"][(i % 4) as usize], 0, 1_000))
+                .collect(),
+        );
+        let pr = simulate(&sys, &w, &ReuseAware);
+        let full = simulate_full_reconfig(&device, &w, &IcapModel::V5_DMA);
+        assert_eq!(pr.completed, full.completed);
+        assert!(
+            pr.makespan_ns * 5 < full.makespan_ns,
+            "PR {} vs full {}",
+            pr.makespan_ns,
+            full.makespan_ns
+        );
+    }
+}

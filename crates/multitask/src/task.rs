@@ -1,0 +1,179 @@
+//! Hardware tasks and workload generation.
+
+use fabric::{Family, Resources};
+use serde::{Deserialize, Serialize};
+use synth::prm::GenericPrm;
+use synth::{PrmGenerator, SynthReport};
+
+/// One hardware task instance: a PRM plus its runtime behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwTask {
+    /// Task id (unique within a workload).
+    pub id: u32,
+    /// Module name — tasks with equal names share partial bitstreams, so a
+    /// PRR already holding the module needs no reconfiguration.
+    pub module: String,
+    /// Fabric resources the task needs inside its PRR.
+    pub needs: Resources,
+    /// Arrival time, nanoseconds from simulation start.
+    pub arrival_ns: u64,
+    /// Pure execution time once configured, nanoseconds.
+    pub exec_ns: u64,
+}
+
+impl HwTask {
+    /// Build a task from a synthesis report.
+    pub fn from_report(id: u32, report: &SynthReport, arrival_ns: u64, exec_ns: u64) -> Self {
+        let lut_clb = u64::from(report.family.params().lut_clb);
+        HwTask {
+            id,
+            module: report.module.clone(),
+            needs: Resources::new(
+                report.lut_ff_pairs.div_ceil(lut_clb),
+                report.dsps,
+                report.brams,
+            ),
+            arrival_ns,
+            exec_ns,
+        }
+    }
+}
+
+/// A deterministic stream of hardware tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// All tasks, sorted by arrival time.
+    pub tasks: Vec<HwTask>,
+}
+
+impl Workload {
+    /// Wrap an explicit task list (sorts by arrival).
+    pub fn new(mut tasks: Vec<HwTask>) -> Self {
+        tasks.sort_by_key(|t| (t.arrival_ns, t.id));
+        Workload { tasks }
+    }
+
+    /// Generate `n` task instances drawn from a pool of `modules` distinct
+    /// synthetic PRMs (scale controls resource footprints), with Poisson-ish
+    /// arrivals of mean `mean_interarrival_ns` and executions of mean
+    /// `mean_exec_ns`. Fully deterministic in `seed`.
+    pub fn generate(
+        seed: u64,
+        family: Family,
+        n: u32,
+        modules: u32,
+        scale: u32,
+        mean_interarrival_ns: u64,
+        mean_exec_ns: u64,
+    ) -> Self {
+        let modules = modules.max(1);
+        let pool: Vec<SynthReport> = (0..modules)
+            .map(|m| GenericPrm::random(seed.wrapping_add(u64::from(m) * 7919), scale)
+                .synthesize(family))
+            .collect();
+
+        let mut rng = Rng(seed | 1);
+        let mut t = 0u64;
+        let mut tasks = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            let report = &pool[rng.below(u64::from(modules)) as usize];
+            t += rng.exp(mean_interarrival_ns);
+            let exec = rng.exp(mean_exec_ns).max(1);
+            tasks.push(HwTask::from_report(id, report, t, exec));
+        }
+        Workload::new(tasks)
+    }
+
+    /// Largest per-kind requirement over all tasks (what a single shared
+    /// PRR must provide).
+    pub fn max_needs(&self) -> Resources {
+        self.tasks
+            .iter()
+            .fold(Resources::ZERO, |acc, t| acc.max(&t.needs))
+    }
+
+    /// Distinct module names in the workload.
+    pub fn module_count(&self) -> usize {
+        let mut names: Vec<&str> = self.tasks.iter().map(|t| t.module.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+/// Minimal deterministic RNG (splitmix64 + exponential sampling).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    /// Exponentially distributed sample with the given mean.
+    fn exp(&mut self, mean: u64) -> u64 {
+        let u = ((self.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        (-(u.ln()) * mean as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let a = Workload::generate(9, Family::Virtex5, 100, 8, 800, 10_000, 50_000);
+        let b = Workload::generate(9, Family::Virtex5, 100, 8, 800, 10_000, 50_000);
+        assert_eq!(a, b);
+        assert!(a.tasks.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert_eq!(a.tasks.len(), 100);
+    }
+
+    #[test]
+    fn module_pool_is_respected() {
+        let w = Workload::generate(3, Family::Virtex5, 200, 5, 600, 1000, 1000);
+        assert!(w.module_count() <= 5);
+        assert!(w.module_count() >= 2, "several modules should appear");
+    }
+
+    #[test]
+    fn from_report_derives_clb_need_with_ceiling() {
+        let r = SynthReport::new("m", Family::Virtex5, 9, 9, 0, 2, 1);
+        let t = HwTask::from_report(0, &r, 0, 100);
+        assert_eq!(t.needs.clb(), 2); // ceil(9/8)
+        assert_eq!(t.needs.dsp(), 2);
+        assert_eq!(t.needs.bram(), 1);
+    }
+
+    #[test]
+    fn max_needs_is_componentwise() {
+        let r1 = SynthReport::new("a", Family::Virtex5, 80, 80, 0, 4, 0);
+        let r2 = SynthReport::new("b", Family::Virtex5, 16, 16, 0, 0, 3);
+        let w = Workload::new(vec![
+            HwTask::from_report(0, &r1, 0, 1),
+            HwTask::from_report(1, &r2, 0, 1),
+        ]);
+        let m = w.max_needs();
+        assert_eq!((m.clb(), m.dsp(), m.bram()), (10, 4, 3));
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_parameter() {
+        let w = Workload::generate(11, Family::Virtex5, 2000, 4, 500, 10_000, 1);
+        let last = w.tasks.last().unwrap().arrival_ns;
+        let mean = last as f64 / 2000.0;
+        assert!((5_000.0..20_000.0).contains(&mean), "mean interarrival {mean}");
+    }
+}

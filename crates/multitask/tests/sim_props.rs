@@ -1,0 +1,134 @@
+//! Property tests for the multitasking simulators: conservation laws that
+//! must hold for any workload and any scheduler.
+
+use bitstream::IcapModel;
+use fabric::{device_by_name, Family, Resources};
+use multitask::{
+    simulate, simulate_full_reconfig, simulate_preemptive, simulate_static, BestFit, FirstFit,
+    HwTask, PreemptiveTask, PrSystem, ReuseAware, Scheduler, Workload,
+};
+use prcost::PrrOrganization;
+use proptest::prelude::*;
+
+fn system(prrs: u32, h: u32) -> PrSystem {
+    let device = device_by_name("xc5vsx95t").unwrap();
+    let org = PrrOrganization {
+        family: Family::Virtex5,
+        height: h,
+        clb_cols: 6,
+        dsp_cols: 1,
+        bram_cols: 1,
+    };
+    PrSystem::homogeneous(&device, org, prrs, IcapModel::V5_DMA).unwrap()
+}
+
+fn arb_tasks() -> impl Strategy<Value = Vec<HwTask>> {
+    proptest::collection::vec(
+        (0u64..1_000_000, 1u64..500_000, 0u64..130, 0u64..10, 0u64..5, 0u8..4),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (arrival, exec, clb, dsp, bram, module))| HwTask {
+                id: i as u32,
+                module: format!("m{module}"),
+                needs: Resources::new(clb, dsp, bram),
+                arrival_ns: arrival,
+                exec_ns: exec,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: completed counts and executed time equal the servable
+    /// subset, independent of scheduler; makespan bounds hold.
+    #[test]
+    fn conservation_laws(tasks in arb_tasks(), prrs in 1u32..5) {
+        let sys = system(prrs, 1);
+        let wl = Workload::new(tasks);
+        let servable: Vec<&HwTask> = wl
+            .tasks
+            .iter()
+            .filter(|t| sys.prrs.iter().any(|p| p.fits(&t.needs)))
+            .collect();
+        let servable_exec: u64 = servable.iter().map(|t| t.exec_ns).sum();
+
+        let schedulers: [&dyn Scheduler; 3] = [&FirstFit, &BestFit, &ReuseAware];
+        for sched in schedulers {
+            let r = simulate(&sys, &wl, sched);
+            prop_assert_eq!(r.completed as usize, servable.len(), "{}", sched.name());
+            prop_assert_eq!(r.total_exec_ns, servable_exec);
+            // Makespan is at least the longest servable execution and at
+            // least the reconfiguration of anything that ran.
+            if let Some(max_exec) = servable.iter().map(|t| t.exec_ns).max() {
+                prop_assert!(r.makespan_ns >= max_exec);
+            }
+            prop_assert!(r.reconfigurations + r.reuse_hits == r.completed);
+        }
+    }
+
+    /// The full-reconfiguration baseline completes everything (the whole
+    /// device hosts any module) and never beats a single-PRR PR system's
+    /// reconfiguration bill per switch.
+    #[test]
+    fn full_reconfig_baseline_invariants(tasks in arb_tasks()) {
+        let device = device_by_name("xc5vsx95t").unwrap();
+        let wl = Workload::new(tasks);
+        let r = simulate_full_reconfig(&device, &wl, &IcapModel::V5_DMA);
+        prop_assert_eq!(r.completed as usize, wl.tasks.len());
+        prop_assert_eq!(r.reconfigurations + r.reuse_hits, r.completed);
+        let full = prcost::full_bitstream_size_bytes(&device);
+        let per_switch = IcapModel::V5_DMA.transfer_time(full).as_nanos() as u64;
+        prop_assert_eq!(r.icap_busy_ns, u64::from(r.reconfigurations) * per_switch);
+    }
+
+    /// The static baseline, when it exists, completes everything with zero
+    /// configuration traffic and a makespan no smaller than the busiest
+    /// module's total work.
+    #[test]
+    fn static_baseline_invariants(tasks in arb_tasks()) {
+        let device = device_by_name("xc5vsx95t").unwrap();
+        let wl = Workload::new(tasks);
+        if let Some(r) = simulate_static(&device, &wl) {
+            prop_assert_eq!(r.completed as usize, wl.tasks.len());
+            prop_assert_eq!(r.icap_busy_ns, 0);
+            let mut per_module: std::collections::BTreeMap<&str, u64> = Default::default();
+            for t in &wl.tasks {
+                *per_module.entry(t.module.as_str()).or_default() += t.exec_ns;
+            }
+            let busiest = per_module.values().copied().max().unwrap_or(0);
+            prop_assert!(r.makespan_ns >= busiest);
+        }
+    }
+
+    /// Preemptive simulation completes every servable task exactly once,
+    /// and context transfers come in save/restore pairs bounded by
+    /// preemption count.
+    #[test]
+    fn preemptive_invariants(tasks in arb_tasks(), prrs in 1u32..4) {
+        let sys = system(prrs, 1);
+        let ptasks: Vec<PreemptiveTask> = tasks
+            .iter()
+            .map(|t| PreemptiveTask {
+                id: t.id,
+                module: t.module.clone(),
+                needs: t.needs,
+                arrival_ns: t.arrival_ns,
+                exec_ns: t.exec_ns,
+                priority: (t.id % 4) as u8,
+            })
+            .collect();
+        let servable = ptasks
+            .iter()
+            .filter(|t| sys.prrs.iter().any(|p| p.fits(&t.needs)))
+            .count();
+        let r = simulate_preemptive(&sys, &ptasks);
+        prop_assert_eq!(r.completed as usize, servable);
+        prop_assert_eq!(r.context_transfers, 2 * r.preemptions);
+        prop_assert!(r.icap_busy_ns >= r.context_switch_ns);
+    }
+}

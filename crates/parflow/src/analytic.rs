@@ -1,0 +1,232 @@
+//! Analytic (force-directed) placement: the classic quadratic alternative
+//! to simulated annealing.
+//!
+//! Each cell iteratively moves to the weighted centroid of its nets'
+//! other pins (Jacobi relaxation of the quadratic wirelength objective),
+//! then the continuous solution is legalized by snapping cells to free
+//! slots of their kind in centroid order. Much faster than annealing at
+//! somewhat higher wirelength — the `flow_stages` bench and the placer
+//! comparison test quantify the trade.
+
+use crate::place::{slots_in_window, PlaceError, Placement};
+use fabric::grid::SiteGrid;
+use fabric::{ResourceKind, Window};
+use synth::{CellKind, Netlist};
+
+/// Iterations of Jacobi relaxation before legalization.
+const RELAX_ITERS: usize = 24;
+
+fn cell_kind(kind: CellKind) -> ResourceKind {
+    match kind {
+        CellKind::Slice { .. } => ResourceKind::Clb,
+        CellKind::Dsp => ResourceKind::Dsp,
+        CellKind::Bram => ResourceKind::Bram,
+    }
+}
+
+/// Place `netlist` into `window` with force-directed relaxation followed
+/// by nearest-slot legalization.
+pub fn place_analytic(
+    netlist: &Netlist,
+    grid: &SiteGrid<'_>,
+    window: &Window,
+    seed: u64,
+) -> Result<Placement, PlaceError> {
+    let slots = slots_in_window(grid, window);
+
+    // Capacity check per kind (same contract as the annealer).
+    let mut kind_slots: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, s) in slots.iter().enumerate() {
+        let pool = match s.kind {
+            ResourceKind::Clb => 0,
+            ResourceKind::Dsp => 1,
+            ResourceKind::Bram => 2,
+            _ => continue,
+        };
+        kind_slots[pool].push(i as u32);
+    }
+    let mut need = [0u64; 3];
+    for c in &netlist.cells {
+        let pool = match cell_kind(c.kind) {
+            ResourceKind::Clb => 0,
+            ResourceKind::Dsp => 1,
+            _ => 2,
+        };
+        need[pool] += 1;
+    }
+    for (pool, kind) in [(0, ResourceKind::Clb), (1, ResourceKind::Dsp), (2, ResourceKind::Bram)] {
+        if need[pool] > kind_slots[pool].len() as u64 {
+            return Err(PlaceError::Insufficient {
+                kind,
+                need: need[pool],
+                have: kind_slots[pool].len() as u64,
+            });
+        }
+    }
+
+    // Continuous coordinates, seeded deterministically across the window.
+    let n = netlist.cells.len();
+    let (c0, c1) = (window.start_col as f64, window.end_col() as f64);
+    let mut xs: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            c0 + (h >> 40) as f64 / (1u64 << 24) as f64 * (c1 - c0)
+        })
+        .collect();
+    let mut ys: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64 ^ 0xABCD).wrapping_mul(seed | 3).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (h >> 40) as f64 / (1u64 << 24) as f64 * f64::from(window.height * 20)
+        })
+        .collect();
+
+    // Jacobi relaxation toward net centroids.
+    let mut nx = vec![0f64; n];
+    let mut ny = vec![0f64; n];
+    let mut wsum = vec![0f64; n];
+    for _ in 0..RELAX_ITERS {
+        nx.iter_mut().for_each(|v| *v = 0.0);
+        ny.iter_mut().for_each(|v| *v = 0.0);
+        wsum.iter_mut().for_each(|v| *v = 0.0);
+        for net in &netlist.nets {
+            let k = net.pins.len() as f64;
+            if k < 2.0 {
+                continue;
+            }
+            let cx: f64 = net.pins.iter().map(|&p| xs[p as usize]).sum::<f64>() / k;
+            let cy: f64 = net.pins.iter().map(|&p| ys[p as usize]).sum::<f64>() / k;
+            let w = 1.0 / (k - 1.0);
+            for &p in &net.pins {
+                nx[p as usize] += cx * w;
+                ny[p as usize] += cy * w;
+                wsum[p as usize] += w;
+            }
+        }
+        for i in 0..n {
+            if wsum[i] > 0.0 {
+                xs[i] = 0.5 * xs[i] + 0.5 * (nx[i] / wsum[i]);
+                ys[i] = 0.5 * ys[i] + 0.5 * (ny[i] / wsum[i]);
+            }
+        }
+    }
+
+    // Legalize: per kind, match cells to slots in sorted x-order (a
+    // linear-time transportation heuristic that preserves relative order).
+    let mut assignment = vec![u32::MAX; n];
+    for (pool, pool_slots) in kind_slots.iter().enumerate() {
+        let mut cells: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let p = match cell_kind(netlist.cells[i].kind) {
+                    ResourceKind::Clb => 0,
+                    ResourceKind::Dsp => 1,
+                    _ => 2,
+                };
+                p == pool
+            })
+            .collect();
+        cells.sort_by(|&a, &b| (xs[a], ys[a]).partial_cmp(&(xs[b], ys[b])).unwrap());
+        let mut slot_ids = pool_slots.clone();
+        slot_ids.sort_by(|&a, &b| {
+            let sa = &slots[a as usize];
+            let sb = &slots[b as usize];
+            (sa.col, sa.y_times_16()).cmp(&(sb.col, sb.y_times_16()))
+        });
+        for (cell, slot) in cells.into_iter().zip(slot_ids) {
+            assignment[cell] = slot;
+        }
+    }
+
+    // Final HPWL in the same fixed-point scale as the annealer.
+    let hpwl: f64 = netlist
+        .nets
+        .iter()
+        .map(|net| {
+            let mut min_c = f64::MAX;
+            let mut max_c = f64::MIN;
+            let mut min_y = f64::MAX;
+            let mut max_y = f64::MIN;
+            for &p in &net.pins {
+                let s = &slots[assignment[p as usize] as usize];
+                min_c = min_c.min(f64::from(s.col));
+                max_c = max_c.max(f64::from(s.col));
+                let y = s.y_times_16() as f64 / 16.0;
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            (max_c - min_c) + (max_y - min_y)
+        })
+        .sum();
+
+    Ok(Placement { cell_slots: assignment, hpwl: (hpwl * 16.0) as u64, chains: 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacerConfig};
+    use fabric::database::xc5vlx110t;
+    use fabric::{Family, WindowRequest};
+    use synth::SynthReport;
+
+    fn netlist(pairs: u64) -> Netlist {
+        let r = SynthReport::new("a", Family::Virtex5, pairs, pairs * 3 / 4, pairs / 2, 0, 1);
+        Netlist::from_report(&r, 7).unwrap()
+    }
+
+    #[test]
+    fn analytic_placement_is_valid() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
+        let nl = netlist(200);
+        let p = place_analytic(&nl, &grid, &w, 11).unwrap();
+        assert_eq!(p.cell_slots.len(), nl.cells.len());
+        let mut used = p.cell_slots.clone();
+        used.sort_unstable();
+        let len = used.len();
+        used.dedup();
+        assert_eq!(used.len(), len, "no slot double-booked");
+    }
+
+    #[test]
+    fn analytic_is_competitive_with_annealing() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 2)).unwrap();
+        let nl = netlist(300);
+        let sa = place(&nl, &grid, &w, &PlacerConfig::fast(5)).unwrap();
+        let an = place_analytic(&nl, &grid, &w, 5).unwrap();
+        // The analytic result lands within a small constant factor of the
+        // (locality-friendly) annealer on chain-dominated netlists.
+        assert!(
+            an.hpwl < sa.hpwl * 4,
+            "analytic {} vs annealed {}",
+            an.hpwl,
+            sa.hpwl
+        );
+    }
+
+    #[test]
+    fn capacity_errors_match_the_annealer() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(1, 0, 0, 1)).unwrap();
+        let nl = netlist(500);
+        assert!(matches!(
+            place_analytic(&nl, &grid, &w, 1),
+            Err(PlaceError::Insufficient { kind: ResourceKind::Clb, .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
+        let nl = netlist(150);
+        assert_eq!(
+            place_analytic(&nl, &grid, &w, 9).unwrap(),
+            place_analytic(&nl, &grid, &w, 9).unwrap()
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Static-region net crossings through PRRs.
+//!
+//! The paper (§IV): "since the Xilinx tools allow the static region's nets
+//! to cross the PRRs, routing problems may arise if nets from the static
+//! region try to cross a densely packed PRR." This module estimates that
+//! risk for a floorplan: static logic on both sides of a PRR forces some
+//! of its nets through the PRR's routing channels, whose slack is whatever
+//! the PRR's own utilization leaves behind.
+
+use crate::floorplan::Floorplan;
+use fabric::{Device, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a column's vertical routing a fully-utilized PRM consumes,
+/// leaving `1 - this` for static crossings at RU = 100 %.
+const PRM_ROUTING_SHARE: f64 = 0.7;
+
+/// Static nets demanded per static CLB column adjacent to each side of a
+/// PRR (an empirical locality constant: most static nets stay local; only
+/// a few need to cross).
+const CROSSING_NETS_PER_COLUMN: f64 = 12.0;
+
+/// Vertical routing tracks per CLB row (matches the router's capacity
+/// constant).
+const TRACKS_PER_CLB_ROW: f64 = 10.0;
+
+/// Crossing-risk assessment for one PRR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossingRisk {
+    /// PRR (area group) name.
+    pub group: String,
+    /// Estimated static nets that must cross this PRR.
+    pub demand: f64,
+    /// Routing tracks left over by the PRM at the given utilization.
+    pub slack: f64,
+    /// demand / slack; above 1.0 the paper's warning applies.
+    pub pressure: f64,
+}
+
+impl CrossingRisk {
+    /// Whether the paper's "routing problems may arise" condition holds.
+    pub fn at_risk(&self) -> bool {
+        self.pressure > 1.0
+    }
+}
+
+/// Assess every group of `floorplan` on `device`. `utilization` gives each
+/// PRR's LUT utilization in `[0, 100]` (index-aligned with
+/// `floorplan.groups`); denser PRMs leave less crossing slack.
+pub fn assess(
+    device: &Device,
+    floorplan: &Floorplan,
+    utilization: &[f64],
+) -> Vec<CrossingRisk> {
+    floorplan
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let w = &g.window;
+            // Static CLB columns strictly left and right of the window at
+            // the window's rows (other PRRs' columns are not static).
+            let is_static = |col: usize| -> bool {
+                device.columns()[col] == ResourceKind::Clb
+                    && !floorplan.groups.iter().any(|other| {
+                        col >= other.window.start_col
+                            && col < other.window.end_col()
+                            && other.window.row <= w.top_row()
+                            && w.row <= other.window.top_row()
+                    })
+            };
+            let left = (0..w.start_col).filter(|&c| is_static(c)).count() as f64;
+            let right =
+                (w.end_col()..device.width()).filter(|&c| is_static(c)).count() as f64;
+            // Nets cross only if static logic exists on both sides.
+            let demand = if left > 0.0 && right > 0.0 {
+                left.min(right) * CROSSING_NETS_PER_COLUMN
+            } else {
+                0.0
+            };
+
+            let rows = f64::from(w.height) * f64::from(device.params().clb_col);
+            let total_tracks = rows * TRACKS_PER_CLB_ROW;
+            let ru = utilization.get(i).copied().unwrap_or(100.0).clamp(0.0, 100.0) / 100.0;
+            let slack = total_tracks * (1.0 - PRM_ROUTING_SHARE * ru);
+
+            let pressure = if slack > 0.0 { demand / slack } else { f64::INFINITY };
+            CrossingRisk { group: g.name.clone(), demand, slack, pressure }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{AreaGroup, Floorplan};
+    use fabric::database::xc5vlx110t;
+    use fabric::WindowRequest;
+
+    /// A window for `req` whose start column is at least `min_col` (so the
+    /// tests control whether static logic exists on the left).
+    fn window_from(device: &Device, req: &WindowRequest, min_col: usize) -> fabric::Window {
+        device.windows(req).find(|w| w.start_col >= min_col).unwrap()
+    }
+
+    fn plan_mid(device: &Device, req: &WindowRequest, name: &str) -> Floorplan {
+        let mut plan = Floorplan::new(device);
+        plan.push(AreaGroup::new(name, window_from(device, req, 10)));
+        plan
+    }
+
+    /// A short, lightly-utilized PRR in the middle of the fabric carries
+    /// crossing demand but has slack for it.
+    #[test]
+    fn sparse_prr_is_safe() {
+        let device = xc5vlx110t();
+        let plan = plan_mid(&device, &WindowRequest::new(3, 0, 0, 8), "mid");
+        let risks = assess(&device, &plan, &[30.0]);
+        assert_eq!(risks.len(), 1);
+        assert!(risks[0].demand > 0.0, "static logic on both sides");
+        assert!(!risks[0].at_risk(), "pressure {}", risks[0].pressure);
+    }
+
+    /// The same footprint at 100 % utilization has far less slack — the
+    /// paper's "densely packed PRR" warning shows up as rising pressure.
+    #[test]
+    fn pressure_rises_with_utilization() {
+        let device = xc5vlx110t();
+        let plan = plan_mid(&device, &WindowRequest::new(3, 0, 0, 1), "tight");
+        let lo = assess(&device, &plan, &[20.0])[0].pressure;
+        let hi = assess(&device, &plan, &[100.0])[0].pressure;
+        assert!(hi > lo * 2.0, "lo {lo} hi {hi}");
+        // A single-row fully packed PRR with the whole static region on
+        // both sides is where problems arise.
+        assert!(assess(&device, &plan, &[100.0])[0].at_risk());
+    }
+
+    /// A PRR at the fabric edge has static logic on one side only: no
+    /// crossing demand at all.
+    #[test]
+    fn edge_prrs_have_no_crossings() {
+        let device = xc5vlx110t();
+        // Leftmost CLB window: columns 1..3 (column 0 is IOB).
+        let w = device.find_window(&WindowRequest::new(3, 0, 0, 8)).unwrap();
+        assert_eq!(w.start_col, 1);
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("edge", w));
+        // Nothing static to the left except the IOB column -> demand 0.
+        let risks = assess(&device, &plan, &[100.0]);
+        assert_eq!(risks[0].demand, 0.0);
+        assert!(!risks[0].at_risk());
+    }
+
+    /// Columns belonging to other PRRs do not count as static.
+    #[test]
+    fn other_prrs_are_not_static() {
+        let device = xc5vlx110t();
+        // Two tall PRRs side by side: the second "sees" fewer static
+        // columns than it would alone.
+        let w1 = device.find_window(&WindowRequest::new(6, 0, 0, 8)).unwrap();
+        let mut w2 = device.find_window(&WindowRequest::new(3, 0, 0, 8)).unwrap();
+        // Place w2 to the right of w1 if they overlap.
+        if w2.overlaps(&w1) {
+            let req = WindowRequest::new(3, 0, 0, 8);
+            w2 = device.windows(&req).find(|w| !w.overlaps(&w1)).unwrap();
+        }
+        let mut both = Floorplan::new(&device);
+        both.push(AreaGroup::new("a", w1));
+        both.push(AreaGroup::new("b", w2.clone()));
+        let mut alone = Floorplan::new(&device);
+        alone.push(AreaGroup::new("b", w2));
+        let with_neighbor = assess(&device, &both, &[50.0, 50.0])[1].demand;
+        let solo = assess(&device, &alone, &[50.0])[0].demand;
+        assert!(with_neighbor <= solo);
+    }
+}

@@ -1,0 +1,311 @@
+//! AREA_GROUP-style floorplan constraints.
+//!
+//! The paper validates its PRR model by constraining each PRM to the
+//! model-predicted region with the `AREA_GROUP` attribute in a `.ucf` file
+//! and letting ISE place and route inside it. This module provides the
+//! equivalent: named rectangular region constraints over a device, with a
+//! UCF-like text round-trip and overlap/containment validation.
+
+use core::fmt;
+use fabric::{Device, ResourceKind, Window};
+use serde::{Deserialize, Serialize};
+
+/// One named region constraint (one PRR or the static region).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaGroup {
+    /// Group name, e.g. `"pblock_fir32"`.
+    pub name: String,
+    /// The constrained window.
+    pub window: Window,
+}
+
+impl AreaGroup {
+    /// Constrain `name` to `window`.
+    pub fn new(name: impl Into<String>, window: Window) -> Self {
+        AreaGroup { name: name.into(), window }
+    }
+
+    /// Render one UCF-style constraint line:
+    /// `AREA_GROUP "name" RANGE=COL_x0:COL_x1 ROW_r0:ROW_r1;`.
+    pub fn to_ucf(&self) -> String {
+        format!(
+            "AREA_GROUP \"{}\" RANGE=COL_{}:COL_{} ROW_{}:ROW_{};",
+            self.name,
+            self.window.start_col,
+            self.window.end_col() - 1,
+            self.window.row,
+            self.window.top_row()
+        )
+    }
+}
+
+/// A set of area groups over one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Device part name the plan targets.
+    pub device: String,
+    /// All region constraints.
+    pub groups: Vec<AreaGroup>,
+}
+
+/// Floorplan validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloorplanError {
+    /// A group's window exceeds the device bounds.
+    OutOfBounds {
+        /// Offending group.
+        group: String,
+    },
+    /// A group's window covers an IOB or CLK column.
+    ForbiddenColumn {
+        /// Offending group.
+        group: String,
+        /// The forbidden column kind.
+        kind: ResourceKind,
+        /// Device column index.
+        column: usize,
+    },
+    /// Two groups overlap.
+    Overlap {
+        /// First group.
+        a: String,
+        /// Second group.
+        b: String,
+    },
+    /// A UCF line could not be parsed.
+    BadUcfLine {
+        /// The malformed line.
+        line: String,
+    },
+    /// A group's recorded column kinds disagree with the device layout.
+    LayoutMismatch {
+        /// Offending group.
+        group: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::OutOfBounds { group } => {
+                write!(f, "area group `{group}` exceeds the device bounds")
+            }
+            FloorplanError::ForbiddenColumn { group, kind, column } => write!(
+                f,
+                "area group `{group}` covers a {kind} column at index {column}; \
+                 IOB/CLK columns cannot be inside PRRs"
+            ),
+            FloorplanError::Overlap { a, b } => write!(f, "area groups `{a}` and `{b}` overlap"),
+            FloorplanError::BadUcfLine { line } => write!(f, "cannot parse UCF line: {line:?}"),
+            FloorplanError::LayoutMismatch { group } => write!(
+                f,
+                "area group `{group}` records column kinds that disagree with the device layout"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+impl Floorplan {
+    /// Empty floorplan for `device`.
+    pub fn new(device: &Device) -> Self {
+        Floorplan { device: device.name().to_string(), groups: Vec::new() }
+    }
+
+    /// Add a group.
+    pub fn push(&mut self, group: AreaGroup) {
+        self.groups.push(group);
+    }
+
+    /// Validate all groups against `device`: bounds, forbidden columns,
+    /// column-kind agreement and pairwise non-overlap.
+    pub fn validate(&self, device: &Device) -> Result<(), FloorplanError> {
+        for g in &self.groups {
+            let w = &g.window;
+            if w.end_col() > device.width() || device.check_row_span(w.row, w.height).is_err() {
+                return Err(FloorplanError::OutOfBounds { group: g.name.clone() });
+            }
+            for (offset, &kind) in w.columns.iter().enumerate() {
+                let col = w.start_col + offset;
+                let actual = device.columns()[col];
+                if actual != kind {
+                    return Err(FloorplanError::LayoutMismatch { group: g.name.clone() });
+                }
+                if !kind.allowed_in_prr() {
+                    return Err(FloorplanError::ForbiddenColumn {
+                        group: g.name.clone(),
+                        kind,
+                        column: col,
+                    });
+                }
+            }
+        }
+        for (i, a) in self.groups.iter().enumerate() {
+            for b in &self.groups[i + 1..] {
+                if a.window.overlaps(&b.window) {
+                    return Err(FloorplanError::Overlap { a: a.name.clone(), b: b.name.clone() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the whole plan as UCF-style text.
+    pub fn to_ucf(&self) -> String {
+        let mut out = format!("# floorplan for {}\n", self.device);
+        for g in &self.groups {
+            out.push_str(&g.to_ucf());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse UCF-style text back into a floorplan (columns kinds are
+    /// re-derived from `device`).
+    pub fn from_ucf(text: &str, device: &Device) -> Result<Self, FloorplanError> {
+        let mut plan = Floorplan::new(device);
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parsed = parse_ucf_line(line, device)
+                .ok_or_else(|| FloorplanError::BadUcfLine { line: line.to_string() })?;
+            plan.push(parsed);
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_ucf_line(line: &str, device: &Device) -> Option<AreaGroup> {
+    let rest = line.strip_prefix("AREA_GROUP")?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let (name, rest) = rest.split_once('"')?;
+    let rest = rest.trim_start().strip_prefix("RANGE=")?;
+    let rest = rest.trim_end().strip_suffix(';')?;
+    let (cols, rows) = rest.split_once(' ')?;
+    let (c0, c1) = cols.strip_prefix("COL_")?.split_once(":COL_")?;
+    let (r0, r1) = rows.strip_prefix("ROW_")?.split_once(":ROW_")?;
+    let (c0, c1): (usize, usize) = (c0.parse().ok()?, c1.parse().ok()?);
+    let (r0, r1): (u32, u32) = (r0.parse().ok()?, r1.parse().ok()?);
+    if c1 < c0 || r1 < r0 || c1 >= device.width() {
+        return None;
+    }
+    let columns = device.columns()[c0..=c1].to_vec();
+    Some(AreaGroup::new(
+        name,
+        Window {
+            start_col: c0,
+            width: (c1 - c0 + 1) as u32,
+            row: r0,
+            height: r1 - r0 + 1,
+            columns,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::database::xc5vlx110t;
+    use fabric::WindowRequest;
+
+    fn window(device: &Device, req: &WindowRequest) -> Window {
+        device.find_window(req).unwrap()
+    }
+
+    #[test]
+    fn ucf_round_trip() {
+        let device = xc5vlx110t();
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("pblock_fir", window(&device, &WindowRequest::new(2, 1, 0, 5))));
+        plan.push(AreaGroup::new("pblock_sdram", window(&device, &WindowRequest::new(3, 0, 0, 1))));
+        // The two leftmost windows may overlap; shift the second one up.
+        plan.groups[1].window.row = 7;
+        plan.validate(&device).unwrap();
+        let text = plan.to_ucf();
+        let back = Floorplan::from_ucf(&text, &device).unwrap();
+        assert_eq!(back.groups, plan.groups);
+        back.validate(&device).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        let device = xc5vlx110t();
+        let mut w = window(&device, &WindowRequest::new(2, 0, 0, 1));
+        w.row = 8;
+        w.height = 2; // rows 8..9 on an 8-row device
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("too_tall", w));
+        assert!(matches!(
+            plan.validate(&device),
+            Err(FloorplanError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_forbidden_columns() {
+        let device = xc5vlx110t();
+        // Column 0 is an IOB column.
+        let w = Window {
+            start_col: 0,
+            width: 2,
+            row: 1,
+            height: 1,
+            columns: device.columns()[0..2].to_vec(),
+        };
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("bad", w));
+        assert!(matches!(
+            plan.validate(&device),
+            Err(FloorplanError::ForbiddenColumn { kind: ResourceKind::Iob, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let device = xc5vlx110t();
+        let w = window(&device, &WindowRequest::new(2, 0, 0, 2));
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("a", w.clone()));
+        plan.push(AreaGroup::new("b", w));
+        assert!(matches!(plan.validate(&device), Err(FloorplanError::Overlap { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_layout_mismatch() {
+        let device = xc5vlx110t();
+        let mut w = window(&device, &WindowRequest::new(2, 1, 0, 1));
+        w.columns[0] = ResourceKind::Bram; // lie about the layout
+        let mut plan = Floorplan::new(&device);
+        plan.push(AreaGroup::new("liar", w));
+        assert!(matches!(
+            plan.validate(&device),
+            Err(FloorplanError::LayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_ucf_lines_are_rejected() {
+        let device = xc5vlx110t();
+        for bad in [
+            "AREA_GROUP pblock RANGE=COL_0:COL_1 ROW_1:ROW_1;",
+            "AREA_GROUP \"p\" RANGE=COL_5:COL_2 ROW_1:ROW_1;",
+            "AREA_GROUP \"p\" RANGE=COL_0:COL_9999 ROW_1:ROW_1;",
+            "AREA_GROUP \"p\" COL_0:COL_1 ROW_1:ROW_1;",
+        ] {
+            assert!(
+                Floorplan::from_ucf(bad, &device).is_err(),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let device = xc5vlx110t();
+        let plan = Floorplan::from_ucf("# nothing\n\n", &device).unwrap();
+        assert!(plan.groups.is_empty());
+    }
+}

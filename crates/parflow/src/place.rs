@@ -1,0 +1,467 @@
+//! Simulated-annealing placement over the fabric site grid.
+//!
+//! Cells place onto *slots*: each CLB site offers `LUT_CLB` slice pair
+//! slots, each DSP/BRAM site one slot. The objective is total net
+//! half-perimeter wirelength (HPWL) in normalized fabric coordinates
+//! (columns × CLB-row units). Placement runs several independent annealing
+//! chains in parallel with rayon — the canonical data-parallel pattern —
+//! and returns the best chain's result. Everything is deterministic in the
+//! configured seed.
+
+use core::fmt;
+use fabric::grid::SiteGrid;
+use fabric::{ResourceKind, Window};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use synth::{CellKind, Netlist};
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Not enough slots of one kind in the region.
+    Insufficient {
+        /// Resource kind that ran out.
+        kind: ResourceKind,
+        /// Slots needed.
+        need: u64,
+        /// Slots available in the region.
+        have: u64,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Insufficient { kind, need, have } => {
+                write!(f, "region offers {have} {kind} slots but the netlist needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Annealer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Base RNG seed (chains derive their own seeds from it).
+    pub seed: u64,
+    /// Independent annealing chains run in parallel; best result wins.
+    pub chains: u32,
+    /// Annealing moves per cell per chain.
+    pub moves_per_cell: u32,
+    /// Initial temperature as a fraction of the initial mean net length.
+    pub initial_temp_frac: f64,
+    /// Geometric cooling factor applied every `cells` moves.
+    pub cooling: f64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            seed: 1,
+            chains: 4,
+            moves_per_cell: 24,
+            initial_temp_frac: 0.5,
+            cooling: 0.92,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// A fast low-effort configuration for tests.
+    pub fn fast(seed: u64) -> Self {
+        PlacerConfig { seed, chains: 2, moves_per_cell: 6, ..PlacerConfig::default() }
+    }
+}
+
+/// One placement slot: a position in normalized coordinates plus its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Slot {
+    pub(crate) kind: ResourceKind,
+    /// Column index on the device.
+    pub(crate) col: u32,
+    /// Vertical position in CLB-row units (normalized across kinds).
+    pub(crate) y_norm: f64,
+}
+
+impl Slot {
+    /// Fixed-point vertical position for deterministic ordering.
+    pub(crate) fn y_times_16(&self) -> u64 {
+        (self.y_norm * 16.0) as u64
+    }
+}
+
+/// A completed placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Slot index per cell (into the region's slot list).
+    pub cell_slots: Vec<u32>,
+    /// Final total HPWL (in column/CLB-row units, scaled by 16 and
+    /// truncated for determinism).
+    pub hpwl: u64,
+    /// Chains evaluated.
+    pub chains: u32,
+}
+
+fn cell_kind(kind: CellKind) -> ResourceKind {
+    match kind {
+        CellKind::Slice { .. } => ResourceKind::Clb,
+        CellKind::Dsp => ResourceKind::Dsp,
+        CellKind::Bram => ResourceKind::Bram,
+    }
+}
+
+/// Expand a window into placement slots.
+pub(crate) fn slots_in_window(grid: &SiteGrid<'_>, window: &Window) -> Vec<Slot> {
+    let params = grid.device().params();
+    let mut slots = Vec::new();
+    for site in grid.sites_in_window(window) {
+        let per = params.per_column(site.kind).max(1);
+        let y_norm = f64::from(site.y) * f64::from(params.clb_col) / f64::from(per);
+        match site.kind {
+            ResourceKind::Clb => {
+                // One slice pair slot per LUT-FF pair the CLB can hold.
+                for s in 0..params.lut_clb {
+                    slots.push(Slot {
+                        kind: ResourceKind::Clb,
+                        col: site.col,
+                        y_norm: y_norm + f64::from(s) / f64::from(params.lut_clb),
+                    });
+                }
+            }
+            kind => slots.push(Slot { kind, col: site.col, y_norm }),
+        }
+    }
+    slots
+}
+
+struct Chain<'a> {
+    netlist: &'a Netlist,
+    slots: &'a [Slot],
+    /// cell -> slot
+    assignment: Vec<u32>,
+    /// slot -> cell (u32::MAX = empty)
+    occupant: Vec<u32>,
+    /// nets touching each cell
+    cell_nets: &'a [Vec<u32>],
+    rng: u64,
+}
+
+impl Chain<'_> {
+    fn rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_below(&mut self, n: usize) -> usize {
+        (self.rand() % n.max(1) as u64) as usize
+    }
+
+    fn net_hpwl(&self, net: u32) -> f64 {
+        let pins = &self.netlist.nets[net as usize].pins;
+        let mut min_c = f64::MAX;
+        let mut max_c = f64::MIN;
+        let mut min_y = f64::MAX;
+        let mut max_y = f64::MIN;
+        for &p in pins {
+            let s = &self.slots[self.assignment[p as usize] as usize];
+            min_c = min_c.min(f64::from(s.col));
+            max_c = max_c.max(f64::from(s.col));
+            min_y = min_y.min(s.y_norm);
+            max_y = max_y.max(s.y_norm);
+        }
+        (max_c - min_c) + (max_y - min_y)
+    }
+
+    fn cost_of_cells(&self, cells: &[u32]) -> f64 {
+        let mut seen: Vec<u32> = Vec::with_capacity(8);
+        let mut cost = 0.0;
+        for &c in cells {
+            for &net in &self.cell_nets[c as usize] {
+                if !seen.contains(&net) {
+                    seen.push(net);
+                    cost += self.net_hpwl(net);
+                }
+            }
+        }
+        cost
+    }
+
+    fn total_hpwl(&self) -> f64 {
+        (0..self.netlist.nets.len() as u32).map(|n| self.net_hpwl(n)).sum()
+    }
+
+    /// Propose and maybe accept one move; returns accepted.
+    fn step(&mut self, temp: f64, kind_slots: &[Vec<u32>]) -> bool {
+        let n_cells = self.netlist.cells.len();
+        let cell = self.rand_below(n_cells) as u32;
+        let kind = cell_kind(self.netlist.cells[cell as usize].kind);
+        let pool = &kind_slots[kind_pool(kind)];
+        let target_slot = pool[self.rand_below(pool.len())];
+        let cur_slot = self.assignment[cell as usize];
+        if target_slot == cur_slot {
+            return false;
+        }
+        let other = self.occupant[target_slot as usize];
+
+        let affected: Vec<u32> =
+            if other == u32::MAX { vec![cell] } else { vec![cell, other] };
+        let before = self.cost_of_cells(&affected);
+
+        // Apply (swap or move).
+        self.assignment[cell as usize] = target_slot;
+        self.occupant[target_slot as usize] = cell;
+        if other == u32::MAX {
+            self.occupant[cur_slot as usize] = u32::MAX;
+        } else {
+            self.assignment[other as usize] = cur_slot;
+            self.occupant[cur_slot as usize] = other;
+        }
+
+        let after = self.cost_of_cells(&affected);
+        let delta = after - before;
+        let accept = delta <= 0.0 || {
+            let u = (self.rand() >> 11) as f64 / (1u64 << 53) as f64;
+            u < (-delta / temp.max(1e-9)).exp()
+        };
+        if !accept {
+            // Revert.
+            self.assignment[cell as usize] = cur_slot;
+            self.occupant[cur_slot as usize] = cell;
+            if other == u32::MAX {
+                self.occupant[target_slot as usize] = u32::MAX;
+            } else {
+                self.assignment[other as usize] = target_slot;
+                self.occupant[target_slot as usize] = other;
+            }
+        }
+        accept
+    }
+}
+
+fn kind_pool(kind: ResourceKind) -> usize {
+    match kind {
+        ResourceKind::Clb => 0,
+        ResourceKind::Dsp => 1,
+        ResourceKind::Bram => 2,
+        _ => unreachable!("only reconfigurable kinds are placed"),
+    }
+}
+
+/// Place `netlist` into `window` on `grid`.
+pub fn place(
+    netlist: &Netlist,
+    grid: &SiteGrid<'_>,
+    window: &Window,
+    cfg: &PlacerConfig,
+) -> Result<Placement, PlaceError> {
+    let slots = slots_in_window(grid, window);
+
+    // Capacity check per kind.
+    let mut kind_slots: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, s) in slots.iter().enumerate() {
+        kind_slots[kind_pool(s.kind)].push(i as u32);
+    }
+    let mut need = [0u64; 3];
+    for c in &netlist.cells {
+        need[kind_pool(cell_kind(c.kind))] += 1;
+    }
+    for (pool, kind) in
+        [(0, ResourceKind::Clb), (1, ResourceKind::Dsp), (2, ResourceKind::Bram)]
+    {
+        if need[pool] > kind_slots[pool].len() as u64 {
+            return Err(PlaceError::Insufficient {
+                kind,
+                need: need[pool],
+                have: kind_slots[pool].len() as u64,
+            });
+        }
+    }
+
+    // Precompute cell -> nets.
+    let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); netlist.cells.len()];
+    for (i, net) in netlist.nets.iter().enumerate() {
+        for &p in &net.pins {
+            cell_nets[p as usize].push(i as u32);
+        }
+    }
+
+    let run_chain = |chain_idx: u32| -> (f64, Vec<u32>) {
+        // Greedy initial placement: cells in index order into slots in
+        // order (chains perturb the start by rotating slot order).
+        let mut assignment = vec![u32::MAX; netlist.cells.len()];
+        let mut occupant = vec![u32::MAX; slots.len()];
+        let mut cursors = [0usize; 3];
+        let rot = chain_idx as usize;
+        for (i, cell) in netlist.cells.iter().enumerate() {
+            let pool = kind_pool(cell_kind(cell.kind));
+            let list = &kind_slots[pool];
+            let slot = list[(cursors[pool] + rot) % list.len()];
+            // Find next free slot from the rotated cursor.
+            let mut k = (cursors[pool] + rot) % list.len();
+            let mut slot = slot;
+            while occupant[slot as usize] != u32::MAX {
+                k = (k + 1) % list.len();
+                slot = list[k];
+            }
+            assignment[i] = slot;
+            occupant[slot as usize] = i as u32;
+            cursors[pool] += 1;
+        }
+
+        let mut chain = Chain {
+            netlist,
+            slots: &slots,
+            assignment,
+            occupant,
+            cell_nets: &cell_nets,
+            rng: cfg.seed ^ (u64::from(chain_idx).wrapping_mul(0xA24B_AED4_963E_E407)),
+        };
+
+        let n_cells = netlist.cells.len().max(1);
+        let initial = chain.total_hpwl();
+        let mut temp =
+            (initial / netlist.nets.len().max(1) as f64) * cfg.initial_temp_frac + 1e-6;
+        let total_moves = cfg.moves_per_cell as usize * n_cells;
+        for m in 0..total_moves {
+            chain.step(temp, &kind_slots);
+            if m % n_cells == n_cells - 1 {
+                temp *= cfg.cooling;
+            }
+        }
+        (chain.total_hpwl(), chain.assignment)
+    };
+
+    let results: Vec<(f64, Vec<u32>)> =
+        (0..cfg.chains.max(1)).into_par_iter().map(run_chain).collect();
+    let (best_hpwl, best_assignment) = results
+        .into_iter()
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("at least one chain");
+
+    Ok(Placement {
+        cell_slots: best_assignment,
+        hpwl: (best_hpwl * 16.0) as u64,
+        chains: cfg.chains.max(1),
+    })
+}
+
+/// Compute the per-net bounding boxes of a placement, in (column, CLB-row)
+/// units — consumed by the congestion router.
+pub fn net_bboxes(
+    netlist: &Netlist,
+    grid: &SiteGrid<'_>,
+    window: &Window,
+    placement: &Placement,
+) -> Vec<(f64, f64, f64, f64)> {
+    let slots = slots_in_window(grid, window);
+    netlist
+        .nets
+        .iter()
+        .map(|net| {
+            let mut min_c = f64::MAX;
+            let mut max_c = f64::MIN;
+            let mut min_y = f64::MAX;
+            let mut max_y = f64::MIN;
+            for &p in &net.pins {
+                let s = &slots[placement.cell_slots[p as usize] as usize];
+                min_c = min_c.min(f64::from(s.col));
+                max_c = max_c.max(f64::from(s.col));
+                min_y = min_y.min(s.y_norm);
+                max_y = max_y.max(s.y_norm);
+            }
+            (min_c, max_c, min_y, max_y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::database::xc5vlx110t;
+    use fabric::{Family, WindowRequest};
+    use synth::{PaperPrm, SynthReport};
+
+    fn small_netlist() -> Netlist {
+        let r = SynthReport::new("t", Family::Virtex5, 120, 100, 60, 0, 1);
+        Netlist::from_report(&r, 5).unwrap()
+    }
+
+    #[test]
+    fn placement_is_valid_and_deterministic() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
+        let nl = small_netlist();
+        let cfg = PlacerConfig::fast(42);
+        let a = place(&nl, &grid, &w, &cfg).unwrap();
+        let b = place(&nl, &grid, &w, &cfg).unwrap();
+        assert_eq!(a, b, "same seed, same result");
+
+        // No slot hosts two cells.
+        let mut used = a.cell_slots.clone();
+        used.sort_unstable();
+        let before = used.len();
+        used.dedup();
+        assert_eq!(used.len(), before, "slot double-booked");
+    }
+
+    #[test]
+    fn annealing_improves_over_one_chain_worst_case() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
+        let nl = small_netlist();
+        let lazy = place(&nl, &grid, &w, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(7) })
+            .unwrap();
+        let tuned = place(&nl, &grid, &w, &PlacerConfig::fast(7)).unwrap();
+        assert!(tuned.hpwl <= lazy.hpwl, "annealing must not worsen: {} vs {}", tuned.hpwl, lazy.hpwl);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_reported() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        // 1 CLB column x 1 row = 20 CLBs x 8 slots = 160 pair slots; the
+        // netlist below wants 500.
+        let w = device.find_window(&WindowRequest::new(1, 0, 0, 1)).unwrap();
+        let r = SynthReport::new("big", Family::Virtex5, 500, 400, 200, 0, 0);
+        let nl = Netlist::from_report(&r, 1).unwrap();
+        match place(&nl, &grid, &w, &PlacerConfig::fast(1)) {
+            Err(PlaceError::Insufficient { kind: ResourceKind::Clb, need: 500, have: 160 }) => {}
+            other => panic!("expected Insufficient, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_prm_places_in_model_predicted_prr() {
+        // SDRAM/Virtex-5 in its model PRR (H=1, W_CLB=3): 332 pair slots
+        // into 480 — must place.
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let plan = prcost::plan_prr(&PaperPrm::Sdram.synth_report(Family::Virtex5), &device)
+            .unwrap();
+        let nl = PaperPrm::Sdram.netlist(Family::Virtex5, 2);
+        let p = place(&nl, &grid, &plan.window, &PlacerConfig::fast(3)).unwrap();
+        assert_eq!(p.cell_slots.len(), nl.cells.len());
+    }
+
+    #[test]
+    fn bboxes_cover_all_nets() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
+        let nl = small_netlist();
+        let p = place(&nl, &grid, &w, &PlacerConfig::fast(9)).unwrap();
+        let bb = net_bboxes(&nl, &grid, &w, &p);
+        assert_eq!(bb.len(), nl.nets.len());
+        for (min_c, max_c, min_y, max_y) in bb {
+            assert!(min_c <= max_c && min_y <= max_y);
+            assert!(min_c >= w.start_col as f64 && max_c < w.end_col() as f64);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Boundary-congestion routing model.
+//!
+//! Instead of a full maze router, routability is judged the way global
+//! routers do in their first pass: every net demands one track across each
+//! vertical column boundary (and each horizontal row boundary) its bounding
+//! box spans; a boundary overflows when demand exceeds the channel
+//! capacity the fabric provides there. The PRR routes iff no boundary
+//! overflows. Capacity scales with the family's CLB row height, reflecting
+//! that taller columns carry proportionally more routing.
+
+use crate::place::{net_bboxes, Placement};
+use fabric::grid::SiteGrid;
+use fabric::Window;
+use serde::{Deserialize, Serialize};
+use synth::Netlist;
+
+/// Vertical routing tracks per CLB row at each column boundary. Ten tracks
+/// per CLB row comfortably routes the paper's PRMs at their model-predicted
+/// densities while leaving headroom well under 2x — dense synthetic designs
+/// do overflow.
+const V_TRACKS_PER_CLB_ROW: f64 = 10.0;
+
+/// Horizontal routing tracks contributed by each column at every CLB-row
+/// boundary. Columns are much wider than a CLB row is tall, so each
+/// provides proportionally more horizontal track.
+const H_TRACKS_PER_COLUMN: f64 = 40.0;
+
+/// One overflowed boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Overflow {
+    /// Boundary index (vertical boundaries first, then horizontal).
+    pub boundary: u32,
+    /// Track demand.
+    pub demand: f64,
+    /// Track capacity.
+    pub capacity: f64,
+}
+
+/// Routing outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteReport {
+    /// True iff no boundary overflowed.
+    pub routed: bool,
+    /// Highest demand/capacity ratio over all boundaries.
+    pub max_utilization: f64,
+    /// All overflowed boundaries.
+    pub overflows: Vec<Overflow>,
+    /// Total wirelength estimate (sum of net half-perimeters, x16 fixed
+    /// point).
+    pub wirelength: u64,
+}
+
+/// Route a placed netlist inside its window.
+pub fn route(
+    netlist: &Netlist,
+    grid: &SiteGrid<'_>,
+    window: &Window,
+    placement: &Placement,
+) -> RouteReport {
+    let params = grid.device().params();
+    let bboxes = net_bboxes(netlist, grid, window, placement);
+
+    // Vertical boundaries: between column c and c+1 for c in the window.
+    let n_vert = window.width.saturating_sub(1) as usize;
+    // Horizontal boundaries: between CLB rows inside the window (in
+    // normalized CLB-row units).
+    let window_rows_norm = window.height * params.clb_col;
+    let n_horiz = window_rows_norm.saturating_sub(1) as usize;
+
+    let mut v_demand = vec![0f64; n_vert];
+    let mut h_demand = vec![0f64; n_horiz.min(4096)];
+    let mut wirelength = 0f64;
+
+    let base_col = window.start_col as f64;
+    let base_y = f64::from((window.row - 1) * params.clb_col);
+    for &(min_c, max_c, min_y, max_y) in &bboxes {
+        wirelength += (max_c - min_c) + (max_y - min_y);
+        // Vertical boundary b sits between window columns b and b+1.
+        let lo = (min_c - base_col).floor() as usize;
+        let hi = (max_c - base_col).ceil() as usize;
+        for b in v_demand.iter_mut().take(hi.min(n_vert)).skip(lo) {
+            *b += 1.0;
+        }
+        // Horizontal boundary b sits between normalized rows b and b+1.
+        let lo = (min_y - base_y).floor().max(0.0) as usize;
+        let hi = ((max_y - base_y).ceil() as usize).min(h_demand.len());
+        for b in h_demand.iter_mut().take(hi).skip(lo) {
+            *b += 1.0;
+        }
+    }
+
+    // Capacity: vertical channels grow with the window height in CLB rows
+    // (`H * CLB_col` rows, TRACKS_PER_CLB tracks each); horizontal channels
+    // grow with the window width.
+    let v_capacity =
+        (f64::from(window.height) * f64::from(params.clb_col) * V_TRACKS_PER_CLB_ROW).max(1.0);
+    let h_capacity = (f64::from(window.width) * H_TRACKS_PER_COLUMN).max(1.0);
+
+    let mut overflows = Vec::new();
+    let mut max_util = 0.0f64;
+    for (i, &d) in v_demand.iter().enumerate() {
+        let u = d / v_capacity;
+        max_util = max_util.max(u);
+        if d > v_capacity {
+            overflows.push(Overflow { boundary: i as u32, demand: d, capacity: v_capacity });
+        }
+    }
+    for (i, &d) in h_demand.iter().enumerate() {
+        let u = d / h_capacity;
+        max_util = max_util.max(u);
+        if d > h_capacity {
+            overflows.push(Overflow {
+                boundary: (n_vert + i) as u32,
+                demand: d,
+                capacity: h_capacity,
+            });
+        }
+    }
+
+    RouteReport {
+        routed: overflows.is_empty(),
+        max_utilization: max_util,
+        overflows,
+        wirelength: (wirelength * 16.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacerConfig};
+    use fabric::database::xc5vlx110t;
+    use fabric::{Family, WindowRequest};
+    use synth::{Netlist, PaperPrm, SynthReport};
+
+    #[test]
+    fn paper_prm_routes_in_model_prr() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let plan =
+            prcost::plan_prr(&PaperPrm::Sdram.synth_report(Family::Virtex5), &device).unwrap();
+        let nl = PaperPrm::Sdram.netlist(Family::Virtex5, 2);
+        let p = place(&nl, &grid, &plan.window, &PlacerConfig::fast(3)).unwrap();
+        let r = route(&nl, &grid, &plan.window, &p);
+        assert!(r.routed, "max utilization {}", r.max_utilization);
+        assert!(r.wirelength > 0);
+    }
+
+    #[test]
+    fn pathologically_connected_design_overflows() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(3, 0, 0, 1)).unwrap();
+        // 400 cells with dense random connectivity: build a netlist whose
+        // nets all span the window.
+        let r = SynthReport::new("dense", Family::Virtex5, 400, 300, 200, 0, 0);
+        let mut nl = Netlist::from_report(&r, 9).unwrap();
+        // Add 3000 window-spanning 2-pin nets (first cell to last cells).
+        for i in 0..3000u32 {
+            nl.nets.push(synth::Net { pins: vec![i % 10, 390 + (i % 10)] });
+        }
+        let p = place(&nl, &grid, &w, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(1) })
+            .unwrap();
+        let rep = route(&nl, &grid, &w, &p);
+        assert!(!rep.routed, "max utilization {}", rep.max_utilization);
+        assert!(!rep.overflows.is_empty());
+        assert!(rep.max_utilization > 1.0);
+    }
+
+    #[test]
+    fn utilization_monotone_in_window_height() {
+        // Same netlist, taller window => more capacity => lower utilization.
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let nl = {
+            let r = SynthReport::new("m", Family::Virtex5, 200, 150, 100, 0, 0);
+            Netlist::from_report(&r, 4).unwrap()
+        };
+        let w1 = device.find_window(&WindowRequest::new(2, 0, 0, 1)).unwrap();
+        let w2 = device.find_window(&WindowRequest::new(2, 0, 0, 4)).unwrap();
+        let cfg = PlacerConfig::fast(5);
+        let p1 = place(&nl, &grid, &w1, &cfg).unwrap();
+        let p2 = place(&nl, &grid, &w2, &cfg).unwrap();
+        let r1 = route(&nl, &grid, &w1, &p1);
+        let r2 = route(&nl, &grid, &w2, &p2);
+        assert!(r1.max_utilization >= r2.max_utilization * 0.5, "sanity");
+        assert!(r1.routed && r2.routed);
+    }
+}

@@ -1,0 +1,182 @@
+//! Post-placement static timing estimation.
+//!
+//! The paper motivates right-sized PRRs partly with delay: "oversized PRRs
+//! impose longer routing delays". This module quantifies that on the
+//! simulated substrate: each net's delay is a logic term plus a wire term
+//! proportional to its placed half-perimeter; the critical path is the
+//! longest register-to-register path through the netlist's implied DAG
+//! (net pins are index-sorted, so the lowest-index pin drives the rest —
+//! the same convention the synthetic connectivity generator uses).
+
+use crate::place::{net_bboxes, Placement};
+use fabric::grid::SiteGrid;
+use fabric::Window;
+use serde::{Deserialize, Serialize};
+use synth::Netlist;
+
+/// Fixed per-level logic delay (LUT + local interconnect), ns.
+const LOGIC_DELAY_NS: f64 = 0.40;
+/// Wire delay per unit of half-perimeter (columns + CLB rows), ns.
+const WIRE_DELAY_NS_PER_UNIT: f64 = 0.06;
+
+/// Timing analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Longest path delay, ns.
+    pub critical_path_ns: f64,
+    /// 1 / critical path, MHz.
+    pub max_frequency_mhz: f64,
+    /// Logic levels on the critical path.
+    pub logic_levels: u32,
+    /// Mean net delay, ns.
+    pub mean_net_delay_ns: f64,
+}
+
+/// Estimate timing for a placed netlist.
+pub fn analyze(
+    netlist: &Netlist,
+    grid: &SiteGrid<'_>,
+    window: &Window,
+    placement: &Placement,
+) -> TimingReport {
+    let bboxes = net_bboxes(netlist, grid, window, placement);
+    let n_cells = netlist.cells.len();
+    let mut depth_ns = vec![0f64; n_cells];
+    let mut levels = vec![0u32; n_cells];
+    let mut total_net_delay = 0f64;
+
+    // Nets in driver-index order gives a forward pass over the DAG.
+    let mut order: Vec<usize> = (0..netlist.nets.len()).collect();
+    order.sort_by_key(|&i| netlist.nets[i].pins.first().copied().unwrap_or(0));
+
+    for i in order {
+        let net = &netlist.nets[i];
+        let Some((&driver, sinks)) = net.pins.split_first() else { continue };
+        let (min_c, max_c, min_y, max_y) = bboxes[i];
+        let wire = ((max_c - min_c) + (max_y - min_y)) * WIRE_DELAY_NS_PER_UNIT;
+        let delay = LOGIC_DELAY_NS + wire;
+        total_net_delay += delay;
+        let d = depth_ns[driver as usize] + delay;
+        let l = levels[driver as usize] + 1;
+        for &s in sinks {
+            if d > depth_ns[s as usize] {
+                depth_ns[s as usize] = d;
+                levels[s as usize] = l;
+            }
+        }
+    }
+
+    let (critical_idx, &critical_path_ns) = depth_ns
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap_or((0, &LOGIC_DELAY_NS));
+    let critical_path_ns = critical_path_ns.max(LOGIC_DELAY_NS);
+    TimingReport {
+        critical_path_ns,
+        max_frequency_mhz: 1000.0 / critical_path_ns,
+        logic_levels: levels.get(critical_idx).copied().unwrap_or(1).max(1),
+        mean_net_delay_ns: if netlist.nets.is_empty() {
+            0.0
+        } else {
+            total_net_delay / netlist.nets.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacerConfig};
+    use fabric::database::xc5vlx110t;
+    use fabric::{Family, WindowRequest};
+    use synth::{Netlist, SynthReport};
+
+    fn setup(pairs: u64) -> (fabric::Device, Netlist) {
+        let device = xc5vlx110t();
+        let r = SynthReport::new("t", Family::Virtex5, pairs, pairs * 3 / 4, pairs / 2, 0, 0);
+        let nl = Netlist::from_report(&r, 5).unwrap();
+        (device, nl)
+    }
+
+    #[test]
+    fn basic_properties() {
+        let (device, nl) = setup(200);
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(2, 0, 0, 1)).unwrap();
+        let p = place(&nl, &grid, &w, &PlacerConfig::fast(1)).unwrap();
+        let t = analyze(&nl, &grid, &w, &p);
+        assert!(t.critical_path_ns > 0.0);
+        assert!(t.max_frequency_mhz > 0.0 && t.max_frequency_mhz.is_finite());
+        assert!(t.logic_levels >= 1);
+        assert!(t.mean_net_delay_ns >= LOGIC_DELAY_NS);
+        // Deterministic.
+        let t2 = analyze(&nl, &grid, &w, &p);
+        assert_eq!(t, t2);
+    }
+
+    /// "Oversized PRRs impose longer routing delays": the same netlist
+    /// spread across a much larger window clocks slower.
+    #[test]
+    fn oversized_window_is_slower() {
+        let (device, nl) = setup(200);
+        let grid = SiteGrid::new(&device);
+        let tight = device.find_window(&WindowRequest::new(2, 0, 0, 1)).unwrap();
+        let loose = device.find_window(&WindowRequest::new(8, 0, 0, 8)).unwrap();
+        // Scatter placement in the loose window: zero-effort chains keep
+        // greedy locality, so force spreading via distinct chain rotations.
+        let p_tight =
+            place(&nl, &grid, &tight, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(1) })
+                .unwrap();
+        // Worst-of-4 random-rotation greedy placements in the big window.
+        let p_loose = (0..4)
+            .map(|c| {
+                place(
+                    &nl,
+                    &grid,
+                    &loose,
+                    &PlacerConfig { chains: 1, moves_per_cell: 0, seed: c, ..PlacerConfig::fast(c) },
+                )
+                .unwrap()
+            })
+            .max_by_key(|p| p.hpwl)
+            .unwrap();
+        let t_tight = analyze(&nl, &grid, &tight, &p_tight);
+        let t_loose = analyze(&nl, &grid, &loose, &p_loose);
+        assert!(
+            t_loose.mean_net_delay_ns >= t_tight.mean_net_delay_ns,
+            "loose {} vs tight {}",
+            t_loose.mean_net_delay_ns,
+            t_tight.mean_net_delay_ns
+        );
+    }
+
+    #[test]
+    fn long_net_lowers_fmax() {
+        let (device, mut nl) = setup(300);
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(4, 0, 0, 2)).unwrap();
+        let cfg = PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(3) };
+        let p = place(&nl, &grid, &w, &cfg).unwrap();
+        let before = analyze(&nl, &grid, &w, &p);
+        // Chain the last cell back to cell 0: a long feedback wire that
+        // also deepens the path.
+        nl.nets.push(synth::Net { pins: vec![0, (nl.cells.len() - 1) as u32] });
+        let p2 = place(&nl, &grid, &w, &cfg).unwrap();
+        let after = analyze(&nl, &grid, &w, &p2);
+        assert!(after.critical_path_ns >= before.critical_path_ns);
+    }
+
+    #[test]
+    fn empty_netlist_degenerates_gracefully() {
+        let device = xc5vlx110t();
+        let grid = SiteGrid::new(&device);
+        let w = device.find_window(&WindowRequest::new(1, 0, 0, 1)).unwrap();
+        let r = SynthReport::new("e", Family::Virtex5, 1, 1, 0, 0, 0);
+        let nl = Netlist::from_report(&r, 0).unwrap();
+        let p = place(&nl, &grid, &w, &PlacerConfig::fast(1)).unwrap();
+        let t = analyze(&nl, &grid, &w, &p);
+        assert!(t.critical_path_ns >= LOGIC_DELAY_NS);
+        assert!(t.max_frequency_mhz.is_finite());
+    }
+}

@@ -1,0 +1,133 @@
+//! Paper-exact resource numbers for the evaluated PRMs.
+//!
+//! The paper reports (Table V) the XST synthesis resource requirements and
+//! (Table VI) the post-place-and-route requirements of three PRMs — a
+//! 32-coefficient FIR filter, a 5-stage MIPS R3000, and a 32-bit SDRAM
+//! controller — on the Virtex-5 LX110T and Virtex-6 LX75T. Table V's raw
+//! cells were lost in the available transcription; they are reconstructed
+//! algebraically from Table VI's values and savings percentages, and
+//! cross-checked against every surviving utilization percentage
+//! (`DESIGN.md` §5).
+//!
+//! These constants calibrate the [`crate::prm`] generators on the two
+//! evaluated families, so the cost models are driven by exactly the inputs
+//! the paper used.
+
+use crate::prm::PaperPrm;
+use crate::report::SynthReport;
+use fabric::Family;
+
+/// Paper synthesis-report numbers (reconstructed Table V) for `prm` on
+/// `family`, or `None` for families the paper did not evaluate.
+pub fn paper_synth_report(prm: PaperPrm, family: Family) -> Option<SynthReport> {
+    // (lut_ff_pairs, luts, ffs, dsps, brams)
+    let (p, l, f, d, b) = match (prm, family) {
+        (PaperPrm::Fir, Family::Virtex5) => (1300, 1150, 394, 32, 0),
+        (PaperPrm::Mips, Family::Virtex5) => (2618, 1527, 1592, 4, 6),
+        (PaperPrm::Sdram, Family::Virtex5) => (332, 157, 292, 0, 0),
+        (PaperPrm::Fir, Family::Virtex6) => (1467, 1316, 394, 27, 0),
+        (PaperPrm::Mips, Family::Virtex6) => (3239, 2095, 1860, 4, 6),
+        (PaperPrm::Sdram, Family::Virtex6) => (385, 181, 324, 0, 0),
+        _ => return None,
+    };
+    Some(SynthReport::new(prm.module_name(), family, p, l, f, d, b))
+}
+
+/// Paper post-place-and-route numbers (Table VI) for `prm` on `family`.
+///
+/// The Xilinx tools optimize during PAR, usually shrinking LUT/pair counts
+/// (and occasionally growing FFs via replication, e.g. FIR on Virtex-5).
+/// DSP and BRAM counts never change (paper: "0% change").
+pub fn paper_post_par_report(prm: PaperPrm, family: Family) -> Option<SynthReport> {
+    let (p, l, f, d, b) = match (prm, family) {
+        (PaperPrm::Fir, Family::Virtex5) => (1082, 1015, 410, 32, 0),
+        (PaperPrm::Mips, Family::Virtex5) => (2183, 1528, 1592, 4, 6),
+        (PaperPrm::Sdram, Family::Virtex5) => (324, 191, 292, 0, 0),
+        (PaperPrm::Fir, Family::Virtex6) => (999, 999, 394, 27, 0),
+        (PaperPrm::Mips, Family::Virtex6) => (2630, 1932, 1860, 4, 6),
+        (PaperPrm::Sdram, Family::Virtex6) => (370, 215, 324, 0, 0),
+        _ => return None,
+    };
+    Some(SynthReport::new(prm.module_name(), family, p, l, f, d, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRMS: [PaperPrm; 3] = [PaperPrm::Fir, PaperPrm::Mips, PaperPrm::Sdram];
+    const FAMILIES: [Family; 2] = [Family::Virtex5, Family::Virtex6];
+
+    #[test]
+    fn all_calibrated_reports_are_internally_consistent() {
+        for prm in PRMS {
+            for fam in FAMILIES {
+                paper_synth_report(prm, fam).unwrap().validate().unwrap();
+                paper_post_par_report(prm, fam).unwrap().validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn unevaluated_families_return_none() {
+        assert!(paper_synth_report(PaperPrm::Fir, Family::Virtex4).is_none());
+        assert!(paper_post_par_report(PaperPrm::Mips, Family::Series7).is_none());
+    }
+
+    /// Recompute every savings percentage in Table VI from the calibrated
+    /// values and compare with the paper's printed percentages.
+    #[test]
+    fn table6_savings_percentages_reproduce() {
+        // (prm, family, pairs%, luts%, ffs%)
+        let expected = [
+            (PaperPrm::Fir, Family::Virtex5, 16.8, 11.7, -4.1),
+            (PaperPrm::Mips, Family::Virtex5, 16.6, -0.1, 0.0),
+            (PaperPrm::Sdram, Family::Virtex5, 2.4, -21.7, 0.0),
+            (PaperPrm::Fir, Family::Virtex6, 31.9, 24.1, 0.0),
+            (PaperPrm::Mips, Family::Virtex6, 18.8, 7.8, 0.0),
+            (PaperPrm::Sdram, Family::Virtex6, 3.9, -18.8, 0.0),
+        ];
+        for (prm, fam, sp, sl, sf) in expected {
+            let synth = paper_synth_report(prm, fam).unwrap();
+            let post = paper_post_par_report(prm, fam).unwrap();
+            let gp = post.saving_pct(&synth, |r| r.lut_ff_pairs);
+            let gl = post.saving_pct(&synth, |r| r.luts);
+            let gf = post.saving_pct(&synth, |r| r.ffs);
+            assert!((gp - sp).abs() < 0.1, "{prm:?}/{fam}: pairs {gp} vs {sp}");
+            assert!((gl - sl).abs() < 0.1, "{prm:?}/{fam}: luts {gl} vs {sl}");
+            assert!((gf - sf).abs() < 0.1, "{prm:?}/{fam}: ffs {gf} vs {sf}");
+        }
+    }
+
+    /// DSP and BRAM counts are identical pre/post PAR (paper: 0% change).
+    #[test]
+    fn dsp_bram_unchanged_by_par() {
+        for prm in PRMS {
+            for fam in FAMILIES {
+                let synth = paper_synth_report(prm, fam).unwrap();
+                let post = paper_post_par_report(prm, fam).unwrap();
+                assert_eq!(synth.dsps, post.dsps);
+                assert_eq!(synth.brams, post.brams);
+            }
+        }
+    }
+
+    /// CLB_req = ceil(LUT_FF_req / LUT_CLB) must reproduce the paper's
+    /// Table VI CLB_req row (136, 273, 41, 125, 329, 47).
+    #[test]
+    fn table6_clb_req_reproduces() {
+        let expected = [
+            (PaperPrm::Fir, Family::Virtex5, 136),
+            (PaperPrm::Mips, Family::Virtex5, 273),
+            (PaperPrm::Sdram, Family::Virtex5, 41),
+            (PaperPrm::Fir, Family::Virtex6, 125),
+            (PaperPrm::Mips, Family::Virtex6, 329),
+            (PaperPrm::Sdram, Family::Virtex6, 47),
+        ];
+        for (prm, fam, clb) in expected {
+            let post = paper_post_par_report(prm, fam).unwrap();
+            let lut_clb = u64::from(fam.params().lut_clb);
+            assert_eq!(post.lut_ff_pairs.div_ceil(lut_clb), clb, "{prm:?}/{fam}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # `synth` — synthesis substrate
+//!
+//! The paper's cost models take their inputs from Xilinx XST synthesis
+//! reports: the PRM's `LUT_FF_req`, `LUT_req`, `FF_req`, `DSP_req` and
+//! `BRAM_req` (Table I). XST is proprietary and unavailable here, so this
+//! crate supplies everything around that input:
+//!
+//! * [`SynthReport`] — the structured report, with the paper's slice-pair
+//!   algebra (`LUT_FF_req` decomposes into fully-used pairs, pairs with an
+//!   unused FF, and pairs with an unused LUT) as checked invariants.
+//! * [`xst`] — an XST-`.syr`-style plain-text writer and parser, so the
+//!   models can be driven from report files exactly as a designer would.
+//! * [`netlist`] — a small structural IR (slice pair-slots, DSPs, BRAMs,
+//!   synthetic connectivity) consumed by the simulated place-and-route flow
+//!   in `parflow`.
+//! * [`prm`] — parametric architecture generators for PR modules: the three
+//!   the paper evaluates (32-tap FIR, 5-stage MIPS R3000, 32-bit SDRAM
+//!   controller) plus extras (AES-128 round engine, radix-2 FFT, generic),
+//!   each mapping first-principles operator counts to family resources.
+//! * [`calibration`] — the paper's exact synthesis and post-PAR resource
+//!   numbers for the three evaluated PRMs on Virtex-5 LX110T and Virtex-6
+//!   LX75T (reconstructed in `DESIGN.md` §5), used to pin the generators to
+//!   the paper's inputs on those families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod mapping;
+pub mod netlist;
+pub mod prm;
+pub mod report;
+pub mod xst;
+
+pub use calibration::{paper_post_par_report, paper_synth_report};
+pub use netlist::{Cell, CellKind, Net, Netlist};
+pub use prm::{PaperPrm, PrmGenerator};
+pub use report::{ReportError, SynthReport};

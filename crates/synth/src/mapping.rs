@@ -1,0 +1,187 @@
+//! Technology-mapping estimator: abstract operator counts → family resources.
+//!
+//! The parametric PRM generators describe an architecture as operator
+//! counts (multipliers, adders, register bits, memory bits, FSM states,
+//! muxes); this module maps them onto a family's primitives the way XST
+//! would to first order: wide multiplies onto DSP blocks (with the
+//! Virtex-6/7-series pre-adder packing symmetric tap pairs), adders onto
+//! carry-chain LUTs, memories onto 36 kb (or Virtex-4 18 kb) BRAMs, and
+//! control logic onto LUTs, then estimates slice LUT–FF pairing.
+
+use crate::report::{PairBreakdown, SynthReport};
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// Abstract operator counts describing a PRM architecture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Wide multiplies (or multiply-accumulates), each `mult_width` bits.
+    pub mults: u32,
+    /// Operand width of the multiplies.
+    pub mult_width: u32,
+    /// Whether multiply pairs are symmetric (FIR with symmetric
+    /// coefficients) — lets pre-adder DSPs (Virtex-6/7-series) share.
+    pub symmetric_mults: bool,
+    /// Adders/subtractors, each `add_width` bits.
+    pub adders: u32,
+    /// Operand width of the adders.
+    pub add_width: u32,
+    /// Total architectural register bits (pipeline, state, counters).
+    pub register_bits: u64,
+    /// Total memory bits that must land in block RAM.
+    pub mem_bits: u64,
+    /// FSM states (control logic).
+    pub fsm_states: u32,
+    /// Dataflow multiplexers, each selecting between `mux_inputs` buses of
+    /// `mux_width` bits.
+    pub muxes: u32,
+    /// Width of each mux bus.
+    pub mux_width: u32,
+    /// Inputs per mux.
+    pub mux_inputs: u32,
+    /// Miscellaneous random logic, in LUTs.
+    pub misc_luts: u64,
+}
+
+/// Fraction of the smaller of (LUTs, FFs) that XST packs into fully used
+/// LUT–FF pairs; the remainder occupy their own pair slots. Derived from
+/// the paper PRMs' reconstructed breakdowns (24–62 % fully used).
+const PACK_FACTOR: f64 = 0.45;
+
+/// Map `ops` to a synthesis report for `family`.
+pub fn map(module: &str, ops: &OpCounts, family: Family) -> SynthReport {
+    let p = family.params();
+
+    // --- DSP blocks -------------------------------------------------------
+    // DSP48-class blocks multiply 25x18 (18x18 on Virtex-4). Wider operands
+    // tile multiple blocks. Virtex-6/7-series DSP48E1 pre-adders let
+    // symmetric coefficient pairs share a multiplier for ~15 % of the taps.
+    let (dsp_a, dsp_b) = match family {
+        Family::Virtex4 | Family::Spartan6 => (18u32, 18u32),
+        _ => (25, 18),
+    };
+    let tiles = u64::from(ops.mult_width.div_ceil(dsp_a)) * u64::from(ops.mult_width.div_ceil(dsp_b));
+    let mut dsps = u64::from(ops.mults) * tiles.max(1);
+    if dsps > 0 && ops.mults == 0 {
+        dsps = 0;
+    }
+    let has_preadder = matches!(family, Family::Virtex6 | Family::Series7);
+    if has_preadder && ops.symmetric_mults && dsps > 1 {
+        // Pre-adder shares ~1 in 6 multipliers for symmetric structures.
+        dsps -= dsps / 6;
+    }
+
+    // --- Block RAMs -------------------------------------------------------
+    let bram_bits: u64 = match family {
+        Family::Virtex4 | Family::Spartan6 => 18 * 1024,
+        _ => 36 * 1024,
+    };
+    let brams = ops.mem_bits.div_ceil(bram_bits.max(1)).min(ops.mem_bits); // 0 if mem_bits == 0
+
+    // --- LUTs -------------------------------------------------------------
+    // Adders cost one LUT per bit (carry chains); muxes cost
+    // width * ceil((inputs-1)/(inputs_per_lut-1)) LUTs; FSMs roughly
+    // 3 LUTs per state on LUT6 fabrics, 4 on LUT4 (Virtex-4).
+    let lut_inputs: u32 = match family {
+        Family::Virtex4 => 4,
+        _ => 6,
+    };
+    let mux_per_lut = (lut_inputs / 2).max(1); // 2:1 legs per LUT
+    let adder_luts = u64::from(ops.adders) * u64::from(ops.add_width);
+    let mux_luts = u64::from(ops.muxes)
+        * u64::from(ops.mux_width)
+        * u64::from(ops.mux_inputs.saturating_sub(1).div_ceil(mux_per_lut).max(1))
+        * u64::from(u32::from(ops.mux_inputs > 1));
+    let fsm_luts = u64::from(ops.fsm_states) * if lut_inputs >= 6 { 3 } else { 4 };
+    let luts = adder_luts + mux_luts + fsm_luts + ops.misc_luts;
+
+    // --- FFs ----------------------------------------------------------
+    // Virtex-6/7 CLBs have twice the FFs per LUT; register bits map 1:1
+    // regardless, so FF counts are family-independent at this level.
+    let ffs = ops.register_bits;
+    let _ = p;
+
+    // --- Slice pairing ----------------------------------------------------
+    let fully_used = ((luts.min(ffs)) as f64 * PACK_FACTOR).round() as u64;
+    let breakdown = PairBreakdown {
+        unused_lut: ffs - fully_used,
+        fully_used,
+        unused_ff: luts - fully_used,
+    };
+
+    SynthReport::from_breakdown(module, family, breakdown, dsps, brams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ops_map_to_empty_report() {
+        let r = map("nop", &OpCounts::default(), Family::Virtex5);
+        assert_eq!(r.lut_ff_pairs, 0);
+        assert_eq!(r.dsps, 0);
+        assert_eq!(r.brams, 0);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn mapped_reports_always_validate() {
+        let ops = OpCounts {
+            mults: 32,
+            mult_width: 16,
+            symmetric_mults: true,
+            adders: 31,
+            add_width: 38,
+            register_bits: 600,
+            mem_bits: 200_000,
+            fsm_states: 12,
+            muxes: 8,
+            mux_width: 32,
+            mux_inputs: 4,
+            misc_luts: 100,
+        };
+        for fam in Family::ALL {
+            map("m", &ops, fam).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn preadder_reduces_symmetric_dsps_on_v6_only() {
+        let ops = OpCounts {
+            mults: 32,
+            mult_width: 16,
+            symmetric_mults: true,
+            ..OpCounts::default()
+        };
+        let v5 = map("m", &ops, Family::Virtex5);
+        let v6 = map("m", &ops, Family::Virtex6);
+        assert_eq!(v5.dsps, 32);
+        assert_eq!(v6.dsps, 27, "32 - 32/6 = 27, matching the paper's FIR");
+    }
+
+    #[test]
+    fn wide_mults_tile_multiple_dsps() {
+        let ops = OpCounts { mults: 1, mult_width: 32, ..OpCounts::default() };
+        let v5 = map("m", &ops, Family::Virtex5);
+        // 32 bits needs ceil(32/25) x ceil(32/18) = 2 x 2 = 4 DSP48Es.
+        assert_eq!(v5.dsps, 4);
+        let v4 = map("m", &ops, Family::Virtex4);
+        assert_eq!(v4.dsps, 4); // ceil(32/18)^2 = 4
+    }
+
+    #[test]
+    fn bram_capacity_is_family_specific() {
+        let ops = OpCounts { mem_bits: 200 * 1024, ..OpCounts::default() };
+        assert_eq!(map("m", &ops, Family::Virtex5).brams, 6); // 200k/36k
+        assert_eq!(map("m", &ops, Family::Virtex4).brams, 12); // 200k/18k
+    }
+
+    #[test]
+    fn lut4_fabric_needs_more_mux_luts() {
+        let ops = OpCounts { muxes: 4, mux_width: 32, mux_inputs: 4, ..OpCounts::default() };
+        let v5 = map("m", &ops, Family::Virtex5);
+        let v4 = map("m", &ops, Family::Virtex4);
+        assert!(v4.luts > v5.luts, "LUT4 mux cost {} <= LUT6 {}", v4.luts, v5.luts);
+    }
+}

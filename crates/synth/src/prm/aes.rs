@@ -1,0 +1,92 @@
+//! AES-128 round engine PRM (extension beyond the paper's three modules).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// An iterative AES-128 encryption engine: one round per cycle, S-boxes in
+/// block RAM (or distributed LUTs), key schedule on the fly. A useful
+/// "LUT+BRAM, no DSP" point in the PRM space for multitasking workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AesEngine {
+    /// Number of parallel 128-bit lanes.
+    pub lanes: u32,
+    /// Store S-boxes in BRAM (`true`) or distributed LUT ROMs (`false`).
+    pub sbox_in_bram: bool,
+}
+
+impl AesEngine {
+    /// Single-lane engine with BRAM S-boxes.
+    pub fn standard() -> Self {
+        AesEngine { lanes: 1, sbox_in_bram: true }
+    }
+
+    /// A custom engine.
+    pub fn new(lanes: u32, sbox_in_bram: bool) -> Self {
+        AesEngine { lanes, sbox_in_bram }
+    }
+}
+
+impl PrmGenerator for AesEngine {
+    fn name(&self) -> String {
+        format!("aes128x{}", self.lanes)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let lanes = u64::from(self.lanes);
+        // 16 S-boxes + 4 for key schedule per lane; each S-box is a
+        // 256x8 ROM = 2 kb.
+        let sbox_bits = lanes * 20 * 2048;
+        let (mem_bits, sbox_luts) = if self.sbox_in_bram {
+            (sbox_bits, 0)
+        } else {
+            (0, lanes * 20 * 32) // 32 LUT6s per 256x8 ROM
+        };
+        OpCounts {
+            mults: 0,
+            mult_width: 0,
+            symmetric_mults: false,
+            adders: 0,
+            add_width: 0,
+            // State + round key + input/output registers per lane.
+            register_bits: lanes * (128 * 3 + 16),
+            fsm_states: 12,
+            // MixColumns + AddRoundKey xor network.
+            muxes: self.lanes * 4,
+            mux_width: 32,
+            mux_inputs: 2,
+            mem_bits,
+            misc_luts: lanes * 640 + sbox_luts, // xor trees + key schedule
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_vs_lut_sbox_tradeoff() {
+        let bram = AesEngine::new(1, true).synthesize(Family::Virtex5);
+        let lut = AesEngine::new(1, false).synthesize(Family::Virtex5);
+        assert!(bram.brams > 0);
+        assert_eq!(lut.brams, 0);
+        assert!(lut.luts > bram.luts);
+    }
+
+    #[test]
+    fn lanes_scale_linearly() {
+        let one = AesEngine::new(1, true).synthesize(Family::Virtex5);
+        let four = AesEngine::new(4, true).synthesize(Family::Virtex5);
+        assert_eq!(four.ffs, 4 * one.ffs);
+        assert!(four.brams >= one.brams * 2);
+    }
+
+    #[test]
+    fn reports_validate_on_all_families() {
+        for fam in Family::ALL {
+            AesEngine::standard().synthesize(fam).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! 2-D DCT PRM (JPEG-style transform block).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A row-column 2-D discrete cosine transform: two 1-D DCT passes with a
+/// transpose buffer in BRAM. A balanced DSP+BRAM+logic point typical of
+/// image pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DctCore {
+    /// Block size (8 for JPEG).
+    pub block: u32,
+    /// Sample width in bits.
+    pub width: u32,
+}
+
+impl DctCore {
+    /// JPEG-style 8x8, 12-bit internal precision.
+    pub fn jpeg() -> Self {
+        DctCore { block: 8, width: 12 }
+    }
+
+    /// A custom transform.
+    pub fn new(block: u32, width: u32) -> Self {
+        DctCore { block: block.max(2), width }
+    }
+}
+
+impl PrmGenerator for DctCore {
+    fn name(&self) -> String {
+        format!("dct{}x{}", self.block, self.block)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let n = self.block;
+        OpCounts {
+            // One multiplier per butterfly stage per pass (factorized DCT
+            // needs ~n/2 multipliers per 1-D pass, two passes).
+            mults: n,
+            mult_width: self.width + 2,
+            symmetric_mults: true,
+            adders: n * 2,
+            add_width: self.width + 4,
+            register_bits: u64::from(n) * u64::from(self.width) * 6,
+            fsm_states: 6,
+            muxes: n / 2,
+            mux_width: self.width,
+            mux_inputs: 2,
+            // Transpose buffer: two n x n blocks, double-buffered.
+            mem_bits: 2 * u64::from(n) * u64::from(n) * u64::from(self.width + 4),
+            misc_luts: u64::from(n) * 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jpeg_profile_is_balanced() {
+        let r = DctCore::jpeg().synthesize(Family::Virtex5);
+        r.validate().unwrap();
+        assert!(r.dsps >= 8, "dsps {}", r.dsps);
+        assert!(r.brams >= 1);
+        assert!(r.luts > 0 && r.ffs > 0);
+    }
+
+    #[test]
+    fn bigger_blocks_cost_more() {
+        let small = DctCore::new(4, 12).synthesize(Family::Virtex5);
+        let big = DctCore::new(16, 12).synthesize(Family::Virtex5);
+        assert!(big.dsps > small.dsps);
+        assert!(big.luts > small.luts);
+    }
+
+    #[test]
+    fn validates_on_all_families() {
+        for fam in Family::ALL {
+            DctCore::jpeg().synthesize(fam).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Pipelined radix-2 FFT PRM (extension beyond the paper's three modules).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A streaming radix-2 single-delay-feedback FFT: one butterfly (complex
+/// multiply = 3 real multiplies) per stage, delay lines in BRAM. A "DSP +
+/// BRAM heavy" point in the PRM space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FftCore {
+    /// Transform length (power of two).
+    pub points: u32,
+    /// Sample width in bits per real/imaginary component.
+    pub width: u32,
+}
+
+impl FftCore {
+    /// 1024-point, 16-bit core.
+    pub fn standard() -> Self {
+        FftCore { points: 1024, width: 16 }
+    }
+
+    /// A custom core; `points` is rounded up to a power of two.
+    pub fn new(points: u32, width: u32) -> Self {
+        FftCore { points: points.next_power_of_two(), width }
+    }
+
+    /// Number of pipeline stages = log2(points).
+    pub fn stages(&self) -> u32 {
+        self.points.trailing_zeros()
+    }
+}
+
+impl PrmGenerator for FftCore {
+    fn name(&self) -> String {
+        format!("fft{}x{}", self.points, self.width)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let stages = self.stages();
+        // Delay feedback memory: sum over stages of 2^s complex samples.
+        let delay_bits = u64::from(self.points.saturating_sub(1)) * u64::from(self.width) * 2;
+        // Twiddle ROMs: one complex factor per stage entry.
+        let twiddle_bits = u64::from(self.points / 2) * u64::from(self.width) * 2;
+        OpCounts {
+            // 3 real multiplies per stage butterfly.
+            mults: stages * 3,
+            mult_width: self.width,
+            symmetric_mults: false,
+            // Complex add/sub per butterfly: 4 real adders.
+            adders: stages * 4,
+            add_width: self.width + 2,
+            register_bits: u64::from(stages) * u64::from(self.width) * 8 + 64,
+            fsm_states: 4,
+            muxes: stages,
+            mux_width: self.width * 2,
+            mux_inputs: 2,
+            mem_bits: delay_bits + twiddle_bits,
+            misc_luts: u64::from(stages) * 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_is_log2() {
+        assert_eq!(FftCore::standard().stages(), 10);
+        assert_eq!(FftCore::new(1000, 16).points, 1024);
+    }
+
+    #[test]
+    fn dsp_and_bram_heavy() {
+        let r = FftCore::standard().synthesize(Family::Virtex5);
+        assert_eq!(r.dsps, 30, "10 stages x 3 multiplies");
+        assert!(r.brams >= 1);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn longer_transforms_need_more_memory() {
+        let small = FftCore::new(256, 16).synthesize(Family::Virtex5);
+        let large = FftCore::new(4096, 16).synthesize(Family::Virtex5);
+        assert!(large.brams > small.brams);
+        assert!(large.dsps > small.dsps);
+    }
+}

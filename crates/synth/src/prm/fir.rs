@@ -1,0 +1,105 @@
+//! Finite impulse response filter PRM (the paper's `FIR`).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A transposed-form FIR filter: one multiply-accumulate per tap, an adder
+/// chain, and an output pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirFilter {
+    /// Number of coefficients (taps).
+    pub taps: u32,
+    /// Input sample width in bits.
+    pub data_width: u32,
+    /// Coefficient width in bits.
+    pub coef_width: u32,
+    /// Symmetric coefficients (enables pre-adder sharing on Virtex-6/7).
+    pub symmetric: bool,
+}
+
+impl FirFilter {
+    /// The paper's instance: a 32-coefficient filter (§IV).
+    pub fn paper() -> Self {
+        FirFilter { taps: 32, data_width: 16, coef_width: 16, symmetric: true }
+    }
+
+    /// A custom filter.
+    pub fn new(taps: u32, data_width: u32, coef_width: u32, symmetric: bool) -> Self {
+        FirFilter { taps, data_width, coef_width, symmetric }
+    }
+
+    /// Full-precision accumulator width: product width plus tap growth.
+    pub fn accumulator_width(&self) -> u32 {
+        self.data_width + self.coef_width + 32u32.saturating_sub(self.taps.leading_zeros())
+    }
+}
+
+impl PrmGenerator for FirFilter {
+    fn name(&self) -> String {
+        format!("fir{}", self.taps)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let acc = self.accumulator_width();
+        OpCounts {
+            mults: self.taps,
+            mult_width: self.data_width.max(self.coef_width),
+            symmetric_mults: self.symmetric,
+            // Adder chain between taps, sized near the product width; the
+            // constant tail models I/O registering and rounding logic.
+            adders: self.taps.saturating_sub(1),
+            add_width: acc.saturating_sub(5),
+            register_bits: u64::from(self.taps) * u64::from(self.data_width) / 2
+                + u64::from(acc) * 3
+                + 24,
+            fsm_states: 0,
+            muxes: 0,
+            mux_width: 0,
+            mux_inputs: 0,
+            mem_bits: 0,
+            misc_luts: u64::from(self.data_width) * 8 - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::paper_synth_report;
+    use crate::prm::PaperPrm;
+
+    #[test]
+    fn paper_instance_matches_dsp_and_lut_counts() {
+        let fir = FirFilter::paper();
+        let v5 = fir.synthesize(Family::Virtex5);
+        let paper = paper_synth_report(PaperPrm::Fir, Family::Virtex5).unwrap();
+        assert_eq!(v5.dsps, paper.dsps, "32 DSP48Es on Virtex-5");
+        assert_eq!(v5.luts, paper.luts, "adder chain + misc = 1150 LUTs");
+        assert_eq!(v5.ffs, paper.ffs, "394 pipeline registers");
+
+        let v6 = fir.synthesize(Family::Virtex6);
+        assert_eq!(v6.dsps, 27, "pre-adder packing on Virtex-6");
+    }
+
+    #[test]
+    fn taps_scale_resources_monotonically() {
+        let small = FirFilter::new(8, 16, 16, false).synthesize(Family::Virtex5);
+        let large = FirFilter::new(64, 16, 16, false).synthesize(Family::Virtex5);
+        assert!(large.dsps > small.dsps);
+        assert!(large.luts > small.luts);
+        assert!(large.ffs > small.ffs);
+    }
+
+    #[test]
+    fn wide_data_tiles_dsps() {
+        let wide = FirFilter::new(8, 32, 18, false).synthesize(Family::Virtex5);
+        assert_eq!(wide.dsps, 8 * 4, "32-bit operands tile 4 DSP48Es each");
+    }
+
+    #[test]
+    fn name_includes_taps() {
+        assert_eq!(FirFilter::paper().name(), "fir32");
+    }
+}

@@ -1,0 +1,124 @@
+//! Generic/random PRMs for workload generation and sweeps.
+
+use crate::mapping::OpCounts;
+use crate::netlist::SplitMix64;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A PRM described directly by its operator counts. Used by parameter
+/// sweeps and the multitasking workload generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenericPrm {
+    /// Module name.
+    pub name: String,
+    /// Operator counts (family-independent description).
+    pub ops: OpCounts,
+}
+
+impl GenericPrm {
+    /// Wrap explicit operator counts.
+    pub fn new(name: impl Into<String>, ops: OpCounts) -> Self {
+        GenericPrm { name: name.into(), ops }
+    }
+
+    /// Deterministic pseudo-random PRM at a given `scale` (rough LUT
+    /// count). Mixes datapath (multiplies/adders), control (FSM) and
+    /// memory in seed-dependent proportions, so a stream of seeds yields a
+    /// diverse hardware-task population.
+    pub fn random(seed: u64, scale: u32) -> Self {
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1);
+        let scale = scale.max(16);
+        let flavor = rng.below(3); // 0 = datapath, 1 = control, 2 = memory
+        let mults = match flavor {
+            0 => (scale / 64) + rng.below(8) as u32,
+            _ => rng.below(3) as u32,
+        };
+        let mem_kb = match flavor {
+            2 => 16 + rng.below(128),
+            _ => rng.below(8),
+        };
+        let fsm = match flavor {
+            1 => 16 + rng.below(48) as u32,
+            _ => rng.below(8) as u32,
+        };
+        let ops = OpCounts {
+            mults,
+            mult_width: 16 + (rng.below(3) * 8) as u32,
+            symmetric_mults: rng.below(2) == 0,
+            adders: (scale / 48) + rng.below(6) as u32,
+            add_width: 16 + rng.below(17) as u32,
+            register_bits: u64::from(scale) / 2 + rng.below(u64::from(scale) / 2 + 1),
+            fsm_states: fsm,
+            muxes: rng.below(12) as u32,
+            mux_width: 32,
+            mux_inputs: 2 + rng.below(3) as u32,
+            mem_bits: mem_kb * 1024,
+            misc_luts: u64::from(scale) / 3 + rng.below(u64::from(scale) / 4 + 1),
+        };
+        GenericPrm { name: format!("task_{seed:04x}"), ops }
+    }
+}
+
+impl PrmGenerator for GenericPrm {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = GenericPrm::random(7, 1000);
+        let b = GenericPrm::random(7, 1000);
+        assert_eq!(a, b);
+        let c = GenericPrm::random(8, 1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_reports_always_validate() {
+        for seed in 0..200 {
+            for fam in Family::ALL {
+                GenericPrm::random(seed, 500 + (seed as u32 * 37) % 4000)
+                    .synthesize(fam)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("seed {seed} family {fam}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_tracks_resource_totals() {
+        let avg = |scale: u32| -> f64 {
+            (0..32)
+                .map(|s| GenericPrm::random(s, scale).synthesize(Family::Virtex5).lut_ff_pairs)
+                .sum::<u64>() as f64
+                / 32.0
+        };
+        assert!(avg(4000) > avg(500) * 2.0);
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let pop: Vec<_> = (0..64).map(|s| GenericPrm::random(s, 1500)).collect();
+        let with_dsp = pop
+            .iter()
+            .filter(|p| p.synthesize(Family::Virtex5).dsps > 0)
+            .count();
+        let with_bram = pop
+            .iter()
+            .filter(|p| p.synthesize(Family::Virtex5).brams > 0)
+            .count();
+        assert!(with_dsp > 8, "some tasks use DSPs ({with_dsp})");
+        assert!(with_bram > 8, "some tasks use BRAMs ({with_bram})");
+        assert!(with_dsp < 64, "not all tasks use DSPs");
+    }
+}

@@ -1,0 +1,96 @@
+//! 5-stage pipelined MIPS R3000 PRM (the paper's `MIPS`).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A classic 5-stage (IF/ID/EX/MEM/WB) in-order MIPS pipeline with a
+/// full-width hardware multiplier and BRAM-backed instruction/data memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MipsCore {
+    /// Datapath width in bits.
+    pub width: u32,
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Instruction + data memory size in bits (lands in BRAM).
+    pub mem_bits: u64,
+}
+
+impl MipsCore {
+    /// The paper's instance: 32-bit, 5 stages, memories filling 6 BRAM36s
+    /// (§IV; BRAM_req = 6 in Table V).
+    pub fn paper() -> Self {
+        MipsCore { width: 32, stages: 5, mem_bits: 204 * 1024 }
+    }
+
+    /// A custom core.
+    pub fn new(width: u32, stages: u32, mem_bits: u64) -> Self {
+        MipsCore { width, stages, mem_bits }
+    }
+}
+
+impl PrmGenerator for MipsCore {
+    fn name(&self) -> String {
+        format!("mips{}_{}stage", self.width, self.stages)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let w = self.width;
+        OpCounts {
+            // One full-width multiplier (the R3000 MULT unit): 32-bit
+            // operands tile 4 DSP blocks on every modeled family.
+            mults: 1,
+            mult_width: w,
+            symmetric_mults: false,
+            // ALU add/sub, PC incrementer, branch adder, address adder.
+            adders: 4,
+            add_width: w,
+            // Pipeline latches: roughly 2 full datapath words plus control
+            // per stage boundary, plus the architectural register file's
+            // bypass registers.
+            register_bits: u64::from(self.stages) * u64::from(w) * 9
+                + u64::from(w) * 4 + 24,
+            fsm_states: 8,
+            // Forwarding/hazard muxes: 3 per stage boundary.
+            muxes: 3 * self.stages.saturating_sub(1),
+            mux_width: w,
+            mux_inputs: 4,
+            mem_bits: self.mem_bits,
+            misc_luts: u64::from(w) * 30 + 31, // decode + control random logic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::paper_synth_report;
+    use crate::prm::PaperPrm;
+
+    #[test]
+    fn paper_instance_matches_key_counts() {
+        let mips = MipsCore::paper();
+        let v5 = mips.synthesize(Family::Virtex5);
+        let paper = paper_synth_report(PaperPrm::Mips, Family::Virtex5).unwrap();
+        assert_eq!(v5.dsps, 4, "32x32 multiply tiles 4 DSP48Es");
+        assert_eq!(v5.brams, 6, "204 kb of memory fills 6 BRAM36s");
+        assert_eq!(v5.luts, paper.luts);
+        assert_eq!(v5.ffs, paper.ffs);
+    }
+
+    #[test]
+    fn virtex4_needs_more_brams_for_same_memory() {
+        let mips = MipsCore::paper();
+        let v4 = mips.synthesize(Family::Virtex4);
+        assert_eq!(v4.brams, 12, "18 kb RAMB16s on Virtex-4");
+        assert_eq!(v4.dsps, 4, "ceil(32/18)^2 = 4 DSP48s");
+    }
+
+    #[test]
+    fn deeper_pipelines_cost_more_registers() {
+        let p5 = MipsCore::new(32, 5, 0).synthesize(Family::Virtex5);
+        let p8 = MipsCore::new(32, 8, 0).synthesize(Family::Virtex5);
+        assert!(p8.ffs > p5.ffs);
+    }
+}

@@ -1,0 +1,89 @@
+//! SDRAM controller PRM (the paper's `SDRAM`).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A synchronous DRAM controller: command/refresh state machines, address
+/// multiplexing and timing counters, and registered data paths. Control
+/// heavy — lots of FFs, few LUTs, no DSPs or BRAMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdramController {
+    /// Data bus width in bits.
+    pub data_width: u32,
+    /// Row/column address width in bits.
+    pub addr_width: u32,
+}
+
+impl SdramController {
+    /// The paper's instance: a 32-bit controller (§IV).
+    pub fn paper() -> Self {
+        SdramController { data_width: 32, addr_width: 13 }
+    }
+
+    /// A custom controller.
+    pub fn new(data_width: u32, addr_width: u32) -> Self {
+        SdramController { data_width, addr_width }
+    }
+}
+
+impl PrmGenerator for SdramController {
+    fn name(&self) -> String {
+        format!("sdram{}", self.data_width)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        OpCounts {
+            mults: 0,
+            mult_width: 0,
+            symmetric_mults: false,
+            // Refresh interval counter + burst address incrementer.
+            adders: 2,
+            add_width: self.addr_width,
+            // Registered data in/out, address pipeline, timing counters.
+            register_bits: u64::from(self.data_width) * 7
+                + u64::from(self.addr_width) * 4 + 16,
+            // Command FSM (init, refresh, activate, read, write, precharge
+            // sequencing).
+            fsm_states: 20,
+            muxes: 0,
+            mux_width: 0,
+            mux_inputs: 0,
+            mem_bits: 0,
+            misc_luts: u64::from(self.data_width) * 2 + 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::paper_synth_report;
+    use crate::prm::PaperPrm;
+
+    #[test]
+    fn paper_instance_matches_lut_ff_counts() {
+        let sdram = SdramController::paper();
+        let v5 = sdram.synthesize(Family::Virtex5);
+        let paper = paper_synth_report(PaperPrm::Sdram, Family::Virtex5).unwrap();
+        assert_eq!(v5.luts, paper.luts, "157 control LUTs");
+        assert_eq!(v5.ffs, paper.ffs, "292 registers");
+        assert_eq!(v5.dsps, 0);
+        assert_eq!(v5.brams, 0);
+    }
+
+    #[test]
+    fn control_heavy_profile() {
+        let r = SdramController::paper().synthesize(Family::Virtex5);
+        assert!(r.ffs > r.luts, "SDRAM controllers are register-dominated");
+    }
+
+    #[test]
+    fn wider_bus_costs_more() {
+        let narrow = SdramController::new(16, 13).synthesize(Family::Virtex5);
+        let wide = SdramController::new(64, 13).synthesize(Family::Virtex5);
+        assert!(wide.ffs > narrow.ffs);
+        assert!(wide.luts > narrow.luts);
+    }
+}

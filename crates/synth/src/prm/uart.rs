@@ -1,0 +1,81 @@
+//! UART PRM: a tiny control-only module (the small end of the PRM space).
+
+use crate::mapping::OpCounts;
+use crate::prm::PrmGenerator;
+use fabric::Family;
+use serde::{Deserialize, Serialize};
+
+/// A UART with configurable FIFO depth. Pure control logic: the smallest
+/// realistic hardware task, useful for exercising single-column PRRs and
+/// the low end of the bitstream-size model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uart {
+    /// RX/TX FIFO depth in bytes (distributed RAM below 64, BRAM above).
+    pub fifo_depth: u32,
+}
+
+impl Uart {
+    /// 16-byte FIFOs (16550-style).
+    pub fn standard() -> Self {
+        Uart { fifo_depth: 16 }
+    }
+
+    /// Custom FIFO depth.
+    pub fn new(fifo_depth: u32) -> Self {
+        Uart { fifo_depth }
+    }
+}
+
+impl PrmGenerator for Uart {
+    fn name(&self) -> String {
+        format!("uart_f{}", self.fifo_depth)
+    }
+
+    fn op_counts(&self, _family: Family) -> OpCounts {
+        let deep = self.fifo_depth > 64;
+        OpCounts {
+            mults: 0,
+            mult_width: 0,
+            symmetric_mults: false,
+            // Baud-rate divider.
+            adders: 1,
+            add_width: 16,
+            // Shift registers, FIFO pointers, status.
+            register_bits: 64 + u64::from(2 * self.fifo_depth.min(64)) * 8 / 8,
+            fsm_states: 8,
+            muxes: 2,
+            mux_width: 8,
+            mux_inputs: 2,
+            mem_bits: if deep { u64::from(self.fifo_depth) * 2 * 8 } else { 0 },
+            misc_luts: 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_is_tiny() {
+        let r = Uart::standard().synthesize(Family::Virtex5);
+        r.validate().unwrap();
+        assert!(r.lut_ff_pairs < 300, "pairs {}", r.lut_ff_pairs);
+        assert_eq!(r.dsps, 0);
+        assert_eq!(r.brams, 0, "shallow FIFOs stay in distributed RAM");
+    }
+
+    #[test]
+    fn deep_fifos_move_to_bram() {
+        let r = Uart::new(1024).synthesize(Family::Virtex5);
+        assert!(r.brams >= 1);
+    }
+
+    #[test]
+    fn fits_a_single_clb_column_prr() {
+        // One Virtex-5 CLB column row holds 20 CLBs = 160 pair slots.
+        let r = Uart::standard().synthesize(Family::Virtex5);
+        let clb_req = r.lut_ff_pairs.div_ceil(u64::from(Family::Virtex5.params().lut_clb));
+        assert!(clb_req <= 20, "CLB_req {clb_req}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Automatic multi-PRR floorplanning — the paper's stated future work:
+//! use the cost models *inside* the floorplanning stage. Three PRRs (one
+//! per paper PRM) are placed jointly on the LX110T; FIR and MIPS both need
+//! the device's single DSP column, so the planner stacks them vertically.
+//!
+//! Run with: `cargo run --release --example auto_floorplan`
+
+use parflow::autofloorplan::{auto_floorplan, PrrSpec};
+use prfpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = fabric::device_by_name("xc5vlx110t")?;
+    let specs: Vec<PrrSpec> = PaperPrm::ALL
+        .iter()
+        .map(|p| PrrSpec::single(format!("prr_{}", p.module_name()), p.synth_report(device.family())))
+        .collect();
+
+    let plan = auto_floorplan(&specs, &device, 10_000)?;
+    println!(
+        "placed {} PRRs on {} ({} search nodes), total bitstream {} bytes:\n",
+        plan.prrs.len(),
+        plan.device,
+        plan.nodes_explored,
+        plan.total_bitstream_bytes
+    );
+    for p in &plan.prrs {
+        println!(
+            "  {:>16}: H={} W=({} CLB + {} DSP + {} BRAM) at cols {}..{}, rows {}..{}  ({} B)",
+            p.name,
+            p.organization.height,
+            p.organization.clb_cols,
+            p.organization.dsp_cols,
+            p.organization.bram_cols,
+            p.window.start_col,
+            p.window.end_col() - 1,
+            p.window.row,
+            p.window.top_row(),
+            p.bitstream_bytes,
+        );
+    }
+
+    let floorplan = plan.to_floorplan(&device);
+    floorplan.validate(&device)?;
+    println!("\nUCF constraints:\n{}", floorplan.to_ucf());
+
+    // A two-PRR variant where FIR and MIPS time-share one bigger PRR.
+    let shared_specs = vec![
+        PrrSpec {
+            name: "compute".into(),
+            reports: vec![
+                PaperPrm::Fir.synth_report(device.family()),
+                PaperPrm::Mips.synth_report(device.family()),
+            ],
+        },
+        PrrSpec::single("io", PaperPrm::Sdram.synth_report(device.family())),
+    ];
+    match auto_floorplan(&shared_specs, &device, 10_000) {
+        Ok(shared) => println!(
+            "time-shared variant: {} PRRs, total bitstream {} bytes (vs {} separate)",
+            shared.prrs.len(),
+            shared.total_bitstream_bytes,
+            plan.total_bitstream_bytes
+        ),
+        Err(e) => println!("time-shared variant infeasible on this layout: {e}"),
+    }
+    Ok(())
+}

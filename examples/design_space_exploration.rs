@@ -1,0 +1,61 @@
+//! Design-space exploration: the paper's productivity use case.
+//!
+//! A designer varies a PRM parameter (FIR tap count) and a target device,
+//! and wants PRR footprints and bitstream/reconfiguration costs for every
+//! point — minutes-to-hours per point with the real flow, microseconds
+//! with the cost models. Also demonstrates multi-PRM shared-PRR planning.
+//!
+//! Run with: `cargo run --example design_space_exploration`
+
+use prfpga::prelude::*;
+use synth::prm::FirFilter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let devices =
+        ["xc5vlx110t", "xc5vsx95t", "xc6vlx75t", "xc7a100t"].map(|n| fabric::device_by_name(n).unwrap());
+
+    println!("FIR tap-count sweep (model-planned PRR per design point):\n");
+    println!("{:>5} {:>12} {:>4} {:>16} {:>14} {:>12}", "taps", "device", "H", "W(C+D+B)", "bitstream B", "reconfig");
+    for device in &devices {
+        for taps in [8u32, 16, 32, 64, 128] {
+            let fir = FirFilter::new(taps, 16, 16, true);
+            let report = fir.synthesize(device.family());
+            match plan_prr(&report, device) {
+                Ok(plan) => {
+                    let o = &plan.organization;
+                    let t = IcapModel::V5_DMA.transfer_time(plan.bitstream_bytes);
+                    println!(
+                        "{:>5} {:>12} {:>4} {:>16} {:>14} {:>11.1?}",
+                        taps,
+                        device.name(),
+                        o.height,
+                        format!("{}+{}+{}", o.clb_cols, o.dsp_cols, o.bram_cols),
+                        plan.bitstream_bytes,
+                        t
+                    );
+                }
+                Err(e) => println!("{:>5} {:>12}  -- {e}", taps, device.name()),
+            }
+        }
+    }
+
+    // Multi-PRM sharing: one PRR hosting all three paper PRMs on the V6.
+    let device = fabric::device_by_name("xc6vlx75t")?;
+    let reports: Vec<SynthReport> =
+        PaperPrm::ALL.iter().map(|p| p.synth_report(device.family())).collect();
+    let shared = plan_shared_prr(&reports, &device)?;
+    let o = &shared.plan.organization;
+    println!("\nShared PRR for {{FIR, MIPS, SDRAM}} on {}:", device.name());
+    println!(
+        "  H={} W={} ({} CLB + {} DSP + {} BRAM), bitstream {} bytes",
+        o.height, o.width(), o.clb_cols, o.dsp_cols, o.bram_cols, shared.plan.bitstream_bytes
+    );
+    for (r, ru) in reports.iter().zip(&shared.per_prm_utilization) {
+        let v = ru.rounded();
+        println!(
+            "  {:>12}: RU_CLB {:>3}%  RU_DSP {:>3}%  RU_BRAM {:>3}%",
+            r.module, v[0], v[3], v[4]
+        );
+    }
+    Ok(())
+}

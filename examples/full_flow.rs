@@ -1,0 +1,50 @@
+//! The full (simulated) PR design flow the cost models replace: synthesis,
+//! model-driven floorplanning, implementation-time optimization, placement,
+//! routing and bitstream generation — with stage times, so the
+//! model-vs-flow contrast of Table VIII is visible.
+//!
+//! Run with: `cargo run --release --example full_flow`
+
+use prfpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for device_name in ["xc5vlx110t", "xc6vlx75t"] {
+        let device = fabric::device_by_name(device_name)?;
+        println!("=== {} ({}) ===", device.name(), device.family());
+        for prm in PaperPrm::ALL {
+            let (rep, bs) = run_paper_flow(prm, &device, &FlowOptions::default())?;
+            println!("\n{} — flow report:", rep.module);
+            println!("  floorplan: {}", rep.ucf.lines().nth(1).unwrap_or(""));
+            println!(
+                "  synthesis {} LUT-FF pairs -> post-PAR {} ({:+.1}%)",
+                rep.synth_report.lut_ff_pairs,
+                rep.post_report.lut_ff_pairs,
+                rep.post_report.saving_pct(&rep.synth_report, |r| r.lut_ff_pairs)
+            );
+            println!(
+                "  optimizer: packed {} pairs, trimmed {} LUTs, replicated {} FFs, \
+                 {} route-throughs",
+                rep.optimizer.packed,
+                rep.optimizer.luts_trimmed,
+                rep.optimizer.ffs_replicated,
+                rep.optimizer.route_throughs
+            );
+            println!(
+                "  placement HPWL {} | routing max utilization {:.2} | bitstream {} B",
+                rep.placement_hpwl, rep.route.max_utilization, bs.len_bytes()
+            );
+            print!("  stage times:");
+            for (stage, t) in &rep.stage_times {
+                print!(" {stage:?} {:.2?}", t);
+            }
+            println!();
+            println!(
+                "  total flow {:.2?} vs cost model: same PRR and bitstream size in ~us \
+                 (see `cargo run -p bench --bin table8`)",
+                rep.total_time()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Preemptive hardware RTOS demo: urgent hardware tasks preempt long
+//! background accelerators via configuration-plane context save/restore
+//! (the authors' companion FCCM'13/ARC'13 machinery).
+//!
+//! Run with: `cargo run --release --example preemptive_rtos`
+
+use bitstream::readback::context_cost;
+use multitask::{simulate_preemptive, PreemptiveTask};
+use prfpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = fabric::device_by_name("xc5vsx95t")?;
+    let org = PrrOrganization {
+        family: device.family(),
+        height: 1,
+        clb_cols: 8,
+        dsp_cols: 1,
+        bram_cols: 1,
+    };
+    let system = PrSystem::homogeneous(&device, org, 2, IcapModel::V5_DMA)?;
+    let ctx = context_cost(&org);
+    println!(
+        "2 PRRs of H={} W={}; bitstream write {:?}, context save {:?}, restore {:?}\n",
+        org.height,
+        org.width(),
+        IcapModel::V5_DMA.transfer_time(system.prrs[0].bitstream_bytes),
+        ctx.save_time(&IcapModel::V5_DMA),
+        ctx.restore_time(&IcapModel::V5_DMA),
+    );
+
+    // Two long background FFT batches + sporadic urgent crypto requests.
+    let mut tasks: Vec<PreemptiveTask> = (0..6)
+        .map(|i| PreemptiveTask {
+            id: i,
+            module: format!("fft_batch_{}", i % 2),
+            needs: Resources::new(120, 6, 2),
+            arrival_ns: u64::from(i) * 200_000,
+            exec_ns: 3_000_000,
+            priority: 0,
+        })
+        .collect();
+    for j in 0..5 {
+        tasks.push(PreemptiveTask {
+            id: 100 + j,
+            module: "aes_urgent".into(),
+            needs: Resources::new(60, 0, 2),
+            arrival_ns: 700_000 + u64::from(j) * 2_500_000,
+            exec_ns: 90_000,
+            priority: 3,
+        });
+    }
+
+    let r = simulate_preemptive(&system, &tasks);
+    println!("completed {} of {} tasks in {:.3} ms", r.completed, tasks.len(), r.makespan_ns as f64 / 1e6);
+    println!("preemptions: {}  (context transfers: {}, overhead {:.3} ms)", r.preemptions, r.context_transfers, r.context_switch_ns as f64 / 1e6);
+    println!("reconfigurations: {}  ICAP busy {:.3} ms", r.reconfigurations, r.icap_busy_ns as f64 / 1e6);
+    println!("urgent mean response: {:.1} us (vs {:.1} ms if urgent tasks had to wait out a batch)",
+        r.urgent_mean_response_ns as f64 / 1e3,
+        3_000_000f64 / 1e6);
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: from an XST-style synthesis report to a planned PRR and its
+//! partial bitstream size, without touching any design flow.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prfpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A designer's starting point: the synthesis report text. Here we
+    // render the paper's FIR report; in practice you would read a `.syr`
+    // file produced by your synthesis tool.
+    let device = fabric::device_by_name("xc5vlx110t")?;
+    let report = PaperPrm::Fir.synth_report(device.family());
+    let syr_text = synth::xst::write_report(&report, device.name());
+    println!("--- synthesis report ---\n{syr_text}");
+
+    // Parse it back (the designer-facing entry point)...
+    let parsed = synth::xst::parse_report(&syr_text)?;
+
+    // ...and evaluate both cost models in one call.
+    let eval = prfpga::evaluate_prm(&parsed, &device)?;
+    let org = &eval.plan.organization;
+    println!("--- PRR plan (Fig. 1 flow) ---");
+    println!("H = {} rows, W = {} columns ({} CLB + {} DSP + {} BRAM)",
+        org.height, org.width(), org.clb_cols, org.dsp_cols, org.bram_cols);
+    println!("placed at columns {}..{}, rows {}..{}",
+        eval.plan.window.start_col,
+        eval.plan.window.end_col() - 1,
+        eval.plan.window.row,
+        eval.plan.window.top_row());
+    let ru = eval.plan.utilization.rounded();
+    println!("utilization: CLB {}%  FF {}%  LUT {}%  DSP {}%  BRAM {}%",
+        ru[0], ru[1], ru[2], ru[3], ru[4]);
+    println!("--- bitstream model (Eq. 18) ---");
+    println!("predicted partial bitstream: {} bytes", eval.plan.bitstream_bytes);
+    println!("generated partial bitstream: {} bytes (must match)", eval.bitstream.len_bytes());
+    println!("reconfiguration via DMA-fed ICAP: {:?}", eval.reconfig_time);
+    assert_eq!(eval.plan.bitstream_bytes, eval.bitstream.len_bytes());
+    Ok(())
+}

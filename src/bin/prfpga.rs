@@ -1,0 +1,230 @@
+//! `prfpga` — command-line front end for the cost models.
+//!
+//! ```text
+//! prfpga devices
+//! prfpga plan <device> (--syr <file> | --prm fir|mips|sdram)
+//! prfpga bitstream <device> (--syr <file> | --prm <name>) [-o <out.bin>]
+//! prfpga dump <bitstream.bin>
+//! prfpga floorplan <device> --prms fir,mips,sdram
+//! ```
+
+use parflow::autofloorplan::{auto_floorplan, PrrSpec};
+use prfpga::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("devices") => cmd_devices(),
+        Some("plan") => cmd_plan(&args[1..], false),
+        Some("bitstream") => cmd_plan(&args[1..], true),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("floorplan") => cmd_floorplan(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: prfpga <devices|plan|bitstream|dump|floorplan> ...\n\
+                 \n\
+                 devices                                    list the device database\n\
+                 plan <device> --syr <file>                 plan a PRR from an XST report\n\
+                 plan <device> --prm <fir|mips|sdram>       plan for a paper PRM\n\
+                 bitstream <device> --prm <name> [-o FILE]  also generate the partial bitstream\n\
+                 dump <file>                                parse + summarize a bitstream file\n\
+                 floorplan <device> --prms a,b,c            jointly place one PRR per PRM\n\
+                 simulate <device> --trace FILE [--prrs N]  replay a task trace\n\
+                          [--clb C --dsp D --bram B --height H] [--preemptive]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn cmd_devices() -> Result<(), AnyError> {
+    println!("{:<12} {:<10} {:>5} {:>6} {:>6} {:>6} {:>6}", "part", "family", "rows", "CLBs", "DSPs", "BRAMs", "full-bitstream B");
+    for d in fabric::all_devices() {
+        let t = d.total_resources();
+        println!(
+            "{:<12} {:<10} {:>5} {:>6} {:>6} {:>6} {:>10}",
+            d.name(),
+            d.family().name(),
+            d.rows(),
+            t.clb(),
+            t.dsp(),
+            t.bram(),
+            prcost::full_bitstream_size_bytes(&d),
+        );
+    }
+    Ok(())
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load_report(args: &[String], family: Family) -> Result<SynthReport, AnyError> {
+    if let Some(path) = flag(args, "--syr") {
+        let text = std::fs::read_to_string(path)?;
+        return Ok(synth::xst::parse_report(&text)?);
+    }
+    if let Some(name) = flag(args, "--prm") {
+        let prm = match name.to_ascii_lowercase().as_str() {
+            "fir" => PaperPrm::Fir,
+            "mips" => PaperPrm::Mips,
+            "sdram" => PaperPrm::Sdram,
+            other => return Err(format!("unknown PRM `{other}` (fir|mips|sdram)").into()),
+        };
+        return Ok(prm.synth_report(family));
+    }
+    Err("need --syr <file> or --prm <name>".into())
+}
+
+fn cmd_plan(args: &[String], with_bitstream: bool) -> Result<(), AnyError> {
+    let device_name = args.first().ok_or("missing <device>")?;
+    let device = fabric::device_by_name(device_name)?;
+    let report = load_report(args, device.family())?;
+    let eval = prfpga::evaluate_prm(&report, &device)?;
+    let o = &eval.plan.organization;
+    println!("module {} on {} ({})", report.module, device.name(), device.family());
+    println!(
+        "PRR: H={} W={} ({} CLB + {} DSP + {} BRAM) at columns {}..{}, rows {}..{}",
+        o.height,
+        o.width(),
+        o.clb_cols,
+        o.dsp_cols,
+        o.bram_cols,
+        eval.plan.window.start_col,
+        eval.plan.window.end_col() - 1,
+        eval.plan.window.row,
+        eval.plan.window.top_row(),
+    );
+    print!("{}", prcost::datasheet(&eval.plan));
+    println!("DMA-ICAP reconfiguration: {:?}", eval.reconfig_time);
+    if with_bitstream {
+        let out = flag(args, "-o").unwrap_or("partial.bin");
+        std::fs::write(out, eval.bitstream.to_bytes())?;
+        println!("wrote {out} ({} bytes)", eval.bitstream.len_bytes());
+    }
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
+    let path = args.first().ok_or("missing <file>")?;
+    let bytes = std::fs::read(path)?;
+    let words = bitstream::PartialBitstream::words_from_bytes(&bytes);
+    let parsed = bitstream::parser::parse_words(&words, false)?;
+    println!("{} words, sync at word {}", parsed.total_words, parsed.sync_offset_words);
+    if let Some(id) = parsed.idcode {
+        println!("IDCODE {id:#010x}");
+    }
+    println!("CRC: {}", if parsed.crc_ok { "OK" } else { "MISMATCH" });
+    println!("commands: {:?}", parsed.commands);
+    for w in &parsed.frame_writes {
+        println!(
+            "  {:?} write: row {}, column {}, {} payload words",
+            w.far.block, w.far.row, w.far.column, w.words
+        );
+    }
+    Ok(())
+}
+
+fn cmd_floorplan(args: &[String]) -> Result<(), AnyError> {
+    let device_name = args.first().ok_or("missing <device>")?;
+    let device = fabric::device_by_name(device_name)?;
+    let names = flag(args, "--prms").ok_or("need --prms a,b,c")?;
+    let mut specs = Vec::new();
+    for (i, n) in names.split(',').enumerate() {
+        let prm = match n.trim().to_ascii_lowercase().as_str() {
+            "fir" => PaperPrm::Fir,
+            "mips" => PaperPrm::Mips,
+            "sdram" => PaperPrm::Sdram,
+            other => return Err(format!("unknown PRM `{other}`").into()),
+        };
+        specs.push(PrrSpec::single(format!("prr{i}_{}", prm.module_name()), prm.synth_report(device.family())));
+    }
+    let plan = auto_floorplan(&specs, &device, 10_000)?;
+    println!(
+        "{} PRRs placed, total bitstream {} bytes ({} nodes explored)",
+        plan.prrs.len(),
+        plan.total_bitstream_bytes,
+        plan.nodes_explored
+    );
+    print!("{}", plan.to_floorplan(&device).to_ucf());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
+    let device_name = args.first().ok_or("missing <device>")?;
+    let device = fabric::device_by_name(device_name)?;
+    let trace_path = flag(args, "--trace").ok_or("need --trace <file>")?;
+    let text = std::fs::read_to_string(trace_path)?;
+    let tasks = multitask::parse_trace(&text)?;
+
+    let num = |name: &str, default: u32| -> u32 {
+        flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let org = PrrOrganization {
+        family: device.family(),
+        height: num("--height", 1),
+        clb_cols: num("--clb", 4),
+        dsp_cols: num("--dsp", 0),
+        bram_cols: num("--bram", 0),
+    };
+    let system = PrSystem::homogeneous(&device, org, num("--prrs", 2), IcapModel::V5_DMA)?;
+    println!(
+        "{} tasks on {} PRRs (H={} W={}, {} B bitstream each)",
+        tasks.len(),
+        system.prrs.len(),
+        org.height,
+        org.width(),
+        system.prrs[0].bitstream_bytes
+    );
+
+    if args.iter().any(|a| a == "--preemptive") {
+        let r = multitask::simulate_preemptive(&system, &tasks);
+        println!(
+            "preemptive: {} completed, makespan {:.3} ms, {} preemptions, \
+             {} reconfigs, context overhead {:.3} ms, urgent response {:.1} us",
+            r.completed,
+            r.makespan_ns as f64 / 1e6,
+            r.preemptions,
+            r.reconfigurations,
+            r.context_switch_ns as f64 / 1e6,
+            r.urgent_mean_response_ns as f64 / 1e3,
+        );
+    } else {
+        let wl = multitask::Workload::new(
+            tasks
+                .into_iter()
+                .map(|t| multitask::HwTask {
+                    id: t.id,
+                    module: t.module,
+                    needs: t.needs,
+                    arrival_ns: t.arrival_ns,
+                    exec_ns: t.exec_ns,
+                })
+                .collect(),
+        );
+        let r = simulate(&system, &wl, &multitask::ReuseAware);
+        println!(
+            "{}: {} completed, makespan {:.3} ms, {} reconfigs ({} reused), \
+             ICAP busy {:.3} ms, mean wait {:.1} us",
+            r.scheduler,
+            r.completed,
+            r.makespan_ns as f64 / 1e6,
+            r.reconfigurations,
+            r.reuse_hits,
+            r.icap_busy_ns as f64 / 1e6,
+            r.mean_wait_ns() as f64 / 1e3,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Parallel design-space sweeps — the paper's productivity use case at
+//! fleet scale.
+//!
+//! The models exist so a designer can evaluate *many* PR partitionings
+//! quickly ("the PR partitioning design space is exponentially large and
+//! designers can only feasibly evaluate a subset"). This module evaluates
+//! a whole grid of (PRM, device) design points in parallel with rayon and
+//! returns structured results ready for ranking or export.
+
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::Duration;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Module name.
+    pub module: String,
+    /// Device part name.
+    pub device: String,
+    /// Planning outcome: the PRR summary, or the failure reason.
+    pub outcome: Result<SweepPlan, String>,
+}
+
+/// Summary of a successful plan.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPlan {
+    /// PRR height.
+    pub height: u32,
+    /// PRR width (columns).
+    pub width: u32,
+    /// Predicted bitstream bytes (Eq. 18).
+    pub bitstream_bytes: u64,
+    /// DMA-ICAP reconfiguration time.
+    pub reconfig: Duration,
+    /// CLB utilization percent (Eq. 13).
+    pub ru_clb: f64,
+}
+
+/// Evaluate every (generator, device) pair in parallel.
+///
+/// Generators are re-synthesized per device family, so a single sweep
+/// covers cross-family portability exactly the way the paper's "portable
+/// across different Xilinx FPGA families" claim intends.
+pub fn sweep(
+    generators: &[Box<dyn synth::PrmGenerator + Sync>],
+    devices: &[fabric::Device],
+) -> Vec<SweepPoint> {
+    let points: Vec<(usize, usize)> = (0..generators.len())
+        .flat_map(|g| (0..devices.len()).map(move |d| (g, d)))
+        .collect();
+    points
+        .into_par_iter()
+        .map(|(g, d)| {
+            let device = &devices[d];
+            let report = generators[g].synthesize(device.family());
+            let outcome = match prcost::plan_prr(&report, device) {
+                Ok(plan) => Ok(SweepPlan {
+                    height: plan.organization.height,
+                    width: plan.organization.width(),
+                    bitstream_bytes: plan.bitstream_bytes,
+                    reconfig: bitstream::IcapModel::V5_DMA
+                        .transfer_time(plan.bitstream_bytes),
+                    ru_clb: plan.utilization.clb,
+                }),
+                Err(e) => Err(e.to_string()),
+            };
+            SweepPoint { module: report.module, device: device.name().to_string(), outcome }
+        })
+        .collect()
+}
+
+/// Rank the feasible points of a sweep by predicted bitstream size
+/// (ascending) — the paper's minimization objective.
+pub fn rank_by_bitstream(points: &[SweepPoint]) -> Vec<&SweepPoint> {
+    let mut feasible: Vec<&SweepPoint> =
+        points.iter().filter(|p| p.outcome.is_ok()).collect();
+    feasible.sort_by_key(|p| match &p.outcome {
+        Ok(plan) => plan.bitstream_bytes,
+        Err(_) => u64::MAX,
+    });
+    feasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::prm::{FirFilter, SdramController, Uart};
+    use synth::PrmGenerator;
+
+    fn generators() -> Vec<Box<dyn PrmGenerator + Sync>> {
+        vec![
+            Box::new(FirFilter::paper()),
+            Box::new(SdramController::paper()),
+            Box::new(Uart::standard()),
+        ]
+    }
+
+    #[test]
+    fn sweep_covers_the_whole_grid() {
+        let devices = fabric::all_devices();
+        let points = sweep(&generators(), &devices);
+        assert_eq!(points.len(), 3 * devices.len());
+        let feasible = points.iter().filter(|p| p.outcome.is_ok()).count();
+        assert!(feasible > points.len() / 2, "{feasible}/{} feasible", points.len());
+        // Every point carries a device from the input set.
+        assert!(points.iter().all(|p| devices.iter().any(|d| d.name() == p.device)));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_despite_parallelism() {
+        let devices = fabric::all_devices();
+        let a = sweep(&generators(), &devices);
+        let b = sweep(&generators(), &devices);
+        let key = |pts: &[SweepPoint]| -> Vec<(String, String, Option<u64>)> {
+            pts.iter()
+                .map(|p| {
+                    (
+                        p.module.clone(),
+                        p.device.clone(),
+                        p.outcome.as_ref().ok().map(|o| o.bitstream_bytes),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_feasible_only() {
+        let devices = fabric::all_devices();
+        let points = sweep(&generators(), &devices);
+        let ranked = rank_by_bitstream(&points);
+        assert!(!ranked.is_empty());
+        let sizes: Vec<u64> = ranked
+            .iter()
+            .map(|p| p.outcome.as_ref().unwrap().bitstream_bytes)
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        // The UART on a Spartan-6 (2-byte words, tiny PRR) should be near
+        // the cheap end.
+        let cheapest = ranked.first().unwrap();
+        assert!(cheapest.outcome.as_ref().unwrap().bitstream_bytes < 20_000);
+    }
+}

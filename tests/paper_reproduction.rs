@@ -1,0 +1,123 @@
+//! Integration oracle: the paper's evaluation (Tables V-VII) as regression
+//! tests over the whole workspace.
+
+use prfpga::prelude::*;
+
+fn devices() -> (Device, Device) {
+    (
+        fabric::device_by_name("xc5vlx110t").unwrap(),
+        fabric::device_by_name("xc6vlx75t").unwrap(),
+    )
+}
+
+/// Table V: the search selects the paper's PRR for all six PRM/device
+/// pairs, and every surviving utilization cell matches (modulo the one
+/// documented rounding difference).
+#[test]
+fn table5_end_to_end() {
+    let (v5, v6) = devices();
+    let expect = [
+        (PaperPrm::Fir, &v5, (5, 2, 1, 0), 83_040u64),
+        (PaperPrm::Mips, &v5, (1, 17, 1, 2), 157_272),
+        (PaperPrm::Sdram, &v5, (1, 3, 0, 0), 18_016),
+        (PaperPrm::Fir, &v6, (1, 5, 2, 0), 76_928),
+        (PaperPrm::Mips, &v6, (1, 11, 1, 1), 188_728),
+        (PaperPrm::Sdram, &v6, (1, 2, 0, 0), 23_792),
+    ];
+    for (prm, device, (h, wc, wd, wb), bytes) in expect {
+        let plan = plan_prr(&prm.synth_report(device.family()), device).unwrap();
+        let o = &plan.organization;
+        assert_eq!((o.height, o.clb_cols, o.dsp_cols, o.bram_cols), (h, wc, wd, wb), "{prm:?}");
+        assert_eq!(plan.bitstream_bytes, bytes, "{prm:?} bitstream");
+    }
+}
+
+/// Table VI: the simulated flow reproduces the published post-PAR counts
+/// and savings percentages, and every paper PRM places and routes inside
+/// its model-predicted PRR (the paper's AREA_GROUP validation).
+#[test]
+fn table6_end_to_end() {
+    let (v5, v6) = devices();
+    for device in [&v5, &v6] {
+        for prm in PaperPrm::ALL {
+            let (rep, _) = run_paper_flow(prm, device, &FlowOptions::fast(11)).unwrap();
+            let expected = prm.post_par_report(device.family()).unwrap();
+            assert_eq!(rep.post_report.lut_ff_pairs, expected.lut_ff_pairs, "{prm:?}");
+            assert_eq!(rep.post_report.luts, expected.luts, "{prm:?}");
+            assert_eq!(rep.post_report.ffs, expected.ffs, "{prm:?}");
+            assert!(rep.route.routed, "{prm:?} must route in the model PRR");
+        }
+    }
+}
+
+/// Table VII: the Eq. 18 model equals the generated bitstream length for
+/// every PRM/device pair — and the generated stream parses back with a
+/// valid CRC and the right row structure.
+#[test]
+fn table7_end_to_end() {
+    let (v5, v6) = devices();
+    for device in [&v5, &v6] {
+        for prm in PaperPrm::ALL {
+            let report = prm.synth_report(device.family());
+            let eval = prfpga::evaluate_prm(&report, device).unwrap();
+            assert_eq!(eval.bitstream.len_bytes(), eval.plan.bitstream_bytes);
+            let parsed = bitstream::parse(&eval.bitstream.to_bytes(), true).unwrap();
+            assert!(parsed.crc_ok);
+            assert_eq!(parsed.rows_configured(), eval.plan.organization.height);
+        }
+    }
+}
+
+/// Post-PAR re-planning (paper §IV, penultimate paragraph): feeding the
+/// Table VI numbers back through the model shrinks the PRR's CLB area —
+/// "we saved two/one CLB column(s) for the Virtex-5/Virtex-6 for FIR" and
+/// the SDRAM PRR "did not change for both device targets". Savings are in
+/// per-row CLB column segments (H x W_CLB): FIR/V5 goes from 5x2 = 10 to
+/// 4x2 = 8 segments (two saved), FIR/V6 from 1x5 to 1x4 (one saved).
+#[test]
+fn post_par_replanning_savings() {
+    let (v5, v6) = devices();
+    let seg = |p: &PrrPlan| p.organization.height * p.organization.clb_cols;
+    let cases = [
+        (PaperPrm::Fir, &v5, 2u32),
+        (PaperPrm::Sdram, &v5, 0),
+        (PaperPrm::Fir, &v6, 1),
+        (PaperPrm::Sdram, &v6, 0),
+    ];
+    for (prm, device, saved_segments) in cases {
+        let before = plan_prr(&prm.synth_report(device.family()), device).unwrap();
+        let after = plan_prr(&prm.post_par_report(device.family()).unwrap(), device).unwrap();
+        assert_eq!(
+            seg(&before) - seg(&after),
+            saved_segments,
+            "{prm:?} on {}",
+            device.name()
+        );
+    }
+    // MIPS/V5: the paper reports two CLB columns saved; our model (with
+    // its synthetic LX110T layout) finds three (17 -> 14 at H=1). The
+    // direction and scale agree; the exact count depends on the real
+    // part's window availability, which we cannot observe.
+    let before = plan_prr(&PaperPrm::Mips.synth_report(v5.family()), &v5).unwrap();
+    let after = plan_prr(&PaperPrm::Mips.post_par_report(v5.family()).unwrap(), &v5).unwrap();
+    let saved = seg(&before) - seg(&after);
+    assert!((2..=3).contains(&saved), "MIPS/V5 saved {saved} CLB column segments");
+}
+
+/// The model plan dominates every naive sizing strategy on predicted
+/// bitstream size (it minimizes Eq. 18 over all feasible heights).
+#[test]
+fn model_dominates_naive_everywhere() {
+    let (v5, v6) = devices();
+    for device in [&v5, &v6] {
+        for prm in PaperPrm::ALL {
+            let req = PrrRequirements::from_report(&prm.synth_report(device.family()));
+            let model = prcost::search::plan_prr_from_requirements(&req, device).unwrap();
+            for strat in NaiveStrategy::ALL {
+                if let Ok(naive) = baselines::naive_plan(strat, &req, device) {
+                    assert!(model.bitstream_bytes <= naive.bitstream_bytes);
+                }
+            }
+        }
+    }
+}
