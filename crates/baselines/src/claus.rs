@@ -87,8 +87,12 @@ mod tests {
     #[test]
     fn estimates_scale_with_busy_factor() {
         let bytes = 83_040;
-        let dma = ClausModel::new(SupplyPath::BusMasterDma).estimate(bytes).as_secs_f64();
-        let stream = ClausModel::new(SupplyPath::Streaming).estimate(bytes).as_secs_f64();
+        let dma = ClausModel::new(SupplyPath::BusMasterDma)
+            .estimate(bytes)
+            .as_secs_f64();
+        let stream = ClausModel::new(SupplyPath::Streaming)
+            .estimate(bytes)
+            .as_secs_f64();
         let ratio = dma / stream;
         let expected = (1.0 - 0.02) / (1.0 - 0.25);
         // Duration has nanosecond resolution, so allow ~1e-3 slack.

@@ -35,7 +35,11 @@ impl FarmModel {
 
     /// Custom model; the ratio is clamped into `(0, 1]`.
     pub fn new(port: IcapModel, overhead: Duration, compression_ratio: f64) -> Self {
-        FarmModel { port, overhead, compression_ratio: compression_ratio.clamp(0.01, 1.0) }
+        FarmModel {
+            port,
+            overhead,
+            compression_ratio: compression_ratio.clamp(0.01, 1.0),
+        }
     }
 
     /// Estimated reconfiguration time for `bytes`.

@@ -26,5 +26,5 @@ pub mod papadimitriou;
 
 pub use claus::ClausModel;
 pub use duhem::FarmModel;
-pub use naive::{NaiveStrategy, naive_plan};
+pub use naive::{naive_plan, NaiveStrategy};
 pub use papadimitriou::{PapadimitriouModel, StorageMedium};

@@ -28,8 +28,11 @@ pub enum NaiveStrategy {
 
 impl NaiveStrategy {
     /// All strategies.
-    pub const ALL: [NaiveStrategy; 3] =
-        [NaiveStrategy::FullHeight, NaiveStrategy::SingleRow, NaiveStrategy::Squarish];
+    pub const ALL: [NaiveStrategy; 3] = [
+        NaiveStrategy::FullHeight,
+        NaiveStrategy::SingleRow,
+        NaiveStrategy::Squarish,
+    ];
 
     /// Strategy name for reports.
     pub fn name(self) -> &'static str {
@@ -79,13 +82,15 @@ pub fn naive_plan(
             // are ~arrays of 1x1 cells, so compare H*CLB_col against
             // W * aspect constant ~ W.
             let clb_col = f64::from(req.family.params().clb_col);
-            (1..=device.rows())
-                .filter_map(feasible)
-                .min_by(|a, b| {
-                    let ra = (f64::from(a.height) * clb_col / f64::from(a.width().max(1))).ln().abs();
-                    let rb = (f64::from(b.height) * clb_col / f64::from(b.width().max(1))).ln().abs();
-                    ra.total_cmp(&rb)
-                })
+            (1..=device.rows()).filter_map(feasible).min_by(|a, b| {
+                let ra = (f64::from(a.height) * clb_col / f64::from(a.width().max(1)))
+                    .ln()
+                    .abs();
+                let rb = (f64::from(b.height) * clb_col / f64::from(b.width().max(1)))
+                    .ln()
+                    .abs();
+                ra.total_cmp(&rb)
+            })
         }
     };
 
@@ -97,7 +102,10 @@ pub fn naive_plan(
         }),
         None => Err(CostError::NoFeasiblePlacement {
             device: device.name().to_string(),
-            trace: prcost::SearchTrace { device: device.name().to_string(), candidates: vec![] },
+            trace: prcost::SearchTrace {
+                device: device.name().to_string(),
+                candidates: vec![],
+            },
         }),
     }
 }
@@ -117,7 +125,10 @@ mod tests {
     /// construction it minimizes the predicted bitstream over all heights.
     #[test]
     fn model_plan_dominates_naive_strategies() {
-        for (device, fam) in [(xc5vlx110t(), Family::Virtex5), (xc6vlx75t(), Family::Virtex6)] {
+        for (device, fam) in [
+            (xc5vlx110t(), Family::Virtex5),
+            (xc6vlx75t(), Family::Virtex6),
+        ] {
             for prm in PaperPrm::ALL {
                 let r = req(prm, fam);
                 let model = prcost::search::plan_prr_from_requirements(&r, &device).unwrap();

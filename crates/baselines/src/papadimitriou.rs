@@ -60,14 +60,22 @@ pub struct PapadimitriouModel {
 impl PapadimitriouModel {
     /// Model with a DMA-fed Virtex-5 ICAP.
     pub fn new(medium: StorageMedium, overlapped: bool) -> Self {
-        PapadimitriouModel { medium, port: IcapModel::V5_DMA, overlapped }
+        PapadimitriouModel {
+            medium,
+            port: IcapModel::V5_DMA,
+            overlapped,
+        }
     }
 
     /// Estimated reconfiguration time for a partial bitstream of `bytes`.
     pub fn estimate(&self, bytes: u64) -> Duration {
         let fetch = bytes as f64 / self.medium.read_bytes_per_sec();
         let transfer = bytes as f64 / self.port.effective_bytes_per_sec();
-        let secs = if self.overlapped { fetch.max(transfer) } else { fetch + transfer };
+        let secs = if self.overlapped {
+            fetch.max(transfer)
+        } else {
+            fetch + transfer
+        };
         Duration::from_secs_f64(secs)
     }
 
@@ -76,7 +84,10 @@ impl PapadimitriouModel {
     /// 30–60 % error, so we report estimate x [0.4, 1.6].
     pub fn error_bounds(&self, bytes: u64) -> (Duration, Duration) {
         let est = self.estimate(bytes).as_secs_f64();
-        (Duration::from_secs_f64(est * 0.4), Duration::from_secs_f64(est * 1.6))
+        (
+            Duration::from_secs_f64(est * 0.4),
+            Duration::from_secs_f64(est * 1.6),
+        )
     }
 }
 

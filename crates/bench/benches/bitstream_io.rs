@@ -20,7 +20,9 @@ fn bench_generate(c: &mut Criterion) {
     let bytes = prcost::bitstream_size_bytes(&s.organization);
     let mut g = c.benchmark_group("bitstream");
     g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("generate_mips_v5", |b| b.iter(|| generate(black_box(&s)).unwrap()));
+    g.bench_function("generate_mips_v5", |b| {
+        b.iter(|| generate(black_box(&s)).unwrap())
+    });
     let bs = generate(&s).unwrap();
     g.bench_function("parse_mips_v5", |b| {
         b.iter(|| parse_words(black_box(&bs.words), true).unwrap())

@@ -23,7 +23,8 @@ fn bench_autofloorplan(c: &mut Criterion) {
 fn bench_cm_load(c: &mut Criterion) {
     let device = xc5vlx110t();
     let plan = prcost::plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
-    let spec = BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window);
+    let spec =
+        BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window);
     let bs = generate(&spec).unwrap();
     let mut g = c.benchmark_group("config_port");
     g.throughput(Throughput::Bytes(bs.len_bytes()));

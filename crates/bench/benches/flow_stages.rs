@@ -13,9 +13,17 @@ use synth::PaperPrm;
 
 fn bench_optimize(c: &mut Criterion) {
     let nl = PaperPrm::Mips.netlist(fabric::Family::Virtex5, 3);
-    let target = PaperPrm::Mips.post_par_report(fabric::Family::Virtex5).unwrap();
+    let target = PaperPrm::Mips
+        .post_par_report(fabric::Family::Virtex5)
+        .unwrap();
     c.bench_function("optimize_mips_v5", |b| {
-        b.iter(|| optimize(black_box(&nl), &OptimizeOptions::TowardTarget(target.clone())).unwrap())
+        b.iter(|| {
+            optimize(
+                black_box(&nl),
+                &OptimizeOptions::TowardTarget(target.clone()),
+            )
+            .unwrap()
+        })
     });
 }
 

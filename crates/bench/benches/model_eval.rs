@@ -38,8 +38,10 @@ fn bench_bitstream_formula(c: &mut Criterion) {
 
 fn bench_shared(c: &mut Criterion) {
     let device = xc6vlx75t();
-    let reports: Vec<_> =
-        PaperPrm::ALL.iter().map(|p| p.synth_report(device.family())).collect();
+    let reports: Vec<_> = PaperPrm::ALL
+        .iter()
+        .map(|p| p.synth_report(device.family()))
+        .collect();
     c.bench_function("plan_shared_prr_3prms", |b| {
         b.iter(|| plan_shared_prr(black_box(&reports), black_box(&device)).unwrap())
     });

@@ -1,0 +1,108 @@
+//! Criterion bench: batch sweep throughput, engine vs the uncached path.
+//!
+//! Evaluates the full `fabric::all_devices()` × 6-generator grid both
+//! ways. The engine sweep shares one `Engine` across iterations (its
+//! caches are exactly what a designer iterating on a sweep would keep
+//! warm); the uncached sweep re-synthesizes and re-plans every point
+//! from scratch. Besides the criterion numbers, a `BENCH_sweep.json`
+//! artifact with both throughputs and the measured speedup is written to
+//! `results/`.
+
+use criterion::{criterion_group, Criterion};
+use prcost::Engine;
+use prfpga::sweep::{sweep_uncached, sweep_with_engine};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+use synth::PrmGenerator;
+
+fn generators() -> Vec<Box<dyn PrmGenerator + Sync>> {
+    vec![
+        Box::new(FirFilter::paper()),
+        Box::new(MipsCore::paper()),
+        Box::new(SdramController::paper()),
+        Box::new(Uart::standard()),
+        Box::new(AesEngine::standard()),
+        Box::new(FftCore::standard()),
+    ]
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let gens = generators();
+    let devices = fabric::all_devices();
+    let points = gens.len() * devices.len();
+
+    let mut g = c.benchmark_group("sweep");
+
+    g.bench_function(format!("uncached_{points}pts"), |b| {
+        b.iter(|| sweep_uncached(black_box(&gens), black_box(&devices)))
+    });
+
+    let engine = Engine::new();
+    g.bench_function(format!("engine_{points}pts"), |b| {
+        b.iter(|| sweep_with_engine(black_box(&engine), black_box(&gens), black_box(&devices)))
+    });
+
+    g.finish();
+}
+
+#[derive(Serialize)]
+struct SweepBenchArtifact {
+    grid_points: usize,
+    samples: u32,
+    uncached_mean_ms: f64,
+    engine_mean_ms: f64,
+    speedup: f64,
+    engine_points_per_sec: f64,
+}
+
+/// Measure both paths directly (criterion's printed numbers are not
+/// machine-readable in the shim) and emit the JSON artifact.
+fn emit_artifact() {
+    let gens = generators();
+    let devices = fabric::all_devices();
+    let samples = 20u32;
+
+    let time = |f: &dyn Fn()| -> f64 {
+        // One warm-up, then the mean of `samples` runs.
+        f();
+        let start = Instant::now();
+        for _ in 0..samples {
+            f();
+        }
+        start.elapsed().as_secs_f64() / f64::from(samples)
+    };
+
+    let uncached = time(&|| {
+        black_box(sweep_uncached(&gens, &devices));
+    });
+    let engine = Engine::new();
+    let cached = time(&|| {
+        black_box(sweep_with_engine(&engine, &gens, &devices));
+    });
+
+    let points = gens.len() * devices.len();
+    let artifact = SweepBenchArtifact {
+        grid_points: points,
+        samples,
+        uncached_mean_ms: uncached * 1e3,
+        engine_mean_ms: cached * 1e3,
+        speedup: uncached / cached,
+        engine_points_per_sec: points as f64 / cached,
+    };
+    println!(
+        "sweep {} points: uncached {:.2} ms, engine {:.2} ms ({:.1}x)",
+        points, artifact.uncached_mean_ms, artifact.engine_mean_ms, artifact.speedup
+    );
+    bench::write_json("BENCH_sweep", &artifact);
+}
+
+criterion_group!(benches, bench_sweeps);
+
+// A custom main instead of criterion_main! so the artifact emitter runs
+// after the criterion group.
+fn main() {
+    benches();
+    emit_artifact();
+}

@@ -43,7 +43,12 @@ fn main() {
                     }
                 }
                 _ => {
-                    rows.push(vec![h.to_string(), "-".into(), "-".into(), "infeasible".into()]);
+                    rows.push(vec![
+                        h.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "infeasible".into(),
+                    ]);
                     Point {
                         prm: format!("{prm:?}"),
                         device: device.name().into(),

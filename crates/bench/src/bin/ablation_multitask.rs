@@ -25,7 +25,13 @@ struct Row {
 }
 
 fn org(h: u32, clb: u32, dsp: u32, bram: u32) -> PrrOrganization {
-    PrrOrganization { family: Family::Virtex5, height: h, clb_cols: clb, dsp_cols: dsp, bram_cols: bram }
+    PrrOrganization {
+        family: Family::Virtex5,
+        height: h,
+        clb_cols: clb,
+        dsp_cols: dsp,
+        bram_cols: bram,
+    }
 }
 
 fn main() {
@@ -61,7 +67,15 @@ fn main() {
     let mut json = Vec::new();
     for (label, organization) in sizes {
         let Ok(sys) = PrSystem::homogeneous(&device, organization, 4, IcapModel::V5_DMA) else {
-            rows.push(vec![label.into(), "-".into(), "does not fit 4x".into(), String::new(), String::new(), String::new(), String::new()]);
+            rows.push(vec![
+                label.into(),
+                "-".into(),
+                "does not fit 4x".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
             continue;
         };
         for sched in schedulers {
@@ -90,7 +104,15 @@ fn main() {
         "{}",
         bench::render_table(
             "Multitasking: PRR sizing x scheduler (4 PRRs, V5 ICAP/DMA)",
-            &["PRR sizing", "scheduler", "makespan ms", "ICAP busy ms", "reconfigs", "reuse", "mean wait us"],
+            &[
+                "PRR sizing",
+                "scheduler",
+                "makespan ms",
+                "ICAP busy ms",
+                "reconfigs",
+                "reuse",
+                "mean wait us"
+            ],
             &rows,
         )
     );

@@ -67,7 +67,16 @@ fn main() {
         "{}",
         bench::render_table(
             "Placer comparison inside the model-predicted PRRs (Virtex-5 LX110T)",
-            &["PRM", "cells", "SA HPWL", "SA ms", "SA fmax", "analytic HPWL", "analytic ms", "analytic fmax"],
+            &[
+                "PRM",
+                "cells",
+                "SA HPWL",
+                "SA ms",
+                "SA fmax",
+                "analytic HPWL",
+                "analytic ms",
+                "analytic fmax"
+            ],
             &rows,
         )
     );

@@ -79,7 +79,9 @@ fn main() {
         rows.push(vec![
             modules.to_string(),
             wl.tasks.len().to_string(),
-            stat.as_ref().map(|r| format!("{:.2}", ms(r.makespan_ns))).unwrap_or_else(|| "does not fit".into()),
+            stat.as_ref()
+                .map(|r| format!("{:.2}", ms(r.makespan_ns)))
+                .unwrap_or_else(|| "does not fit".into()),
             format!("{:.2}", ms(full.makespan_ns)),
             format!("{:.2}", ms(pr.makespan_ns)),
             format!("{:.2}", ms(pr_over.makespan_ns)),
@@ -96,7 +98,14 @@ fn main() {
         "{}",
         bench::render_table(
             "PR vs non-PR makespan (ms), 240-task workloads on xc5vsx95t",
-            &["modules", "tasks", "static", "full-reconfig", "PR (model PRRs)", "PR (4x oversized)"],
+            &[
+                "modules",
+                "tasks",
+                "static",
+                "full-reconfig",
+                "PR (model PRRs)",
+                "PR (4x oversized)"
+            ],
             &rows,
         )
     );

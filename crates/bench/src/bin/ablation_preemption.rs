@@ -6,7 +6,7 @@
 use bitstream::readback::context_cost;
 use bitstream::IcapModel;
 use fabric::{device_by_name, Family, Resources};
-use multitask::{simulate_preemptive, PreemptiveTask, PrSystem};
+use multitask::{simulate_preemptive, PrSystem, PreemptiveTask};
 use prcost::PrrOrganization;
 use serde::Serialize;
 
@@ -71,8 +71,14 @@ fn main() {
         let us = |ns: u64| ns as f64 / 1e3;
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}", ctx.save_time(&IcapModel::V5_DMA).as_secs_f64() * 1e6),
-            format!("{:.1}", ctx.restore_time(&IcapModel::V5_DMA).as_secs_f64() * 1e6),
+            format!(
+                "{:.1}",
+                ctx.save_time(&IcapModel::V5_DMA).as_secs_f64() * 1e6
+            ),
+            format!(
+                "{:.1}",
+                ctx.restore_time(&IcapModel::V5_DMA).as_secs_f64() * 1e6
+            ),
             r.preemptions.to_string(),
             format!("{:.1}", us(r.urgent_mean_response_ns)),
             format!("{:.3}", r.makespan_ns as f64 / 1e6),
@@ -93,8 +99,13 @@ fn main() {
         bench::render_table(
             "Preemptive multitasking: PRR sizing vs context-switch cost (2 PRRs)",
             &[
-                "PRR sizing", "ctx save us", "ctx restore us", "preemptions",
-                "urgent resp us", "makespan ms", "ctx overhead ms",
+                "PRR sizing",
+                "ctx save us",
+                "ctx restore us",
+                "preemptions",
+                "urgent resp us",
+                "makespan ms",
+                "ctx overhead ms",
             ],
             &rows,
         )

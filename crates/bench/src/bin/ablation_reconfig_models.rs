@@ -64,7 +64,16 @@ fn main() {
         "{}",
         bench::render_table(
             "Reconfiguration-time estimates (us) for the model-predicted bitstreams",
-            &["PRM/family", "bytes", "Papad./CF", "Papad./DDR", "Claus/CPU", "Claus/DMA", "FaRM", "ideal ICAP"],
+            &[
+                "PRM/family",
+                "bytes",
+                "Papad./CF",
+                "Papad./DDR",
+                "Claus/CPU",
+                "Claus/DMA",
+                "FaRM",
+                "ideal ICAP"
+            ],
             &rows,
         )
     );

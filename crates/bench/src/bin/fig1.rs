@@ -12,16 +12,31 @@ fn main() {
     let report = PaperPrm::Fir.synth_report(device.family());
     let plan = plan_prr(&report, &device).unwrap();
 
-    println!("Fig. 1 — PRR search flow for {} on {}", report.module, device.name());
-    println!("inputs: LUT_FF_req={} DSP_req={} BRAM_req={} -> CLB_req={}",
-        report.lut_ff_pairs, report.dsps, report.brams, plan.requirements.clb_req);
-    println!("device: R={} rows, {} DSP column(s) (Eq. 4 applies: {})\n",
-        device.rows(), device.dsp_column_count(), device.dsp_column_count() == 1);
+    println!(
+        "Fig. 1 — PRR search flow for {} on {}",
+        report.module,
+        device.name()
+    );
+    println!(
+        "inputs: LUT_FF_req={} DSP_req={} BRAM_req={} -> CLB_req={}",
+        report.lut_ff_pairs, report.dsps, report.brams, plan.requirements.clb_req
+    );
+    println!(
+        "device: R={} rows, {} DSP column(s) (Eq. 4 applies: {})\n",
+        device.rows(),
+        device.dsp_column_count(),
+        device.dsp_column_count() == 1
+    );
 
     let mut rows = Vec::new();
     for c in &plan.trace.candidates {
         let (org, window, bytes, verdict) = match &c.outcome {
-            CandidateOutcome::Feasible { organization, window, bitstream_bytes, .. } => (
+            CandidateOutcome::Feasible {
+                organization,
+                window,
+                bitstream_bytes,
+                ..
+            } => (
                 format!(
                     "W_CLB={} W_DSP={} W_BRAM={}",
                     organization.clb_cols, organization.dsp_cols, organization.bram_cols
@@ -56,7 +71,13 @@ fn main() {
         "{}",
         bench::render_table(
             "search trace (one row per candidate H)",
-            &["H", "organization (Eqs. 2-6)", "placement", "S_bitstream (Eq. 18)", "verdict"],
+            &[
+                "H",
+                "organization (Eqs. 2-6)",
+                "placement",
+                "S_bitstream (Eq. 18)",
+                "verdict"
+            ],
             &rows,
         )
     );

@@ -6,7 +6,12 @@ fn main() {
     let mut rows = Vec::new();
     for param in ["CLB_col", "DSP_col", "BRAM_col", "LUT_CLB", "FF_CLB"] {
         let mut row = vec![param.to_string()];
-        for fam in [Family::Virtex4, Family::Virtex5, Family::Virtex6, Family::Series7] {
+        for fam in [
+            Family::Virtex4,
+            Family::Virtex5,
+            Family::Virtex6,
+            Family::Series7,
+        ] {
             let p = fam.params();
             let v = match param {
                 "CLB_col" => p.clb_col,

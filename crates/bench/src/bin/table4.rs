@@ -4,11 +4,24 @@ use fabric::Family;
 
 fn main() {
     let mut rows = Vec::new();
-    for param in
-        ["CF_CLB", "CF_DSP", "CF_BRAM", "DF_BRAM", "FR_size", "IW", "FW", "FAR_FDRI", "Bytes_word"]
-    {
+    for param in [
+        "CF_CLB",
+        "CF_DSP",
+        "CF_BRAM",
+        "DF_BRAM",
+        "FR_size",
+        "IW",
+        "FW",
+        "FAR_FDRI",
+        "Bytes_word",
+    ] {
         let mut row = vec![param.to_string()];
-        for fam in [Family::Virtex4, Family::Virtex5, Family::Virtex6, Family::Series7] {
+        for fam in [
+            Family::Virtex4,
+            Family::Virtex5,
+            Family::Virtex6,
+            Family::Series7,
+        ] {
             let g = &fam.params().frames;
             let v = match param {
                 "CF_CLB" => g.cf_clb,

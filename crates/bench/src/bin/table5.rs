@@ -25,9 +25,28 @@ fn main() {
     }
 
     let params = [
-        "LUT_FF_req", "DSP_req", "BRAM_req", "LUT_req", "FF_req", "CLB_req", "H_CLB", "W_CLB",
-        "H_DSP", "W_DSP", "H_BRAM", "W_BRAM", "CLB_avail", "FF_avail", "LUT_avail", "DSP_avail",
-        "BRAM_avail", "RU_CLB", "RU_FF", "RU_LUT", "RU_DSP", "RU_BRAM",
+        "LUT_FF_req",
+        "DSP_req",
+        "BRAM_req",
+        "LUT_req",
+        "FF_req",
+        "CLB_req",
+        "H_CLB",
+        "W_CLB",
+        "H_DSP",
+        "W_DSP",
+        "H_BRAM",
+        "W_BRAM",
+        "CLB_avail",
+        "FF_avail",
+        "LUT_avail",
+        "DSP_avail",
+        "BRAM_avail",
+        "RU_CLB",
+        "RU_FF",
+        "RU_LUT",
+        "RU_DSP",
+        "RU_BRAM",
     ];
 
     let mut rows = Vec::new();
@@ -48,10 +67,34 @@ fn main() {
                 "CLB_req" => req.clb_req.to_string(),
                 "H_CLB" => org.height.to_string(),
                 "W_CLB" => org.clb_cols.to_string(),
-                "H_DSP" => if org.dsp_cols > 0 { org.height.to_string() } else { dash },
-                "W_DSP" => if org.dsp_cols > 0 { org.dsp_cols.to_string() } else { dash },
-                "H_BRAM" => if org.bram_cols > 0 { org.height.to_string() } else { dash },
-                "W_BRAM" => if org.bram_cols > 0 { org.bram_cols.to_string() } else { dash },
+                "H_DSP" => {
+                    if org.dsp_cols > 0 {
+                        org.height.to_string()
+                    } else {
+                        dash
+                    }
+                }
+                "W_DSP" => {
+                    if org.dsp_cols > 0 {
+                        org.dsp_cols.to_string()
+                    } else {
+                        dash
+                    }
+                }
+                "H_BRAM" => {
+                    if org.bram_cols > 0 {
+                        org.height.to_string()
+                    } else {
+                        dash
+                    }
+                }
+                "W_BRAM" => {
+                    if org.bram_cols > 0 {
+                        org.bram_cols.to_string()
+                    } else {
+                        dash
+                    }
+                }
                 "CLB_avail" => avail.clb().to_string(),
                 "FF_avail" => org.ff_avail().to_string(),
                 "LUT_avail" => org.lut_avail().to_string(),
@@ -75,8 +118,12 @@ fn main() {
             "Table V: PRR size/organization cost model",
             &[
                 "Parameter",
-                "FIR/V5", "MIPS/V5", "SDRAM/V5",
-                "FIR/V6", "MIPS/V6", "SDRAM/V6",
+                "FIR/V5",
+                "MIPS/V5",
+                "SDRAM/V5",
+                "FIR/V6",
+                "MIPS/V6",
+                "SDRAM/V6",
             ],
             &rows,
         )

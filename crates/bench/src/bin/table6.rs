@@ -24,8 +24,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for (prm, device) in bench::evaluation_matrix() {
-        let (rep, _bs) = run_paper_flow(prm, &device, &FlowOptions::fast(42))
-            .expect("paper PRM flows succeed");
+        let (rep, _bs) =
+            run_paper_flow(prm, &device, &FlowOptions::fast(42)).expect("paper PRM flows succeed");
         let synth = &rep.synth_report;
         let post = &rep.post_report;
         let s_pairs = post.saving_pct(synth, |r| r.lut_ff_pairs);
@@ -41,7 +41,11 @@ fn main() {
             format!("{} ({:+.1}%)", post.luts, s_luts),
             format!("{} ({:+.1}%)", post.ffs, s_ffs),
             format!("{clb_req}"),
-            if rep.route.routed { "yes".into() } else { "NO".into() },
+            if rep.route.routed {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         json.push(Row {
             prm: format!("{prm:?}"),
@@ -62,7 +66,16 @@ fn main() {
         bench::render_table(
             "Table VI: post-PAR resources (savings vs Table V in parentheses; \
              positive = fewer resources)",
-            &["PRM/family", "LUT_FF_req", "DSP_req", "BRAM_req", "LUT_req", "FF_req", "CLB_req", "routed"],
+            &[
+                "PRM/family",
+                "LUT_FF_req",
+                "DSP_req",
+                "BRAM_req",
+                "LUT_req",
+                "FF_req",
+                "CLB_req",
+                "routed"
+            ],
             &rows,
         )
     );

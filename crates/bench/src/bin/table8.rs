@@ -62,7 +62,13 @@ fn main() {
         "{}",
         bench::render_table(
             "Table VIII: flow wall times vs cost-model evaluation (simulated substrate)",
-            &["PRM/family", "Synthesis", "Implementation", "Model eval", "Model speedup"],
+            &[
+                "PRM/family",
+                "Synthesis",
+                "Implementation",
+                "Model eval",
+                "Model speedup"
+            ],
             &rows,
         )
     );

@@ -65,9 +65,11 @@ pub fn results_dir() -> PathBuf {
     }
     // The workspace root is two levels above this crate's manifest.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
-        PathBuf::from("results")
-    })
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Serialize `value` as pretty JSON into `results/<name>.json`.

@@ -85,7 +85,10 @@ impl fmt::Display for CmError {
                 write!(f, "FDRI payload left {leftover} words (not a whole frame)")
             }
             CmError::CrcMismatch { stated, computed } => {
-                write!(f, "CRC mismatch: stated {stated:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: stated {stated:#010x}, computed {computed:#010x}"
+                )
             }
         }
     }
@@ -100,7 +103,10 @@ enum PortState {
     /// Decoding packet headers.
     Idle,
     /// Consuming `remaining` payload words for `register`.
-    Payload { register: ConfigRegister, remaining: u32 },
+    Payload {
+        register: ConfigRegister,
+        remaining: u32,
+    },
     /// Waiting for the Type-2 word count after `FDRI x0`.
     AwaitType2,
     /// Consuming FDRI frame payload.
@@ -171,19 +177,27 @@ impl ConfigPort {
             PortState::Idle => self.decode_header(word),
             PortState::AwaitType2 => match Packet::decode(word) {
                 Some(Packet::Type2Write { word_count }) => {
-                    self.state = PortState::FrameData { remaining: word_count };
+                    self.state = PortState::FrameData {
+                        remaining: word_count,
+                    };
                     Ok(())
                 }
                 Some(Packet::Noop) => Ok(()), // pad between header and count
                 _ => Err(CmError::BadPacket { word }),
             },
-            PortState::Payload { register, remaining } => {
+            PortState::Payload {
+                register,
+                remaining,
+            } => {
                 self.consume_payload(register, word)?;
                 // DESYNC inside the payload terminates the port; don't
                 // clobber that terminal state.
                 if self.state != PortState::Done {
                     self.state = if remaining > 1 {
-                        PortState::Payload { register, remaining: remaining - 1 }
+                        PortState::Payload {
+                            register,
+                            remaining: remaining - 1,
+                        }
                     } else {
                         PortState::Idle
                     };
@@ -199,7 +213,9 @@ impl ConfigPort {
                 self.crc.push_word(word);
                 self.buffer.push(word);
                 if remaining > 1 {
-                    self.state = PortState::FrameData { remaining: remaining - 1 };
+                    self.state = PortState::FrameData {
+                        remaining: remaining - 1,
+                    };
                     Ok(())
                 } else {
                     self.state = PortState::Idle;
@@ -212,11 +228,17 @@ impl ConfigPort {
     fn decode_header(&mut self, word: u32) -> Result<(), CmError> {
         match Packet::decode(word) {
             Some(Packet::Noop) => Ok(()),
-            Some(Packet::Type1Write { register, word_count }) => {
+            Some(Packet::Type1Write {
+                register,
+                word_count,
+            }) => {
                 if register == ConfigRegister::Fdri && word_count == 0 {
                     self.state = PortState::AwaitType2;
                 } else if word_count > 0 {
-                    self.state = PortState::Payload { register, remaining: word_count };
+                    self.state = PortState::Payload {
+                        register,
+                        remaining: word_count,
+                    };
                 }
                 Ok(())
             }
@@ -249,7 +271,10 @@ impl ConfigPort {
             ConfigRegister::Crc => {
                 let computed = self.crc.value();
                 if word != computed {
-                    return Err(CmError::CrcMismatch { stated: word, computed });
+                    return Err(CmError::CrcMismatch {
+                        stated: word,
+                        computed,
+                    });
                 }
                 Ok(())
             }
@@ -269,7 +294,9 @@ impl ConfigPort {
         let total = self.buffer.len() as u32;
         if !total.is_multiple_of(fr) {
             self.buffer.clear();
-            return Err(CmError::PartialFrame { leftover: total % fr });
+            return Err(CmError::PartialFrame {
+                leftover: total % fr,
+            });
         }
         let n_frames = total / fr;
         // Last frame = pad, discarded.
@@ -309,10 +336,7 @@ impl ConfigPort {
 }
 
 /// Push an entire word stream through a fresh port.
-pub fn load_bitstream(
-    geometry: FrameGeometry,
-    words: &[u32],
-) -> Result<ConfigPort, CmError> {
+pub fn load_bitstream(geometry: FrameGeometry, words: &[u32]) -> Result<ConfigPort, CmError> {
     let mut port = ConfigPort::new(geometry);
     for &w in words {
         port.push_word(w)?;
@@ -374,12 +398,8 @@ mod tests {
         let device = xc5vlx110t();
         let plan = plan_prr(&PaperPrm::Sdram.synth_report(Family::Virtex5), &device).unwrap();
         let mk = |module: &str| {
-            let spec = BitstreamSpec::from_plan(
-                device.name(),
-                module,
-                plan.organization,
-                &plan.window,
-            );
+            let spec =
+                BitstreamSpec::from_plan(device.name(), module, plan.organization, &plan.window);
             generate(&spec).unwrap()
         };
         let a = mk("module_a");
@@ -397,7 +417,10 @@ mod tests {
             port2.push_word(w).unwrap();
         }
         let frame_b = port2.memory().frame(far).unwrap().to_vec();
-        assert_ne!(frame_a, frame_b, "different modules configure different bits");
+        assert_ne!(
+            frame_a, frame_b,
+            "different modules configure different bits"
+        );
         assert_eq!(port.memory().frame_count(), port2.memory().frame_count());
     }
 
@@ -425,10 +448,17 @@ mod tests {
         let device = xc5vlx110t();
         let mut port = ConfigPort::new(device.params().frames);
         port.push_word(SYNC_WORD).unwrap();
-        port.push_word(Packet::Type1Write { register: ConfigRegister::Fdri, word_count: 0 }.encode())
-            .unwrap();
+        port.push_word(
+            Packet::Type1Write {
+                register: ConfigRegister::Fdri,
+                word_count: 0,
+            }
+            .encode(),
+        )
+        .unwrap();
         let fr = device.params().frames.fr_size;
-        port.push_word(Packet::Type2Write { word_count: fr }.encode()).unwrap();
+        port.push_word(Packet::Type2Write { word_count: fr }.encode())
+            .unwrap();
         let mut result = Ok(());
         for i in 0..fr {
             result = port.push_word(i);

@@ -95,11 +95,26 @@ fn annotate(word: u32, _prev: Option<u32>) -> &'static str {
     }
     match Packet::decode(word) {
         Some(Packet::Noop) => "NOOP",
-        Some(Packet::Type1Write { register: ConfigRegister::Cmd, .. }) => "T1 write CMD",
-        Some(Packet::Type1Write { register: ConfigRegister::Far, .. }) => "T1 write FAR",
-        Some(Packet::Type1Write { register: ConfigRegister::Fdri, .. }) => "T1 write FDRI",
-        Some(Packet::Type1Write { register: ConfigRegister::Idcode, .. }) => "T1 write IDCODE",
-        Some(Packet::Type1Write { register: ConfigRegister::Crc, .. }) => "T1 write CRC",
+        Some(Packet::Type1Write {
+            register: ConfigRegister::Cmd,
+            ..
+        }) => "T1 write CMD",
+        Some(Packet::Type1Write {
+            register: ConfigRegister::Far,
+            ..
+        }) => "T1 write FAR",
+        Some(Packet::Type1Write {
+            register: ConfigRegister::Fdri,
+            ..
+        }) => "T1 write FDRI",
+        Some(Packet::Type1Write {
+            register: ConfigRegister::Idcode,
+            ..
+        }) => "T1 write IDCODE",
+        Some(Packet::Type1Write {
+            register: ConfigRegister::Crc,
+            ..
+        }) => "T1 write CRC",
         Some(Packet::Type1Write { .. }) => "T1 write",
         Some(Packet::Type2Write { .. }) => "T2 write",
         None => match Command::from_code(word) {
@@ -125,12 +140,8 @@ mod tests {
     fn dump_contains_structure_sections() {
         let device = xc5vlx110t();
         let plan = plan_prr(&PaperPrm::Mips.synth_report(device.family()), &device).unwrap();
-        let spec = BitstreamSpec::from_plan(
-            device.name(),
-            "mips_r3000",
-            plan.organization,
-            &plan.window,
-        );
+        let spec =
+            BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window);
         let bs = generate(&spec).unwrap();
         let dump = dump_structure(&bs);
         assert!(dump.contains("initial words (IW = 16)"));

@@ -39,12 +39,22 @@ pub struct FrameAddress {
 impl FrameAddress {
     /// A configuration-plane address.
     pub fn config(row: u32, column: u32, minor: u32) -> Self {
-        FrameAddress { block: BlockType::Config, row, column, minor }
+        FrameAddress {
+            block: BlockType::Config,
+            row,
+            column,
+            minor,
+        }
     }
 
     /// A BRAM-content address.
     pub fn bram(row: u32, column: u32, minor: u32) -> Self {
-        FrameAddress { block: BlockType::BramContent, row, column, minor }
+        FrameAddress {
+            block: BlockType::BramContent,
+            row,
+            column,
+            minor,
+        }
     }
 
     /// Pack into a 32-bit FAR word.

@@ -27,20 +27,33 @@ pub struct IcapModel {
 
 impl IcapModel {
     /// Virtex-5/-6 ICAP at full width and clock, DMA-fed (ideal).
-    pub const V5_DMA: IcapModel =
-        IcapModel { width_bits: 32, clock_hz: 100_000_000, busy_factor: 0.0 };
+    pub const V5_DMA: IcapModel = IcapModel {
+        width_bits: 32,
+        clock_hz: 100_000_000,
+        busy_factor: 0.0,
+    };
 
     /// Processor-copied transfers: same port, high contention.
-    pub const V5_CPU_COPY: IcapModel =
-        IcapModel { width_bits: 32, clock_hz: 100_000_000, busy_factor: 0.85 };
+    pub const V5_CPU_COPY: IcapModel = IcapModel {
+        width_bits: 32,
+        clock_hz: 100_000_000,
+        busy_factor: 0.85,
+    };
 
     /// 8-bit SelectMAP-style external port.
-    pub const EXT_SELECTMAP8: IcapModel =
-        IcapModel { width_bits: 8, clock_hz: 50_000_000, busy_factor: 0.0 };
+    pub const EXT_SELECTMAP8: IcapModel = IcapModel {
+        width_bits: 8,
+        clock_hz: 50_000_000,
+        busy_factor: 0.0,
+    };
 
     /// Construct, clamping the busy factor into `[0, 0.999]`.
     pub fn new(width_bits: u32, clock_hz: u64, busy_factor: f64) -> Self {
-        IcapModel { width_bits, clock_hz, busy_factor: busy_factor.clamp(0.0, 0.999) }
+        IcapModel {
+            width_bits,
+            clock_hz,
+            busy_factor: busy_factor.clamp(0.0, 0.999),
+        }
     }
 
     /// Ideal throughput in bytes per second (no contention).
@@ -49,14 +62,29 @@ impl IcapModel {
     }
 
     /// Effective throughput after the busy-factor derating.
+    ///
+    /// The busy factor is re-clamped into `[0, 0.999]` here: the fields
+    /// are public, so a literal-constructed model can carry a factor
+    /// outside [`IcapModel::new`]'s range (≥ 1.0 or NaN would otherwise
+    /// make [`IcapModel::transfer_time`] panic on a non-finite duration).
     pub fn effective_bytes_per_sec(&self) -> f64 {
-        self.ideal_bytes_per_sec() * (1.0 - self.busy_factor)
+        let busy = if self.busy_factor.is_finite() {
+            self.busy_factor.clamp(0.0, 0.999)
+        } else {
+            0.0
+        };
+        self.ideal_bytes_per_sec() * (1.0 - busy)
     }
 
     /// Time to transfer `bytes` through the port.
     pub fn transfer_time(&self, bytes: u64) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
         let secs = bytes as f64 / self.effective_bytes_per_sec();
-        Duration::from_secs_f64(secs)
+        // A zero-width/zero-clock port yields an infinite time; saturate
+        // instead of letting `from_secs_f64` panic.
+        Duration::try_from_secs_f64(secs).unwrap_or(Duration::MAX)
     }
 }
 
@@ -96,6 +124,39 @@ mod tests {
         assert!(m.effective_bytes_per_sec() > 0.0);
         let m2 = IcapModel::new(32, 100_000_000, -3.0);
         assert_eq!(m2.busy_factor, 0.0);
+    }
+
+    /// Public fields let callers bypass `new`'s clamping; a saturated
+    /// busy factor must not make `transfer_time` panic (regression:
+    /// `Duration::from_secs_f64` on a non-finite value).
+    #[test]
+    fn literal_busy_factor_at_or_above_one_does_not_panic() {
+        for busy in [1.0, 2.5, f64::INFINITY, f64::NAN] {
+            let m = IcapModel {
+                width_bits: 32,
+                clock_hz: 100_000_000,
+                busy_factor: busy,
+            };
+            assert!(m.effective_bytes_per_sec() > 0.0, "busy={busy}");
+            let t = m.transfer_time(83_040);
+            assert!(
+                t > Duration::ZERO && t < Duration::from_secs(3600),
+                "busy={busy}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bytes_transfer_in_zero_time() {
+        assert_eq!(IcapModel::V5_DMA.transfer_time(0), Duration::ZERO);
+        let dead = IcapModel {
+            width_bits: 0,
+            clock_hz: 0,
+            busy_factor: 0.0,
+        };
+        assert_eq!(dead.transfer_time(0), Duration::ZERO);
+        // A dead port saturates rather than panicking for nonzero bytes.
+        assert_eq!(dead.transfer_time(1), Duration::MAX);
     }
 
     #[test]

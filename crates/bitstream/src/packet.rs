@@ -134,7 +134,10 @@ impl Packet {
     pub fn encode(self) -> u32 {
         match self {
             Packet::Noop => NOOP,
-            Packet::Type1Write { register, word_count } => {
+            Packet::Type1Write {
+                register,
+                word_count,
+            } => {
                 assert!(word_count <= 0x7ff, "type-1 word count field is 11 bits");
                 (0b001 << 29) | (0b10 << 27) | ((register as u32) << 13) | word_count
             }
@@ -153,9 +156,14 @@ impl Packet {
             (0b001, 0b00) => Some(Packet::Noop),
             (0b001, 0b10) => {
                 let register = ConfigRegister::from_addr((word >> 13) & 0x1f)?;
-                Some(Packet::Type1Write { register, word_count: word & 0x7ff })
+                Some(Packet::Type1Write {
+                    register,
+                    word_count: word & 0x7ff,
+                })
             }
-            (0b010, 0b10) => Some(Packet::Type2Write { word_count: word & 0x07ff_ffff }),
+            (0b010, 0b10) => Some(Packet::Type2Write {
+                word_count: word & 0x07ff_ffff,
+            }),
             _ => None,
         }
     }
@@ -165,7 +173,10 @@ impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Packet::Noop => write!(f, "NOOP"),
-            Packet::Type1Write { register, word_count } => {
+            Packet::Type1Write {
+                register,
+                word_count,
+            } => {
                 write!(f, "T1 WRITE {register:?} x{word_count}")
             }
             Packet::Type2Write { word_count } => write!(f, "T2 WRITE x{word_count}"),
@@ -181,15 +192,27 @@ mod tests {
     fn canonical_encodings_match_ug191() {
         // Well-known header words from UG191 examples.
         assert_eq!(
-            Packet::Type1Write { register: ConfigRegister::Cmd, word_count: 1 }.encode(),
+            Packet::Type1Write {
+                register: ConfigRegister::Cmd,
+                word_count: 1
+            }
+            .encode(),
             0x3000_8001
         );
         assert_eq!(
-            Packet::Type1Write { register: ConfigRegister::Far, word_count: 1 }.encode(),
+            Packet::Type1Write {
+                register: ConfigRegister::Far,
+                word_count: 1
+            }
+            .encode(),
             0x3000_2001
         );
         assert_eq!(
-            Packet::Type1Write { register: ConfigRegister::Fdri, word_count: 0 }.encode(),
+            Packet::Type1Write {
+                register: ConfigRegister::Fdri,
+                word_count: 0
+            }
+            .encode(),
             0x3000_4000
         );
         assert_eq!(Packet::Noop.encode(), 0x2000_0000);
@@ -201,11 +224,16 @@ mod tests {
         for addr in 0..14 {
             let reg = ConfigRegister::from_addr(addr).unwrap();
             for wc in [0u32, 1, 41, 2047] {
-                let p = Packet::Type1Write { register: reg, word_count: wc };
+                let p = Packet::Type1Write {
+                    register: reg,
+                    word_count: wc,
+                };
                 assert_eq!(Packet::decode(p.encode()), Some(p));
             }
         }
-        let t2 = Packet::Type2Write { word_count: 123_456 };
+        let t2 = Packet::Type2Write {
+            word_count: 123_456,
+        };
         assert_eq!(Packet::decode(t2.encode()), Some(t2));
         assert_eq!(Packet::decode(NOOP), Some(Packet::Noop));
     }
@@ -214,13 +242,21 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(Packet::decode(DUMMY_WORD), None);
         assert_eq!(Packet::decode(SYNC_WORD), None);
-        assert_eq!(Packet::decode(0x3000_0000 | (0x1f << 13)), None, "unknown register");
+        assert_eq!(
+            Packet::decode(0x3000_0000 | (0x1f << 13)),
+            None,
+            "unknown register"
+        );
     }
 
     #[test]
     #[should_panic(expected = "type-1 word count")]
     fn type1_word_count_overflow_panics() {
-        let _ = Packet::Type1Write { register: ConfigRegister::Fdri, word_count: 2048 }.encode();
+        let _ = Packet::Type1Write {
+            register: ConfigRegister::Fdri,
+            word_count: 2048,
+        }
+        .encode();
     }
 
     #[test]

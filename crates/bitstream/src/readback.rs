@@ -81,7 +81,11 @@ pub fn context_cost(org: &PrrOrganization) -> ContextCost {
 
     // Frame payload words per row, write-path framing removed.
     let config_payload = b.config_words_per_row - far_fdri;
-    let bram_payload = if b.bram_words_per_row > 0 { b.bram_words_per_row - far_fdri } else { 0 };
+    let bram_payload = if b.bram_words_per_row > 0 {
+        b.bram_words_per_row - far_fdri
+    } else {
+        0
+    };
 
     let rows = b.rows;
     let save_words = rows * (READBACK_OVERHEAD_WORDS + config_payload + bram_payload)
@@ -89,7 +93,11 @@ pub fn context_cost(org: &PrrOrganization) -> ContextCost {
         + u64::from(g.fw);
     let restore_words = b.total_words() + rows * RESTORE_OVERHEAD_WORDS;
 
-    ContextCost { save_words, restore_words, bytes_per_word: b.bytes_per_word }
+    ContextCost {
+        save_words,
+        restore_words,
+        bytes_per_word: b.bytes_per_word,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +106,13 @@ mod tests {
     use fabric::Family;
 
     fn org(h: u32, clb: u32, dsp: u32, bram: u32) -> PrrOrganization {
-        PrrOrganization { family: Family::Virtex5, height: h, clb_cols: clb, dsp_cols: dsp, bram_cols: bram }
+        PrrOrganization {
+            family: Family::Virtex5,
+            height: h,
+            clb_cols: clb,
+            dsp_cols: dsp,
+            bram_cols: bram,
+        }
     }
 
     #[test]
@@ -115,7 +129,10 @@ mod tests {
         let plain = prcost::bitstream_size_bytes(&o);
         let ctx = context_cost(&o);
         assert!(ctx.restore_bytes() > plain);
-        assert!(ctx.restore_bytes() < plain + 100, "only command overhead on top");
+        assert!(
+            ctx.restore_bytes() < plain + 100,
+            "only command overhead on top"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn relocate(
     let row_delta = i64::from(target.row) - i64::from(source.row);
 
     let mut words = bs.words.clone();
-    let far_header = Packet::Type1Write { register: ConfigRegister::Far, word_count: 1 }.encode();
+    let far_header = Packet::Type1Write {
+        register: ConfigRegister::Far,
+        word_count: 1,
+    }
+    .encode();
     let mut i = 0;
     while i + 1 < words.len() {
         if words[i] == far_header {
@@ -112,8 +116,7 @@ pub fn relocate(
             };
             let in_cols = (far.column as i64) >= source.start_col as i64
                 && (far.column as i64) < source.end_col() as i64 + 16; // minor spill margin
-            let in_rows =
-                far.row >= source.row && far.row <= source.top_row();
+            let in_rows = far.row >= source.row && far.row <= source.top_row();
             if !(in_cols && in_rows) {
                 return Err(RelocateError::ForeignFrameAddress { far });
             }
@@ -148,12 +151,8 @@ mod tests {
     fn mips_stream() -> (fabric::Device, PartialBitstream) {
         let device = xc5vlx110t();
         let plan = plan_prr(&PaperPrm::Mips.synth_report(Family::Virtex5), &device).unwrap();
-        let spec = BitstreamSpec::from_plan(
-            device.name(),
-            "mips_r3000",
-            plan.organization,
-            &plan.window,
-        );
+        let spec =
+            BitstreamSpec::from_plan(device.name(), "mips_r3000", plan.organization, &plan.window);
         (device.clone(), generate(&spec).unwrap())
     }
 
@@ -190,7 +189,10 @@ mod tests {
         let p1 = load_bitstream(device.params().frames, &moved.words).unwrap();
         assert_eq!(p0.memory().frame_count(), p1.memory().frame_count());
         for far in p0.memory().addresses() {
-            let shifted_far = FrameAddress { row: far.row + 4, ..far };
+            let shifted_far = FrameAddress {
+                row: far.row + 4,
+                ..far
+            };
             assert_eq!(
                 p0.memory().frame(far),
                 p1.memory().frame(shifted_far),
@@ -206,7 +208,9 @@ mod tests {
         wrong_height.height += 1;
         assert!(matches!(
             relocate(&bs, &device, &wrong_height),
-            Err(RelocateError::Incompatible { reason: "heights differ" })
+            Err(RelocateError::Incompatible {
+                reason: "heights differ"
+            })
         ));
 
         let mut wrong_cols = shifted(&bs, 1);
@@ -222,7 +226,10 @@ mod tests {
     fn out_of_bounds_target_is_rejected() {
         let (device, bs) = mips_stream();
         let target = shifted(&bs, 8); // row 9 of an 8-row device
-        assert_eq!(relocate(&bs, &device, &target), Err(RelocateError::OutOfBounds));
+        assert_eq!(
+            relocate(&bs, &device, &target),
+            Err(RelocateError::OutOfBounds)
+        );
     }
 
     #[test]

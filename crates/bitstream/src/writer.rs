@@ -93,7 +93,8 @@ pub struct PartialBitstream {
 impl PartialBitstream {
     /// Size in bytes (`words * Bytes_word`).
     pub fn len_bytes(&self) -> u64 {
-        self.words.len() as u64 * u64::from(self.spec.organization.family.params().frames.bytes_word)
+        self.words.len() as u64
+            * u64::from(self.spec.organization.family.params().frames.bytes_word)
     }
 
     /// Serialize to big-endian bytes (ICAP transmission order).
@@ -125,7 +126,11 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 fn t1(register: ConfigRegister, word_count: u32) -> u32 {
-    Packet::Type1Write { register, word_count }.encode()
+    Packet::Type1Write {
+        register,
+        word_count,
+    }
+    .encode()
 }
 
 /// Emit the initial-word block. Exactly `IW` (=16) words: dummies,
@@ -163,7 +168,12 @@ fn push_frame_block(
     words.push(t1(ConfigRegister::Far, 1));
     words.push(far.encode());
     words.push(t1(ConfigRegister::Fdri, 0));
-    words.push(Packet::Type2Write { word_count: payload_words }.encode());
+    words.push(
+        Packet::Type2Write {
+            word_count: payload_words,
+        }
+        .encode(),
+    );
     words.push(Packet::Noop.encode());
     let mut state = seed ^ u64::from(far.encode());
     for _ in 0..payload_words {
@@ -233,7 +243,10 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
     }
     let expected = (org.clb_cols, org.dsp_cols, org.bram_cols);
     if (clb, dsp, bram) != expected {
-        return Err(GenError::CompositionMismatch { expected, found: (clb, dsp, bram) });
+        return Err(GenError::CompositionMismatch {
+            expected,
+            found: (clb, dsp, bram),
+        });
     }
 
     let seed = fnv1a(&spec.module);
@@ -247,7 +260,11 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
         .map(|&k| geom.frames_per_column(k))
         .sum::<u32>()
         + 1;
-    let bram_frames: u32 = if org.bram_cols > 0 { org.bram_cols * geom.df_bram + 1 } else { 0 };
+    let bram_frames: u32 = if org.bram_cols > 0 {
+        org.bram_cols * geom.df_bram + 1
+    } else {
+        0
+    };
 
     let mut words = Vec::new();
     let mut crc = Crc32::new();
@@ -267,14 +284,16 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
             .position(|&k| k == ResourceKind::Bram)
             .expect("bram_cols > 0 implies a BRAM column") as u32;
         for r in 0..org.height {
-            let far =
-                FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
+            let far = FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
             push_frame_block(&mut words, &mut crc, far, bram_frames * fr, seed);
         }
     }
 
     push_final(&mut words, crc.value());
-    Ok(PartialBitstream { spec: spec.clone(), words })
+    Ok(PartialBitstream {
+        spec: spec.clone(),
+        words,
+    })
 }
 
 #[cfg(test)]
@@ -286,7 +305,12 @@ mod tests {
 
     fn spec_for(prm: PaperPrm, device: &fabric::Device) -> BitstreamSpec {
         let plan = plan_prr(&prm.synth_report(device.family()), device).unwrap();
-        BitstreamSpec::from_plan(device.name(), prm.module_name(), plan.organization, &plan.window)
+        BitstreamSpec::from_plan(
+            device.name(),
+            prm.module_name(),
+            plan.organization,
+            &plan.window,
+        )
     }
 
     /// The headline cross-validation: generated length == Eq. 18 prediction
@@ -332,7 +356,10 @@ mod tests {
         let device = xc5vlx110t();
         let mut spec = spec_for(PaperPrm::Sdram, &device);
         spec.columns.push(ResourceKind::Clb);
-        assert!(matches!(generate(&spec), Err(GenError::CompositionMismatch { .. })));
+        assert!(matches!(
+            generate(&spec),
+            Err(GenError::CompositionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -340,7 +367,10 @@ mod tests {
         let device = xc5vlx110t();
         let mut spec = spec_for(PaperPrm::Sdram, &device);
         spec.columns[0] = ResourceKind::Clk;
-        assert!(matches!(generate(&spec), Err(GenError::ForbiddenColumn(ResourceKind::Clk))));
+        assert!(matches!(
+            generate(&spec),
+            Err(GenError::ForbiddenColumn(ResourceKind::Clk))
+        ));
     }
 
     #[test]
@@ -368,8 +398,7 @@ mod tests {
             FrameAddress::bram(mips.spec.start_row, mips.spec.start_col + bram_col, 0).encode();
         assert!(mips.words.contains(&expected_far));
         let _ = has_bram_far;
-        let sdram_far =
-            FrameAddress::bram(sdram.spec.start_row, sdram.spec.start_col, 0).encode();
+        let sdram_far = FrameAddress::bram(sdram.spec.start_row, sdram.spec.start_col, 0).encode();
         // The exact SDRAM BRAM FAR must not appear as a FAR write.
         let far_hdr = t1(ConfigRegister::Far, 1);
         let writes: Vec<u32> = sdram

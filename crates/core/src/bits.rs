@@ -57,8 +57,15 @@ impl BitstreamBreakdown {
 
     /// Configuration frames per PRR row (Eqs. 20–22 summed, plus the pad
     /// frame).
+    ///
+    /// Saturating: `far_fdri` larger than the row's word count (possible
+    /// only with constants from a foreign family) yields 0 frames rather
+    /// than an underflow; a zero `fr_size` also yields 0.
     pub fn frames_per_row(&self, fr_size: u64, far_fdri: u64) -> u64 {
-        (self.config_words_per_row - far_fdri) / fr_size
+        if fr_size == 0 {
+            return 0;
+        }
+        self.config_words_per_row.saturating_sub(far_fdri) / fr_size
     }
 }
 
@@ -115,7 +122,13 @@ mod tests {
     use fabric::Family;
 
     fn org(family: Family, h: u32, clb: u32, dsp: u32, bram: u32) -> PrrOrganization {
-        PrrOrganization { family, height: h, clb_cols: clb, dsp_cols: dsp, bram_cols: bram }
+        PrrOrganization {
+            family,
+            height: h,
+            clb_cols: clb,
+            dsp_cols: dsp,
+            bram_cols: bram,
+        }
     }
 
     /// Hand-computed Eq. 18 for the paper's FIR/Virtex-5 PRR
@@ -177,6 +190,16 @@ mod tests {
         let b = breakdown(&o);
         // 2*36 + 28 + 30 + 1 pad = 131 frames.
         assert_eq!(b.frames_per_row(41, 5), 131);
+    }
+
+    /// Mismatched constants must saturate, not underflow (regression:
+    /// `config_words_per_row - far_fdri` panicked in debug builds when
+    /// `far_fdri` exceeded the row words).
+    #[test]
+    fn frames_per_row_saturates_on_oversized_far_fdri() {
+        let b = breakdown(&org(Family::Virtex5, 1, 1, 0, 0));
+        assert_eq!(b.frames_per_row(41, b.config_words_per_row + 1), 0);
+        assert_eq!(b.frames_per_row(0, 5), 0);
     }
 
     #[test]

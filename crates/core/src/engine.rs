@@ -1,0 +1,276 @@
+//! Memoized batch planning engine.
+//!
+//! A sweep of G generators × D devices repeats two expensive inputs many
+//! times: a generator's synthesis report depends only on the device
+//! *family* (not the device), and a device's window-search geometry is
+//! shared by every height and PRM planned on it. [`Engine`] interns both:
+//!
+//! * **synthesis memo** — keyed by `(generator name, family)`, so a sweep
+//!   performs G×F synthesis runs (F = families touched) instead of G×D;
+//! * **geometry cache** — one [`DeviceGeometry`] per distinct device,
+//!   derived once and shared by reference across worker threads.
+//!
+//! Every cache is behind a `parking_lot::RwLock`, so one engine can be
+//! driven concurrently from a parallel sweep; all activity is recorded in
+//! the engine's own [`Metrics`] registry. Plans produced through the
+//! engine are byte-identical to calling [`synthesize`](PrmGenerator) and
+//! [`plan_prr`](crate::plan_prr) directly (property-tested in the
+//! workspace's `engine_props` suite).
+
+use crate::error::CostError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::requirements::PrrRequirements;
+use crate::search::{plan_prr_cached, PlanScratch, PrrPlan};
+use fabric::{ColumnKind, Device, DeviceGeometry, Family};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use synth::{PrmGenerator, SynthReport};
+
+/// Cache key identifying a device layout. Devices are keyed by name *and*
+/// layout so synthetic test devices that reuse a name cannot collide.
+type DeviceKey = (String, u32, Vec<ColumnKind>);
+
+fn device_key(device: &Device) -> DeviceKey {
+    (
+        device.name().to_string(),
+        device.rows(),
+        device.columns().to_vec(),
+    )
+}
+
+/// Plan-memo key: the requirement numbers plus the device layout. Plans
+/// are a pure function of these, so a repeated sweep on a warm engine is
+/// answered entirely from the memo.
+type PlanKey = ((Family, u64, u64, u64, u64, u64), DeviceKey);
+
+fn plan_key(req: &PrrRequirements, device: &Device) -> PlanKey {
+    (
+        (
+            req.family,
+            req.lut_ff_req,
+            req.lut_req,
+            req.ff_req,
+            req.dsp_req,
+            req.bram_req,
+        ),
+        device_key(device),
+    )
+}
+
+/// A memoized, instrumented planning engine (see the module docs).
+#[derive(Debug, Default)]
+pub struct Engine {
+    metrics: Metrics,
+    geometries: RwLock<HashMap<DeviceKey, Arc<DeviceGeometry>>>,
+    synth_memo: RwLock<HashMap<(String, Family), SynthReport>>,
+    plan_memo: RwLock<HashMap<PlanKey, Result<PrrPlan, CostError>>>,
+}
+
+impl Engine {
+    /// New engine with empty caches and zeroed metrics.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// The engine's metrics registry (counters are live).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The interned geometry of `device`, deriving it on first sight.
+    pub fn geometry(&self, device: &Device) -> Arc<DeviceGeometry> {
+        let key = device_key(device);
+        if let Some(geo) = self.geometries.read().get(&key) {
+            self.metrics.geometry_cache_hits.incr();
+            return Arc::clone(geo);
+        }
+        let geo = self
+            .metrics
+            .time("geometry", || Arc::new(DeviceGeometry::new(device)));
+        let mut map = self.geometries.write();
+        // A racing worker may have inserted first; keep its copy so every
+        // caller shares one memo.
+        let entry = map.entry(key).or_insert_with(|| {
+            self.metrics.geometry_builds.incr();
+            geo
+        });
+        Arc::clone(entry)
+    }
+
+    /// `generator`'s synthesis report for `family`, memoized on
+    /// `(generator name, family)`.
+    pub fn synthesize(&self, generator: &dyn PrmGenerator, family: Family) -> SynthReport {
+        let key = (generator.name(), family);
+        if let Some(report) = self.synth_memo.read().get(&key) {
+            self.metrics.synth_cache_hits.incr();
+            return report.clone();
+        }
+        let report = self.metrics.time("synth", || generator.synthesize(family));
+        let mut map = self.synth_memo.write();
+        let entry = map.entry(key).or_insert_with(|| {
+            self.metrics.synth_calls.incr();
+            report
+        });
+        entry.clone()
+    }
+
+    /// Plan the PRR for `report` on `device` through the geometry cache.
+    pub fn plan(&self, report: &SynthReport, device: &Device) -> Result<PrrPlan, CostError> {
+        self.plan_with_scratch(report, device, &mut PlanScratch::default())
+    }
+
+    /// [`Engine::plan`] with a caller-owned [`PlanScratch`], the
+    /// allocation-free path for sweep workers processing many plans.
+    ///
+    /// Whole plan results are memoized on (requirements, device layout):
+    /// a repeat of a previously planned point returns a clone of the
+    /// memoized plan instead of re-running the Fig. 1 search.
+    pub fn plan_with_scratch(
+        &self,
+        report: &SynthReport,
+        device: &Device,
+        scratch: &mut PlanScratch,
+    ) -> Result<PrrPlan, CostError> {
+        self.metrics.plans.incr();
+        let key = plan_key(&PrrRequirements::from_report(report), device);
+        if let Some(result) = self.plan_memo.read().get(&key) {
+            self.metrics.plan_cache_hits.incr();
+            match result {
+                Ok(_) => self.metrics.plans_feasible.incr(),
+                Err(_) => self.metrics.plans_infeasible.incr(),
+            }
+            return result.clone();
+        }
+        let geometry = self.geometry(device);
+        let result = self.metrics.time("plan", || {
+            plan_prr_cached(report, device, &geometry, scratch)
+        });
+        match &result {
+            Ok(_) => self.metrics.plans_feasible.incr(),
+            Err(_) => self.metrics.plans_infeasible.incr(),
+        }
+        self.plan_memo
+            .write()
+            .entry(key)
+            .or_insert_with(|| result.clone());
+        result
+    }
+
+    /// Synthesize (memoized) and plan (geometry-cached) in one call.
+    pub fn evaluate(
+        &self,
+        generator: &dyn PrmGenerator,
+        device: &Device,
+    ) -> Result<PrrPlan, CostError> {
+        let report = self.synthesize(generator, device.family());
+        self.plan(&report, device)
+    }
+
+    /// Snapshot of the engine's metrics, with the window-query counters
+    /// folded in from the interned geometries' own atomics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let (queries, hits) = self
+            .geometries
+            .read()
+            .values()
+            .fold((0u64, 0u64), |(q, h), geo| {
+                (q + geo.query_count(), h + geo.memo_hit_count())
+            });
+        snap.counters.window_queries = queries;
+        snap.counters.window_memo_hits = hits;
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_prr;
+    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use synth::PaperPrm;
+
+    #[test]
+    fn engine_plans_match_direct_plans() {
+        let engine = Engine::new();
+        for device in [xc5vlx110t(), xc6vlx75t()] {
+            for prm in PaperPrm::ALL {
+                let gen = prm.generator();
+                let direct = plan_prr(&gen.synthesize(device.family()), &device).unwrap();
+                let via_engine = engine.evaluate(gen.as_ref(), &device).unwrap();
+                assert_eq!(direct, via_engine, "{prm:?} on {}", device.name());
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_is_memoized_per_family() {
+        let engine = Engine::new();
+        let v5 = xc5vlx110t();
+        let gen = PaperPrm::Fir.generator();
+        let a = engine.synthesize(gen.as_ref(), v5.family());
+        let b = engine.synthesize(gen.as_ref(), v5.family());
+        assert_eq!(a, b);
+        let snap = engine.snapshot();
+        assert_eq!(snap.counters.synth_calls, 1);
+        assert_eq!(snap.counters.synth_cache_hits, 1);
+    }
+
+    #[test]
+    fn geometry_is_interned_per_device() {
+        let engine = Engine::new();
+        let v5 = xc5vlx110t();
+        let g1 = engine.geometry(&v5);
+        let g2 = engine.geometry(&v5);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let snap = engine.snapshot();
+        assert_eq!(snap.counters.geometry_builds, 1);
+        assert_eq!(snap.counters.geometry_cache_hits, 1);
+    }
+
+    #[test]
+    fn repeat_plans_hit_the_plan_memo() {
+        let engine = Engine::new();
+        let v5 = xc5vlx110t();
+        let gen = PaperPrm::Mips.generator();
+        let first = engine.evaluate(gen.as_ref(), &v5).unwrap();
+        let second = engine.evaluate(gen.as_ref(), &v5).unwrap();
+        assert_eq!(first, second);
+        let c = engine.snapshot().counters;
+        assert_eq!(c.plans, 2);
+        assert_eq!(c.plan_cache_hits, 1);
+        assert_eq!(c.plans_feasible, 2);
+    }
+
+    #[test]
+    fn infeasible_plans_are_memoized_too() {
+        let engine = Engine::new();
+        let v6 = xc6vlx75t();
+        // A Virtex-5 report on a Virtex-6 device always fails.
+        let report = PaperPrm::Fir
+            .generator()
+            .synthesize(fabric::Family::Virtex5);
+        assert!(engine.plan(&report, &v6).is_err());
+        assert!(engine.plan(&report, &v6).is_err());
+        let c = engine.snapshot().counters;
+        assert_eq!(c.plan_cache_hits, 1);
+        assert_eq!(c.plans_infeasible, 2);
+    }
+
+    #[test]
+    fn snapshot_folds_in_window_counters() {
+        let engine = Engine::new();
+        let v6 = xc6vlx75t();
+        let gen = PaperPrm::Sdram.generator();
+        engine.evaluate(gen.as_ref(), &v6).unwrap();
+        engine.evaluate(gen.as_ref(), &v6).unwrap();
+        let snap = engine.snapshot();
+        assert!(snap.counters.window_queries > 0);
+        // Heights 2 and 3 share the same column composition, so even the
+        // first plan hits the composition memo.
+        assert!(snap.counters.window_memo_hits > 0);
+        assert_eq!(snap.counters.plans, 2);
+        assert_eq!(snap.counters.plans_feasible, 2);
+    }
+}

@@ -36,7 +36,10 @@ impl fmt::Display for CostError {
                  re-synthesize for the target family"
             ),
             CostError::EmptyRequirements => {
-                write!(f, "the PRM requires no CLB/DSP/BRAM resources; nothing to place")
+                write!(
+                    f,
+                    "the PRM requires no CLB/DSP/BRAM resources; nothing to place"
+                )
             }
             CostError::NoFeasiblePlacement { device, trace } => write!(
                 f,
@@ -56,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_family_mismatch() {
-        let e = CostError::FamilyMismatch { report: Family::Virtex5, device: Family::Virtex6 };
+        let e = CostError::FamilyMismatch {
+            report: Family::Virtex5,
+            device: Family::Virtex6,
+        };
         let msg = e.to_string();
         assert!(msg.contains("Virtex-5") && msg.contains("Virtex-6"));
     }

@@ -50,12 +50,20 @@ pub fn full_breakdown(device: &Device) -> FullBitstreamBreakdown {
         .iter()
         .filter(|&&c| c == ResourceKind::Bram)
         .count() as u64;
-    let bram_frames = if bram_cols > 0 { bram_cols * u64::from(g.df_bram) + 1 } else { 0 };
+    let bram_frames = if bram_cols > 0 {
+        bram_cols * u64::from(g.df_bram) + 1
+    } else {
+        0
+    };
 
     let rows = u64::from(device.rows());
     let per_row = far_fdri
         + config_frames * fr
-        + if bram_frames > 0 { far_fdri + bram_frames * fr } else { 0 };
+        + if bram_frames > 0 {
+            far_fdri + bram_frames * fr
+        } else {
+            0
+        };
     let total_words = u64::from(g.iw) + rows * per_row + u64::from(g.fw);
 
     FullBitstreamBreakdown {

@@ -41,8 +41,10 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod engine;
 pub mod error;
 pub mod full;
+pub mod metrics;
 pub mod multi;
 pub mod prr;
 pub mod report;
@@ -51,10 +53,12 @@ pub mod search;
 pub mod timing;
 
 pub use bits::{bitstream_size_bytes, BitstreamBreakdown};
+pub use engine::Engine;
 pub use error::CostError;
 pub use full::{full_bitstream_size_bytes, FullBitstreamBreakdown};
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use multi::plan_shared_prr;
 pub use prr::{PrrOrganization, Utilization};
 pub use report::datasheet;
 pub use requirements::PrrRequirements;
-pub use search::{plan_prr, Candidate, PrrPlan, SearchTrace};
+pub use search::{plan_prr, plan_prr_cached, Candidate, PlanScratch, PrrPlan, SearchTrace};

@@ -1,0 +1,369 @@
+//! Dependency-free observability for the planning engine.
+//!
+//! A [`Metrics`] registry holds lock-free atomic counters (cache hits,
+//! plan outcomes) and per-stage wall-clock histograms (log₂-bucketed,
+//! behind a `parking_lot` mutex). Counters can be bumped concurrently
+//! from every worker of a parallel sweep; [`Metrics::snapshot`] produces
+//! a serializable [`MetricsSnapshot`] that `serde_json` exports for the
+//! CLI's `--metrics` flag and the benchmark artifacts.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A monotonic event counter, safe to bump from any thread.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ nanosecond buckets (covers 1 ns .. ~18 s and beyond).
+const BUCKETS: usize = 40;
+
+/// Accumulated wall-clock statistics for one pipeline stage.
+#[derive(Debug, Clone)]
+struct StageStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i` (clamped).
+    buckets: [u64; BUCKETS],
+}
+
+impl StageStats {
+    fn new() -> Self {
+        StageStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// A thread-safe registry of engine counters and stage timings.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Generator synthesis runs actually executed.
+    pub synth_calls: Counter,
+    /// Synthesis requests answered from the per-family memo.
+    pub synth_cache_hits: Counter,
+    /// Device geometries derived.
+    pub geometry_builds: Counter,
+    /// Geometry requests answered from the per-device cache.
+    pub geometry_cache_hits: Counter,
+    /// Window queries answered (geometry-cached planning only).
+    pub window_queries: Counter,
+    /// Window queries answered from the composition memo.
+    pub window_memo_hits: Counter,
+    /// Plans attempted.
+    pub plans: Counter,
+    /// Plans answered from the engine's whole-plan memo.
+    pub plan_cache_hits: Counter,
+    /// Plans that found a feasible PRR.
+    pub plans_feasible: Counter,
+    /// Plans that failed (no placement, mismatched family, ...).
+    pub plans_infeasible: Counter,
+    stages: Mutex<BTreeMap<&'static str, StageStats>>,
+}
+
+impl Metrics {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The process-wide registry used by the non-engine entry points
+    /// (e.g. [`crate::plan_prr`]) so one-off planning is observable too.
+    pub fn global() -> &'static Metrics {
+        static GLOBAL: OnceLock<Metrics> = OnceLock::new();
+        GLOBAL.get_or_init(Metrics::new)
+    }
+
+    /// Record one `elapsed` sample for `stage`.
+    pub fn record_stage(&self, stage: &'static str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.stages
+            .lock()
+            .entry(stage)
+            .or_insert_with(StageStats::new)
+            .record(ns);
+    }
+
+    /// Run `f`, recording its wall-clock time under `stage`.
+    pub fn time<T>(&self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_stage(stage, start.elapsed());
+        out
+    }
+
+    /// Consistent point-in-time copy of all counters and stages.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let stages = self
+            .stages
+            .lock()
+            .iter()
+            .map(|(name, s)| StageSnapshot {
+                name: (*name).to_string(),
+                count: s.count,
+                total_ns: s.total_ns,
+                mean_ns: s.total_ns.checked_div(s.count).unwrap_or(0),
+                min_ns: if s.count == 0 { 0 } else { s.min_ns },
+                max_ns: s.max_ns,
+                p50_ns: s.quantile_ns(0.50),
+                p90_ns: s.quantile_ns(0.90),
+                p99_ns: s.quantile_ns(0.99),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters: CounterSnapshot {
+                synth_calls: self.synth_calls.get(),
+                synth_cache_hits: self.synth_cache_hits.get(),
+                geometry_builds: self.geometry_builds.get(),
+                geometry_cache_hits: self.geometry_cache_hits.get(),
+                window_queries: self.window_queries.get(),
+                window_memo_hits: self.window_memo_hits.get(),
+                plans: self.plans.get(),
+                plan_cache_hits: self.plan_cache_hits.get(),
+                plans_feasible: self.plans_feasible.get(),
+                plans_infeasible: self.plans_infeasible.get(),
+            },
+            stages,
+        }
+    }
+}
+
+/// Point-in-time counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Generator synthesis runs actually executed.
+    pub synth_calls: u64,
+    /// Synthesis requests answered from the per-family memo.
+    pub synth_cache_hits: u64,
+    /// Device geometries derived.
+    pub geometry_builds: u64,
+    /// Geometry requests answered from the per-device cache.
+    pub geometry_cache_hits: u64,
+    /// Window queries answered.
+    pub window_queries: u64,
+    /// Window queries answered from the composition memo.
+    pub window_memo_hits: u64,
+    /// Plans attempted.
+    pub plans: u64,
+    /// Plans answered from the whole-plan memo.
+    pub plan_cache_hits: u64,
+    /// Plans with a feasible PRR.
+    pub plans_feasible: u64,
+    /// Plans that failed.
+    pub plans_infeasible: u64,
+}
+
+impl CounterSnapshot {
+    /// Synthesis memo hit rate in `[0, 1]` (`None` with no requests).
+    pub fn synth_hit_rate(&self) -> Option<f64> {
+        rate(
+            self.synth_cache_hits,
+            self.synth_calls + self.synth_cache_hits,
+        )
+    }
+
+    /// Geometry cache hit rate in `[0, 1]`.
+    pub fn geometry_hit_rate(&self) -> Option<f64> {
+        rate(
+            self.geometry_cache_hits,
+            self.geometry_builds + self.geometry_cache_hits,
+        )
+    }
+
+    /// Window composition-memo hit rate in `[0, 1]`.
+    pub fn window_memo_hit_rate(&self) -> Option<f64> {
+        rate(self.window_memo_hits, self.window_queries)
+    }
+
+    /// Whole-plan memo hit rate in `[0, 1]`.
+    pub fn plan_hit_rate(&self) -> Option<f64> {
+        rate(self.plan_cache_hits, self.plans)
+    }
+}
+
+fn rate(hits: u64, total: u64) -> Option<f64> {
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+/// Point-in-time statistics for one stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (`"synth"`, `"plan"`, `"geometry"`, ...).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Mean nanoseconds per sample.
+    pub mean_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+}
+
+/// A complete exportable metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: CounterSnapshot,
+    /// Per-stage wall-clock statistics, sorted by stage name.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total recorded time of `stage` (zero if absent).
+    pub fn stage_total(&self, stage: &str) -> Duration {
+        self.stages
+            .iter()
+            .find(|s| s.name == stage)
+            .map(|s| Duration::from_nanos(s.total_ns))
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.plans.incr();
+        m.plans.add(2);
+        assert_eq!(m.plans.get(), 3);
+        assert_eq!(m.snapshot().counters.plans, 3);
+    }
+
+    #[test]
+    fn stage_stats_are_recorded() {
+        let m = Metrics::new();
+        m.record_stage("plan", Duration::from_micros(10));
+        m.record_stage("plan", Duration::from_micros(30));
+        let snap = m.snapshot();
+        let s = &snap.stages[0];
+        assert_eq!(s.name, "plan");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 40_000);
+        assert_eq!(s.mean_ns, 20_000);
+        assert_eq!(s.min_ns, 10_000);
+        assert_eq!(s.max_ns, 30_000);
+        assert!(s.p50_ns >= 10_000);
+        assert_eq!(snap.stage_total("plan"), Duration::from_nanos(40_000));
+        assert_eq!(snap.stage_total("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let m = Metrics::new();
+        let v = m.time("stage", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(m.snapshot().stages[0].count, 1);
+    }
+
+    #[test]
+    fn hit_rates() {
+        let c = CounterSnapshot {
+            synth_calls: 1,
+            synth_cache_hits: 3,
+            geometry_builds: 2,
+            geometry_cache_hits: 2,
+            window_queries: 10,
+            window_memo_hits: 5,
+            plans: 4,
+            plan_cache_hits: 1,
+            plans_feasible: 3,
+            plans_infeasible: 1,
+        };
+        assert_eq!(c.synth_hit_rate(), Some(0.75));
+        assert_eq!(c.geometry_hit_rate(), Some(0.5));
+        assert_eq!(c.window_memo_hit_rate(), Some(0.5));
+        assert_eq!(c.plan_hit_rate(), Some(0.25));
+        let empty = CounterSnapshot {
+            synth_calls: 0,
+            synth_cache_hits: 0,
+            geometry_builds: 0,
+            geometry_cache_hits: 0,
+            window_queries: 0,
+            window_memo_hits: 0,
+            plans: 0,
+            plan_cache_hits: 0,
+            plans_feasible: 0,
+            plans_infeasible: 0,
+        };
+        assert_eq!(empty.synth_hit_rate(), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_value() {
+        let m = Metrics::new();
+        m.synth_calls.add(2);
+        m.record_stage("synth", Duration::from_nanos(1234));
+        let snap = m.snapshot();
+        let v = snap.to_value();
+        let back = MetricsSnapshot::from_value(&v).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -36,15 +36,14 @@ pub fn plan_shared_prr(
     }
     for r in reports {
         if r.family != device.family() {
-            return Err(CostError::FamilyMismatch { report: r.family, device: device.family() });
+            return Err(CostError::FamilyMismatch {
+                report: r.family,
+                device: device.family(),
+            });
         }
     }
-    let reqs: Vec<PrrRequirements> =
-        reports.iter().map(PrrRequirements::from_report).collect();
-    let combined = reqs
-        .iter()
-        .skip(1)
-        .fold(reqs[0], |acc, r| acc.max(r));
+    let reqs: Vec<PrrRequirements> = reports.iter().map(PrrRequirements::from_report).collect();
+    let combined = reqs.iter().skip(1).fold(reqs[0], |acc, r| acc.max(r));
     if combined.is_empty() {
         return Err(CostError::EmptyRequirements);
     }
@@ -58,8 +57,14 @@ pub fn plan_shared_prr(
         .map(|h| crate::search::evaluate_height(&combined, device, h))
         .collect();
     let plan = crate::search::select_best(&combined, device, candidates)?;
-    let per_prm_utilization = reqs.iter().map(|r| plan.organization.utilization(r)).collect();
-    Ok(SharedPrrPlan { plan, per_prm_utilization })
+    let per_prm_utilization = reqs
+        .iter()
+        .map(|r| plan.organization.utilization(r))
+        .collect();
+    Ok(SharedPrrPlan {
+        plan,
+        per_prm_utilization,
+    })
 }
 
 #[cfg(test)]
@@ -132,16 +137,25 @@ mod tests {
         assert!(org.bram_cols >= 1);
         let avail = org.available();
         assert!(avail.clb() >= 328 && avail.dsp() >= 32 && avail.bram() >= 6);
-        assert!(shared.plan.trace.candidates.iter().take(3).all(|c| matches!(
-            c.outcome,
-            crate::search::CandidateOutcome::DspRowsInsufficient { min_height: 4 }
-        )));
+        assert!(shared
+            .plan
+            .trace
+            .candidates
+            .iter()
+            .take(3)
+            .all(|c| matches!(
+                c.outcome,
+                crate::search::CandidateOutcome::DspRowsInsufficient { min_height: 4 }
+            )));
     }
 
     #[test]
     fn empty_input_is_rejected() {
         let device = xc5vlx110t();
-        assert!(matches!(plan_shared_prr(&[], &device), Err(CostError::NoPrms)));
+        assert!(matches!(
+            plan_shared_prr(&[], &device),
+            Err(CostError::NoPrms)
+        ));
     }
 
     #[test]

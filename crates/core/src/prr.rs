@@ -76,7 +76,13 @@ impl PrrOrganization {
         // Eq. (5).
         let bram_cols = req.bram_req.div_ceil(hh * u64::from(p.bram_col)) as u32;
 
-        Ok(PrrOrganization { family: req.family, height: h, clb_cols, dsp_cols, bram_cols })
+        Ok(PrrOrganization {
+            family: req.family,
+            height: h,
+            clb_cols,
+            dsp_cols,
+            bram_cols,
+        })
     }
 
     /// `W = W_CLB + W_DSP + W_BRAM` (Eq. 6).
@@ -131,9 +137,7 @@ impl PrrOrganization {
     /// true by construction for organizations from [`Self::for_height`]).
     pub fn covers(&self, req: &PrrRequirements) -> bool {
         let avail = self.available();
-        avail.clb() >= req.clb_req
-            && avail.dsp() >= req.dsp_req
-            && avail.bram() >= req.bram_req
+        avail.clb() >= req.clb_req && avail.dsp() >= req.dsp_req && avail.bram() >= req.bram_req
     }
 }
 
@@ -233,11 +237,41 @@ mod tests {
         // the same ratio). Every other cell matches the paper exactly.
         let cases = [
             (PaperPrm::Fir, Family::Virtex5, 5, true, [82, 25, 72, 80, 0]),
-            (PaperPrm::Mips, Family::Virtex5, 1, true, [96, 59, 56, 50, 75]),
-            (PaperPrm::Sdram, Family::Virtex5, 1, true, [70, 61, 33, 0, 0]),
-            (PaperPrm::Fir, Family::Virtex6, 1, false, [92, 12, 82, 84, 0]),
-            (PaperPrm::Mips, Family::Virtex6, 1, false, [92, 26, 60, 25, 75]),
-            (PaperPrm::Sdram, Family::Virtex6, 1, false, [61, 25, 28, 0, 0]),
+            (
+                PaperPrm::Mips,
+                Family::Virtex5,
+                1,
+                true,
+                [96, 59, 56, 50, 75],
+            ),
+            (
+                PaperPrm::Sdram,
+                Family::Virtex5,
+                1,
+                true,
+                [70, 61, 33, 0, 0],
+            ),
+            (
+                PaperPrm::Fir,
+                Family::Virtex6,
+                1,
+                false,
+                [92, 12, 82, 84, 0],
+            ),
+            (
+                PaperPrm::Mips,
+                Family::Virtex6,
+                1,
+                false,
+                [92, 26, 60, 25, 75],
+            ),
+            (
+                PaperPrm::Sdram,
+                Family::Virtex6,
+                1,
+                false,
+                [61, 25, 28, 0, 0],
+            ),
         ];
         for (prm, fam, h, single, expected) in cases {
             let r = req(prm, fam);

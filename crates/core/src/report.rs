@@ -64,7 +64,10 @@ pub fn datasheet(plan: &PrrPlan) -> String {
             plan.window.top_row()
         ),
     );
-    row("S_bitstream", format!("{} bytes  (Eq. 18)", plan.bitstream_bytes));
+    row(
+        "S_bitstream",
+        format!("{} bytes  (Eq. 18)", plan.bitstream_bytes),
+    );
     out
 }
 

@@ -110,9 +110,18 @@ mod tests {
     fn ceiling_behaviour_of_eq1() {
         // 8 LUT_FF pairs on Virtex-5 (8 per CLB) = exactly 1 CLB;
         // 9 pairs must round up to 2.
-        assert_eq!(PrrRequirements::new(Family::Virtex5, 8, 0, 0, 0, 0).clb_req, 1);
-        assert_eq!(PrrRequirements::new(Family::Virtex5, 9, 0, 0, 0, 0).clb_req, 2);
-        assert_eq!(PrrRequirements::new(Family::Virtex5, 0, 0, 0, 0, 0).clb_req, 0);
+        assert_eq!(
+            PrrRequirements::new(Family::Virtex5, 8, 0, 0, 0, 0).clb_req,
+            1
+        );
+        assert_eq!(
+            PrrRequirements::new(Family::Virtex5, 9, 0, 0, 0, 0).clb_req,
+            2
+        );
+        assert_eq!(
+            PrrRequirements::new(Family::Virtex5, 0, 0, 0, 0, 0).clb_req,
+            0
+        );
     }
 
     #[test]

@@ -12,11 +12,24 @@
 
 use crate::bits::bitstream_size_bytes;
 use crate::error::CostError;
+use crate::metrics::Metrics;
 use crate::prr::{OrganizationError, PrrOrganization, Utilization};
 use crate::requirements::PrrRequirements;
-use fabric::{Device, Window};
+use fabric::{Device, DeviceGeometry, Window, WindowRequest};
 use serde::{Deserialize, Serialize};
 use synth::SynthReport;
+
+/// Reusable per-worker scratch for the padded-window fallback.
+///
+/// [`find_padded_window`] enumerates up to ~1000 padded organizations per
+/// infeasible height; reusing one scratch across the plans a sweep worker
+/// processes keeps that enumeration allocation-free after warm-up. A fresh
+/// `PlanScratch::default()` is always valid — results never depend on
+/// scratch contents, only allocation reuse does.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    options: Vec<(u64, [u32; 3], PrrOrganization)>,
+}
 
 /// Outcome of evaluating one candidate height.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,7 +78,9 @@ impl Candidate {
     /// Bitstream size if feasible.
     pub fn bitstream_bytes(&self) -> Option<u64> {
         match &self.outcome {
-            CandidateOutcome::Feasible { bitstream_bytes, .. } => Some(*bitstream_bytes),
+            CandidateOutcome::Feasible {
+                bitstream_bytes, ..
+            } => Some(*bitstream_bytes),
             _ => None,
         }
     }
@@ -111,10 +126,65 @@ pub struct PrrPlan {
 /// # Ok::<(), prcost::CostError>(())
 /// ```
 pub fn plan_prr(report: &SynthReport, device: &Device) -> Result<PrrPlan, CostError> {
-    if report.family != device.family() {
-        return Err(CostError::FamilyMismatch { report: report.family, device: device.family() });
+    let metrics = Metrics::global();
+    metrics.plans.incr();
+    let result = metrics.time("plan_prr", || {
+        if report.family != device.family() {
+            return Err(CostError::FamilyMismatch {
+                report: report.family,
+                device: device.family(),
+            });
+        }
+        plan_prr_from_requirements(&PrrRequirements::from_report(report), device)
+    });
+    match &result {
+        Ok(_) => metrics.plans_feasible.incr(),
+        Err(_) => metrics.plans_infeasible.incr(),
     }
-    plan_prr_from_requirements(&PrrRequirements::from_report(report), device)
+    result
+}
+
+/// [`plan_prr`], answered through a precomputed [`DeviceGeometry`] and a
+/// reusable [`PlanScratch`].
+///
+/// Returns exactly what [`plan_prr`] returns for the same inputs (the
+/// geometry's window answers are identical to [`Device::find_window`]'s,
+/// and the padded-organization enumeration order is preserved), but window
+/// probes are O(1) after the first composition query and the padded-window
+/// fallback reuses `scratch` instead of allocating. This is the planning
+/// path the batch [`crate::engine::Engine`] drives; `geometry` must have
+/// been derived from `device`.
+///
+/// Unlike [`plan_prr`], this records no global metrics — the engine owns
+/// its own [`Metrics`] registry and times whole plans around this call.
+pub fn plan_prr_cached(
+    report: &SynthReport,
+    device: &Device,
+    geometry: &DeviceGeometry,
+    scratch: &mut PlanScratch,
+) -> Result<PrrPlan, CostError> {
+    if report.family != device.family() {
+        return Err(CostError::FamilyMismatch {
+            report: report.family,
+            device: device.family(),
+        });
+    }
+    let req = PrrRequirements::from_report(report);
+    if req.family != device.family() {
+        return Err(CostError::FamilyMismatch {
+            report: req.family,
+            device: device.family(),
+        });
+    }
+    if req.is_empty() {
+        return Err(CostError::EmptyRequirements);
+    }
+    let finder = |r: &WindowRequest| geometry.find_window(device, r);
+    let mut candidates = Vec::with_capacity(device.rows() as usize);
+    for h in 1..=device.rows() {
+        candidates.push(evaluate_height_with(&req, device, h, &finder, scratch));
+    }
+    select_best(&req, device, candidates)
 }
 
 /// Plan the PRR for explicit requirements on `device`.
@@ -123,7 +193,10 @@ pub fn plan_prr_from_requirements(
     device: &Device,
 ) -> Result<PrrPlan, CostError> {
     if req.family != device.family() {
-        return Err(CostError::FamilyMismatch { report: req.family, device: device.family() });
+        return Err(CostError::FamilyMismatch {
+            report: req.family,
+            device: device.family(),
+        });
     }
     if req.is_empty() {
         return Err(CostError::EmptyRequirements);
@@ -144,13 +217,29 @@ pub fn candidates_for(req: &PrrRequirements, device: &Device) -> Vec<Candidate> 
     if req.is_empty() || req.family != device.family() {
         return Vec::new();
     }
-    (1..=device.rows()).map(|h| evaluate_height(req, device, h)).collect()
+    (1..=device.rows())
+        .map(|h| evaluate_height(req, device, h))
+        .collect()
 }
 
 /// Evaluate one candidate height of the Fig. 1 flow: organization
 /// (Eqs. 2–6), exact window search, and — only when no exact-composition
 /// window exists — minimal CLB-column padding.
 pub(crate) fn evaluate_height(req: &PrrRequirements, device: &Device, h: u32) -> Candidate {
+    let finder = |r: &WindowRequest| device.find_window(r);
+    evaluate_height_with(req, device, h, &finder, &mut PlanScratch::default())
+}
+
+/// [`evaluate_height`] with the window search routed through `finder`
+/// (either [`Device::find_window`] or a cached [`DeviceGeometry`]) and the
+/// padded-fallback enumeration buffered in `scratch`.
+fn evaluate_height_with(
+    req: &PrrRequirements,
+    device: &Device,
+    h: u32,
+    finder: &dyn Fn(&WindowRequest) -> Option<Window>,
+    scratch: &mut PlanScratch,
+) -> Candidate {
     let single_dsp = device.dsp_column_count() == 1;
     let outcome = match PrrOrganization::for_height(req, h, single_dsp) {
         Err(OrganizationError::EmptyRequirements) => {
@@ -160,10 +249,10 @@ pub(crate) fn evaluate_height(req: &PrrRequirements, device: &Device, h: u32) ->
             CandidateOutcome::DspRowsInsufficient { min_height }
         }
         Ok(org) => {
-            let exact = device.find_window(&org.window_request());
+            let exact = finder(&org.window_request());
             let placed = match exact {
                 Some(w) => Some((org, w, [0u32; 3])),
-                None => find_padded_window(&org, device),
+                None => find_padded_window(&org, device, finder, scratch),
             };
             match placed {
                 None => CandidateOutcome::NoWindow { organization: org },
@@ -182,17 +271,23 @@ pub(crate) fn evaluate_height(req: &PrrRequirements, device: &Device, h: u32) ->
 /// When no exact-composition window exists at a height, absorb extra
 /// columns: enumerate small paddings of each kind, order them by the
 /// padded organization's predicted bitstream (the search objective), and
-/// take the cheapest one with a real window.
+/// take the cheapest one with a real window. The enumeration buffer lives
+/// in `scratch` so sweep workers stop allocating here after warm-up; the
+/// stable sort over identical insertion order keeps results byte-for-byte
+/// independent of scratch reuse.
 fn find_padded_window(
     org: &PrrOrganization,
     device: &Device,
+    finder: &dyn Fn(&WindowRequest) -> Option<Window>,
+    scratch: &mut PlanScratch,
 ) -> Option<(PrrOrganization, Window, [u32; 3])> {
     let counts = device.column_counts();
     let max_clb = (counts.clb() as u32).saturating_sub(org.clb_cols);
     let max_dsp = (counts.dsp() as u32).saturating_sub(org.dsp_cols).min(4);
     let max_bram = (counts.bram() as u32).saturating_sub(org.bram_cols).min(4);
 
-    let mut options: Vec<(u64, [u32; 3], PrrOrganization)> = Vec::new();
+    let options = &mut scratch.options;
+    options.clear();
     for ec in 0..=max_clb {
         for ed in 0..=max_dsp {
             for eb in 0..=max_bram {
@@ -210,9 +305,9 @@ fn find_padded_window(
         }
     }
     options.sort_by_key(|(bytes, pad, _)| (*bytes, pad[0] + pad[1] + pad[2]));
-    for (_, pad, padded) in options {
-        if let Some(w) = device.find_window(&padded.window_request()) {
-            return Some((padded, w, pad));
+    for (_, pad, padded) in options.iter() {
+        if let Some(w) = finder(&padded.window_request()) {
+            return Some((*padded, w, *pad));
         }
     }
     None
@@ -227,19 +322,37 @@ pub(crate) fn select_best(
 ) -> Result<PrrPlan, CostError> {
     let mut best: Option<(u64, u64, u32, PrrOrganization, Window)> = None;
     for c in &candidates {
-        if let CandidateOutcome::Feasible { organization, window, bitstream_bytes, .. } =
-            &c.outcome
+        if let CandidateOutcome::Feasible {
+            organization,
+            window,
+            bitstream_bytes,
+            ..
+        } = &c.outcome
         {
             let key = (*bitstream_bytes, organization.prr_size(), c.height);
-            if best.as_ref().is_none_or(|(bb, bs, bh, ..)| key < (*bb, *bs, *bh)) {
-                best =
-                    Some((*bitstream_bytes, organization.prr_size(), c.height, *organization, window.clone()));
+            if best
+                .as_ref()
+                .is_none_or(|(bb, bs, bh, ..)| key < (*bb, *bs, *bh))
+            {
+                best = Some((
+                    *bitstream_bytes,
+                    organization.prr_size(),
+                    c.height,
+                    *organization,
+                    window.clone(),
+                ));
             }
         }
     }
-    let trace = SearchTrace { device: device.name().to_string(), candidates };
+    let trace = SearchTrace {
+        device: device.name().to_string(),
+        candidates,
+    };
     match best {
-        None => Err(CostError::NoFeasiblePlacement { device: device.name().to_string(), trace }),
+        None => Err(CostError::NoFeasiblePlacement {
+            device: device.name().to_string(),
+            trace,
+        }),
         Some((bytes, _, _, org, window)) => Ok(PrrPlan {
             requirements: *req,
             utilization: org.utilization(req),
@@ -315,7 +428,11 @@ mod tests {
         let plan = plan_prr(&PaperPrm::Mips.synth_report(Family::Virtex6), &device).unwrap();
         assert_eq!(plan.trace.candidates.len(), 3);
         assert_eq!(
-            plan.trace.candidates.iter().map(|c| c.height).collect::<Vec<_>>(),
+            plan.trace
+                .candidates
+                .iter()
+                .map(|c| c.height)
+                .collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
     }
@@ -346,7 +463,10 @@ mod tests {
         // More CLBs than the whole device (8640).
         let req = PrrRequirements::new(Family::Virtex5, 100_000, 0, 0, 0, 0);
         match plan_prr_from_requirements(&req, &device) {
-            Err(CostError::NoFeasiblePlacement { device: name, trace }) => {
+            Err(CostError::NoFeasiblePlacement {
+                device: name,
+                trace,
+            }) => {
                 assert_eq!(name, "xc5vlx110t");
                 assert_eq!(trace.candidates.len(), 8);
                 assert!(trace
@@ -355,6 +475,22 @@ mod tests {
                     .all(|c| matches!(c.outcome, CandidateOutcome::NoWindow { .. })));
             }
             other => panic!("expected NoFeasiblePlacement, got {other:?}"),
+        }
+    }
+
+    /// The geometry-cached path must reproduce the direct path exactly,
+    /// including when one scratch is reused across plans.
+    #[test]
+    fn cached_planning_matches_direct_planning() {
+        let mut scratch = PlanScratch::default();
+        for device in [xc5vlx110t(), xc6vlx75t()] {
+            let geo = fabric::DeviceGeometry::new(&device);
+            for prm in PaperPrm::ALL {
+                let report = prm.synth_report(device.family());
+                let direct = plan_prr(&report, &device).unwrap();
+                let cached = plan_prr_cached(&report, &device, &geo, &mut scratch).unwrap();
+                assert_eq!(direct, cached, "{prm:?} on {}", device.name());
+            }
         }
     }
 

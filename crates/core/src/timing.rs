@@ -49,7 +49,13 @@ pub fn time_model(
         plan = plan_prr(report, device)?;
     }
     let total = start.elapsed();
-    Ok((plan, ModelTiming { evaluations: iterations, total }))
+    Ok((
+        plan,
+        ModelTiming {
+            evaluations: iterations,
+            total,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -85,7 +91,10 @@ mod tests {
 
     #[test]
     fn zero_division_guard() {
-        let t = ModelTiming { evaluations: 0, total: Duration::from_secs(1) };
+        let t = ModelTiming {
+            evaluations: 0,
+            total: Duration::from_secs(1),
+        };
         assert_eq!(t.per_evaluation(), Duration::ZERO);
     }
 }

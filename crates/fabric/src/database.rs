@@ -126,14 +126,7 @@ pub fn xc6vlx75t() -> Device {
 /// and `bram` special columns (alternating, BRAM first) evenly between
 /// `clb` CLB columns, with IOB columns at both edges and a clock column in
 /// the middle.
-fn generated(
-    name: &str,
-    family: Family,
-    rows: u32,
-    clb: u32,
-    dsp: u32,
-    bram: u32,
-) -> Device {
+fn generated(name: &str, family: Family, rows: u32, clb: u32, dsp: u32, bram: u32) -> Device {
     let mut specials: Vec<ColumnKind> = Vec::with_capacity((dsp + bram) as usize);
     let (mut d, mut b) = (dsp, bram);
     while d > 0 || b > 0 {

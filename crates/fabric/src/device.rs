@@ -31,7 +31,12 @@ impl Device {
         if rows == 0 || columns.is_empty() {
             return Err(FabricError::EmptyFabric);
         }
-        Ok(Device { name: name.into(), family, rows, columns })
+        Ok(Device {
+            name: name.into(),
+            family,
+            rows,
+            columns,
+        })
     }
 
     /// Build a device from run-length column segments.
@@ -79,7 +84,10 @@ impl Device {
         self.columns
             .get(index)
             .copied()
-            .ok_or(FabricError::ColumnOutOfRange { index, width: self.columns.len() })
+            .ok_or(FabricError::ColumnOutOfRange {
+                index,
+                width: self.columns.len(),
+            })
     }
 
     /// Number of columns of each kind across the whole device.
@@ -94,7 +102,10 @@ impl Device {
     /// Number of DSP columns. The paper's Eq. (4) special case applies when
     /// this is 1 (e.g. the Virtex-5 LX110T).
     pub fn dsp_column_count(&self) -> usize {
-        self.columns.iter().filter(|&&c| c == ResourceKind::Dsp).count()
+        self.columns
+            .iter()
+            .filter(|&&c| c == ResourceKind::Dsp)
+            .count()
     }
 
     /// Total device resources: per-kind column count × rows × resources per
@@ -138,7 +149,11 @@ impl Device {
     /// Validate that the 1-based row span `[row, row + height)` fits.
     pub fn check_row_span(&self, row: u32, height: u32) -> Result<(), FabricError> {
         if row == 0 || height == 0 || row + height - 1 > self.rows {
-            return Err(FabricError::RowOutOfRange { row, height, rows: self.rows });
+            return Err(FabricError::RowOutOfRange {
+                row,
+                height,
+                rows: self.rows,
+            });
         }
         Ok(())
     }
@@ -176,9 +191,13 @@ struct WindowIter<'d> {
 
 impl<'d> WindowIter<'d> {
     fn new(device: &'d Device, req: &'d WindowRequest) -> Self {
-        let feasible_rows =
-            req.height >= 1 && req.height <= device.rows && req.width() >= 1;
-        WindowIter { device, req, start: 0, feasible_rows }
+        let feasible_rows = req.height >= 1 && req.height <= device.rows && req.width() >= 1;
+        WindowIter {
+            device,
+            req,
+            start: 0,
+            feasible_rows,
+        }
     }
 }
 

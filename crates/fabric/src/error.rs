@@ -34,7 +34,10 @@ impl fmt::Display for FabricError {
             FabricError::EmptyFabric => write!(f, "device fabric must have >=1 row and >=1 column"),
             FabricError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
             FabricError::ColumnOutOfRange { index, width } => {
-                write!(f, "column index {index} out of range (device has {width} columns)")
+                write!(
+                    f,
+                    "column index {index} out of range (device has {width} columns)"
+                )
             }
             FabricError::RowOutOfRange { row, height, rows } => write!(
                 f,
@@ -53,8 +56,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        let e = FabricError::RowOutOfRange { row: 7, height: 3, rows: 8 };
-        assert_eq!(e.to_string(), "row span [7, 9] out of range (device has 8 rows)");
-        assert!(FabricError::UnknownDevice("xc9k".into()).to_string().contains("xc9k"));
+        let e = FabricError::RowOutOfRange {
+            row: 7,
+            height: 3,
+            rows: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "row span [7, 9] out of range (device has 8 rows)"
+        );
+        assert!(FabricError::UnknownDevice("xc9k".into())
+            .to_string()
+            .contains("xc9k"));
     }
 }

@@ -299,7 +299,12 @@ mod tests {
         let f = &Family::Spartan6.params().frames;
         assert_eq!(f.bytes_word, 2);
         assert_eq!(f.fr_size, 65);
-        for fam in [Family::Virtex4, Family::Virtex5, Family::Virtex6, Family::Series7] {
+        for fam in [
+            Family::Virtex4,
+            Family::Virtex5,
+            Family::Virtex6,
+            Family::Series7,
+        ] {
             assert_eq!(fam.params().frames.bytes_word, 4, "{fam}");
         }
     }

@@ -71,7 +71,11 @@ impl<'d> SiteGrid<'d> {
             let y0 = (window.row - 1) * per;
             let y1 = window.top_row() * per;
             for y in y0..y1 {
-                sites.push(Site { col: (window.start_col + offset) as u32, y, kind });
+                sites.push(Site {
+                    col: (window.start_col + offset) as u32,
+                    y,
+                    kind,
+                });
             }
         }
         sites
@@ -79,11 +83,7 @@ impl<'d> SiteGrid<'d> {
 
     /// Total sites of `kind` in the device.
     pub fn total_sites(&self, kind: ResourceKind) -> u64 {
-        self.device
-            .columns()
-            .iter()
-            .filter(|&&c| c == kind)
-            .count() as u64
+        self.device.columns().iter().filter(|&&c| c == kind).count() as u64
             * u64::from(self.device.params().per_column(kind))
             * u64::from(self.device.rows())
     }
@@ -101,7 +101,11 @@ mod tests {
             "g",
             Family::Virtex5,
             2,
-            &[ColumnSpec::run(Clb, 2), ColumnSpec::one(Dsp), ColumnSpec::one(Bram)],
+            &[
+                ColumnSpec::run(Clb, 2),
+                ColumnSpec::one(Dsp),
+                ColumnSpec::one(Bram),
+            ],
         )
         .unwrap()
     }
@@ -159,8 +163,16 @@ mod tests {
 
     #[test]
     fn dist2_symmetric() {
-        let a = Site { col: 0, y: 0, kind: Clb };
-        let b = Site { col: 3, y: 4, kind: Clb };
+        let a = Site {
+            col: 0,
+            y: 0,
+            kind: Clb,
+        };
+        let b = Site {
+            col: 3,
+            y: 4,
+            kind: Clb,
+        };
         assert_eq!(a.dist2(&b), 25);
         assert_eq!(b.dist2(&a), 25);
     }

@@ -37,14 +37,16 @@ pub mod database;
 pub mod device;
 pub mod error;
 pub mod family;
+pub mod geometry;
 pub mod grid;
 pub mod resource;
 pub mod window;
 
 pub use column::ColumnKind;
-pub use database::{device_by_name, all_devices};
+pub use database::{all_devices, device_by_name};
 pub use device::Device;
 pub use error::FabricError;
 pub use family::{Family, FamilyParams, FrameGeometry};
+pub use geometry::DeviceGeometry;
 pub use resource::{ResourceKind, Resources};
 pub use window::{Window, WindowRequest};

@@ -42,7 +42,10 @@ impl ResourceKind {
     /// Whether a column of this kind may be included in a PRR.
     #[inline]
     pub fn allowed_in_prr(self) -> bool {
-        matches!(self, ResourceKind::Clb | ResourceKind::Dsp | ResourceKind::Bram)
+        matches!(
+            self,
+            ResourceKind::Clb | ResourceKind::Dsp | ResourceKind::Bram
+        )
     }
 
     /// Short uppercase mnemonic used in reports and table output.
@@ -132,7 +135,9 @@ impl Resources {
 
     /// True if `self` covers `need` in every kind (component-wise `>=`).
     pub fn covers(&self, need: &Resources) -> bool {
-        ResourceKind::ALL.iter().all(|&k| self.get(k) >= need.get(k))
+        ResourceKind::ALL
+            .iter()
+            .all(|&k| self.get(k) >= need.get(k))
     }
 
     /// Component-wise maximum; used when sizing one PRR for many PRMs
@@ -275,7 +280,10 @@ mod tests {
         let a = Resources::new(5, 1, 2);
         let b = Resources::new(3, 1, 0);
         assert_eq!((a + b) - b, a);
-        assert_eq!(a.saturating_sub(&Resources::new(100, 100, 100)), Resources::ZERO);
+        assert_eq!(
+            a.saturating_sub(&Resources::new(100, 100, 100)),
+            Resources::ZERO
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct WindowRequest {
 impl WindowRequest {
     /// New request.
     pub fn new(clb_cols: u32, dsp_cols: u32, bram_cols: u32, height: u32) -> Self {
-        WindowRequest { clb_cols, dsp_cols, bram_cols, height }
+        WindowRequest {
+            clb_cols,
+            dsp_cols,
+            bram_cols,
+            height,
+        }
     }
 
     /// Total window width `W = W_CLB + W_DSP + W_BRAM` (paper Eq. 6).
@@ -150,15 +155,42 @@ mod tests {
             height: 3,
             columns: vec![Clb, Dsp, Clb, Bram],
         };
-        assert_eq!(w.available(Family::Virtex6.params()), req.available(Family::Virtex6.params()));
+        assert_eq!(
+            w.available(Family::Virtex6.params()),
+            req.available(Family::Virtex6.params())
+        );
     }
 
     #[test]
     fn overlap_geometry() {
-        let a = Window { start_col: 0, width: 3, row: 1, height: 2, columns: vec![Clb; 3] };
-        let b = Window { start_col: 2, width: 2, row: 2, height: 1, columns: vec![Clb; 2] };
-        let c = Window { start_col: 3, width: 2, row: 1, height: 2, columns: vec![Clb; 2] };
-        let d = Window { start_col: 0, width: 3, row: 3, height: 1, columns: vec![Clb; 3] };
+        let a = Window {
+            start_col: 0,
+            width: 3,
+            row: 1,
+            height: 2,
+            columns: vec![Clb; 3],
+        };
+        let b = Window {
+            start_col: 2,
+            width: 2,
+            row: 2,
+            height: 1,
+            columns: vec![Clb; 2],
+        };
+        let c = Window {
+            start_col: 3,
+            width: 2,
+            row: 1,
+            height: 2,
+            columns: vec![Clb; 2],
+        };
+        let d = Window {
+            start_col: 0,
+            width: 3,
+            row: 3,
+            height: 1,
+            columns: vec![Clb; 3],
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c)); // columns disjoint
@@ -167,7 +199,13 @@ mod tests {
 
     #[test]
     fn top_row_convention() {
-        let w = Window { start_col: 0, width: 1, row: 2, height: 3, columns: vec![Clb] };
+        let w = Window {
+            start_col: 0,
+            width: 1,
+            row: 2,
+            height: 3,
+            columns: vec![Clb],
+        };
         assert_eq!(w.top_row(), 4);
     }
 }

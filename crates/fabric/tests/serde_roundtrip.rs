@@ -24,8 +24,7 @@ fn family_params_serialize_with_stable_field_names() {
 #[test]
 fn requests_and_resources_round_trip() {
     let req = WindowRequest::new(17, 1, 2, 1);
-    let back: WindowRequest =
-        serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+    let back: WindowRequest = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
     assert_eq!(back, req);
 
     let r = Resources::new(163, 32, 0);

@@ -88,7 +88,12 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
     let mut pending: Vec<Pending> = tasks
         .iter()
         .cloned()
-        .map(|task| Pending { remaining_ns: task.exec_ns, task, saved: false, responded: false })
+        .map(|task| Pending {
+            remaining_ns: task.exec_ns,
+            task,
+            saved: false,
+            responded: false,
+        })
         .collect();
     pending.sort_by_key(|p| (p.task.arrival_ns, p.task.id));
 
@@ -125,11 +130,18 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
         }
 
         // Dispatch: highest priority first, FIFO within priority.
-        waiting.sort_by_key(|&i| (std::cmp::Reverse(pending[i].task.priority), pending[i].task.arrival_ns, pending[i].task.id));
+        waiting.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(pending[i].task.priority),
+                pending[i].task.arrival_ns,
+                pending[i].task.id,
+            )
+        });
         loop {
-            let Some(pos) = waiting.iter().position(|&i| {
-                (0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs))
-            }) else {
+            let Some(pos) = waiting
+                .iter()
+                .position(|&i| (0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs)))
+            else {
                 // Drop unservable tasks.
                 if !waiting.is_empty()
                     && waiting.iter().all(|&i| {
@@ -169,8 +181,7 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
             let mut t = now.max(icap_free_at);
             if let Some(victim) = slot_running[s].take() {
                 let ctx = context_cost(&system.prrs[s].organization);
-                let save_ns =
-                    ctx.save_time(&system.icap).as_nanos() as u64;
+                let save_ns = ctx.save_time(&system.icap).as_nanos() as u64;
                 let ran = t.saturating_sub(victim.exec_start);
                 let vi = victim.pending_idx;
                 pending[vi].remaining_ns = pending[vi].remaining_ns.saturating_sub(ran);
@@ -217,7 +228,10 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
             });
             slot_free_at[s] = done;
             waiting.remove(
-                waiting.iter().position(|&i| i == pi).expect("pi is waiting"),
+                waiting
+                    .iter()
+                    .position(|&i| i == pi)
+                    .expect("pi is waiting"),
             );
         }
 
@@ -295,7 +309,10 @@ mod tests {
         // Long low-priority task; urgent task arrives mid-flight.
         let r = simulate_preemptive(
             &sys,
-            &[task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)],
+            &[
+                task(0, "bg", 0, 10_000_000, 0),
+                task(1, "rt", 1_000_000, 50_000, 3),
+            ],
         );
         assert_eq!(r.completed, 2);
         assert_eq!(r.preemptions, 1);
@@ -304,7 +321,11 @@ mod tests {
         assert!(r.makespan_ns > 10_000_000);
         // Urgent response is bounded by save + write, far below waiting
         // out the 10 ms background task.
-        assert!(r.urgent_mean_response_ns < 1_000_000, "{}", r.urgent_mean_response_ns);
+        assert!(
+            r.urgent_mean_response_ns < 1_000_000,
+            "{}",
+            r.urgent_mean_response_ns
+        );
     }
 
     #[test]
@@ -329,7 +350,10 @@ mod tests {
         let sys = system(2);
         let r = simulate_preemptive(
             &sys,
-            &[task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)],
+            &[
+                task(0, "bg", 0, 10_000_000, 0),
+                task(1, "rt", 1_000_000, 50_000, 3),
+            ],
         );
         assert_eq!(r.preemptions, 0, "free PRR available, no need to preempt");
         assert_eq!(r.completed, 2);
@@ -356,10 +380,11 @@ mod tests {
             dsp_cols: 0,
             bram_cols: 0,
         };
-        let big_sys =
-            PrSystem::homogeneous(&xc5vlx110t(), big_org, 1, IcapModel::V5_DMA).unwrap();
-        let tasks =
-            [task(0, "bg", 0, 10_000_000, 0), task(1, "rt", 1_000_000, 50_000, 3)];
+        let big_sys = PrSystem::homogeneous(&xc5vlx110t(), big_org, 1, IcapModel::V5_DMA).unwrap();
+        let tasks = [
+            task(0, "bg", 0, 10_000_000, 0),
+            task(1, "rt", 1_000_000, 50_000, 3),
+        ];
         let small = simulate_preemptive(&small_sys, &tasks);
         let big = simulate_preemptive(&big_sys, &tasks);
         assert!(big.context_switch_ns > small.context_switch_ns);

@@ -148,8 +148,14 @@ mod tests {
     fn first_fit_takes_lowest_index() {
         let slots = vec![slot(0, 8), slot(1, 2)];
         let states = vec![
-            PrrState { busy: false, loaded_module: None },
-            PrrState { busy: false, loaded_module: None },
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
         ];
         let t = task("m", 10);
         assert_eq!(FirstFit.choose(&t, &[0, 1], &slots, &states), 0);
@@ -159,8 +165,14 @@ mod tests {
     fn best_fit_minimizes_spare() {
         let slots = vec![slot(0, 8), slot(1, 2)];
         let states = vec![
-            PrrState { busy: false, loaded_module: None },
-            PrrState { busy: false, loaded_module: None },
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
         ];
         // Task needs 30 CLBs: slot 1 (2 cols = 40 CLBs) is tighter than
         // slot 0 (8 cols = 160 CLBs).
@@ -172,8 +184,14 @@ mod tests {
     fn reuse_beats_best_fit() {
         let slots = vec![slot(0, 8), slot(1, 2)];
         let states = vec![
-            PrrState { busy: false, loaded_module: Some("m".into()) },
-            PrrState { busy: false, loaded_module: None },
+            PrrState {
+                busy: false,
+                loaded_module: Some("m".into()),
+            },
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
         ];
         let t = task("m", 30);
         // Best fit would pick 1; reuse-aware picks 0 (already loaded).

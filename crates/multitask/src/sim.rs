@@ -92,8 +92,12 @@ struct SlotRt {
 /// ```
 pub fn simulate(system: &PrSystem, workload: &Workload, scheduler: &dyn Scheduler) -> SimReport {
     let n_slots = system.prrs.len();
-    let mut rt: Vec<SlotRt> =
-        (0..n_slots).map(|_| SlotRt { free_at: 0, loaded: None }).collect();
+    let mut rt: Vec<SlotRt> = (0..n_slots)
+        .map(|_| SlotRt {
+            free_at: 0,
+            loaded: None,
+        })
+        .collect();
     let mut icap_free_at = 0u64;
 
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -131,8 +135,7 @@ pub fn simulate(system: &PrSystem, workload: &Workload, scheduler: &dyn Schedule
                 let candidates: Vec<usize> = (0..n_slots)
                     .filter(|&i| rt[i].free_at <= now && system.prrs[i].fits(&task.needs))
                     .collect();
-                let fits_ever =
-                    (0..n_slots).any(|i| system.prrs[i].fits(&task.needs));
+                let fits_ever = (0..n_slots).any(|i| system.prrs[i].fits(&task.needs));
                 if !fits_ever {
                     // Unservable task: drop it.
                     queue.pop_front();
@@ -309,7 +312,13 @@ mod tests {
     }
 
     fn mixed_org(h: u32, clb: u32, dsp: u32, bram: u32) -> PrrOrganization {
-        PrrOrganization { family: Family::Virtex5, height: h, clb_cols: clb, dsp_cols: dsp, bram_cols: bram }
+        PrrOrganization {
+            family: Family::Virtex5,
+            height: h,
+            clb_cols: clb,
+            dsp_cols: dsp,
+            bram_cols: bram,
+        }
     }
 
     fn simple_system(prrs: u32) -> PrSystem {
@@ -320,8 +329,13 @@ mod tests {
     /// workload generator's mixed-resource tasks are servable.
     fn mixed_system(prrs: u32, h: u32, clb: u32, dsp: u32, bram: u32) -> PrSystem {
         let device = fabric::device_by_name("xc5vsx95t").unwrap();
-        PrSystem::homogeneous(&device, mixed_org(h, clb, dsp, bram), prrs, IcapModel::V5_DMA)
-            .unwrap()
+        PrSystem::homogeneous(
+            &device,
+            mixed_org(h, clb, dsp, bram),
+            prrs,
+            IcapModel::V5_DMA,
+        )
+        .unwrap()
     }
 
     fn task(id: u32, module: &str, arrival: u64, exec: u64) -> HwTask {
@@ -411,7 +425,12 @@ mod tests {
         let r1 = simulate(&sys2, &wl, &BestFit);
         let r2 = simulate(&sys6, &wl, &BestFit);
         assert_eq!(r1.completed as usize, wl.tasks.len());
-        assert!(r2.makespan_ns <= r1.makespan_ns, "6 PRRs {} vs 2 PRRs {}", r2.makespan_ns, r1.makespan_ns);
+        assert!(
+            r2.makespan_ns <= r1.makespan_ns,
+            "6 PRRs {} vs 2 PRRs {}",
+            r2.makespan_ns,
+            r1.makespan_ns
+        );
     }
 
     /// The paper's core motivation: oversizing the PRR inflates the

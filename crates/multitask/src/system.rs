@@ -24,7 +24,12 @@ impl PrrSlot {
     /// Build a slot, deriving the bitstream size from the organization.
     pub fn new(id: u32, organization: PrrOrganization, window: Window) -> Self {
         let bitstream_bytes = bitstream_size_bytes(&organization);
-        PrrSlot { id, organization, window, bitstream_bytes }
+        PrrSlot {
+            id,
+            organization,
+            window,
+            bitstream_bytes,
+        }
     }
 
     /// Resources this PRR offers.
@@ -90,16 +95,10 @@ pub struct PrSystem {
 
 impl PrSystem {
     /// Validate and build a system.
-    pub fn new(
-        device: &Device,
-        prrs: Vec<PrrSlot>,
-        icap: IcapModel,
-    ) -> Result<Self, SystemError> {
+    pub fn new(device: &Device, prrs: Vec<PrrSlot>, icap: IcapModel) -> Result<Self, SystemError> {
         for slot in &prrs {
             let w = &slot.window;
-            if w.end_col() > device.width()
-                || device.check_row_span(w.row, w.height).is_err()
-            {
+            if w.end_col() > device.width() || device.check_row_span(w.row, w.height).is_err() {
                 return Err(SystemError::OutOfBounds { id: slot.id });
             }
             let counts = w.column_counts();
@@ -118,7 +117,11 @@ impl PrSystem {
                 }
             }
         }
-        Ok(PrSystem { device: device.name().to_string(), prrs, icap })
+        Ok(PrSystem {
+            device: device.name().to_string(),
+            prrs,
+            icap,
+        })
     }
 
     /// Build a homogeneous system: `count` identical PRRs of `organization`
@@ -152,7 +155,11 @@ impl PrSystem {
                 {
                     let mut w = base.window.clone();
                     w.row = row;
-                    extra.push(PrrSlot::new((slots.len() + extra.len()) as u32, organization, w));
+                    extra.push(PrrSlot::new(
+                        (slots.len() + extra.len()) as u32,
+                        organization,
+                        w,
+                    ));
                     row += organization.height;
                 }
             }
@@ -255,8 +262,16 @@ mod tests {
     #[test]
     fn bigger_prrs_reconfigure_slower() {
         let device = xc5vlx110t();
-        let small = PrrSlot::new(0, org(1, 2), device.find_window(&org(1, 2).window_request()).unwrap());
-        let big = PrrSlot::new(1, org(2, 8), device.find_window(&org(2, 8).window_request()).unwrap());
+        let small = PrrSlot::new(
+            0,
+            org(1, 2),
+            device.find_window(&org(1, 2).window_request()).unwrap(),
+        );
+        let big = PrrSlot::new(
+            1,
+            org(2, 8),
+            device.find_window(&org(2, 8).window_request()).unwrap(),
+        );
         let sys = PrSystem::new(&device, vec![small.clone()], IcapModel::V5_DMA).unwrap();
         assert!(sys.reconfig_ns(&big) > sys.reconfig_ns(&small));
     }

@@ -68,8 +68,9 @@ impl Workload {
     ) -> Self {
         let modules = modules.max(1);
         let pool: Vec<SynthReport> = (0..modules)
-            .map(|m| GenericPrm::random(seed.wrapping_add(u64::from(m) * 7919), scale)
-                .synthesize(family))
+            .map(|m| {
+                GenericPrm::random(seed.wrapping_add(u64::from(m) * 7919), scale).synthesize(family)
+            })
             .collect();
 
         let mut rng = Rng(seed | 1);
@@ -137,7 +138,10 @@ mod tests {
         let a = Workload::generate(9, Family::Virtex5, 100, 8, 800, 10_000, 50_000);
         let b = Workload::generate(9, Family::Virtex5, 100, 8, 800, 10_000, 50_000);
         assert_eq!(a, b);
-        assert!(a.tasks.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(a
+            .tasks
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
         assert_eq!(a.tasks.len(), 100);
     }
 
@@ -174,6 +178,9 @@ mod tests {
         let w = Workload::generate(11, Family::Virtex5, 2000, 4, 500, 10_000, 1);
         let last = w.tasks.last().unwrap().arrival_ns;
         let mean = last as f64 / 2000.0;
-        assert!((5_000.0..20_000.0).contains(&mean), "mean interarrival {mean}");
+        assert!(
+            (5_000.0..20_000.0).contains(&mean),
+            "mean interarrival {mean}"
+        );
     }
 }

@@ -102,7 +102,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<PreemptiveTask>, TraceError> {
             return Err(TraceError::TooFewFields { line });
         }
         let num = |token: &str| -> Result<u64, TraceError> {
-            token.parse().map_err(|_| TraceError::BadNumber { line, token: token.to_string() })
+            token.parse().map_err(|_| TraceError::BadNumber {
+                line,
+                token: token.to_string(),
+            })
         };
         tasks.push(PreemptiveTask {
             id: num(fields[0])? as u32,
@@ -192,7 +195,10 @@ mod tests {
         );
         assert_eq!(
             parse_trace("# ok\n0 m 1 2 x 10 20\n"),
-            Err(TraceError::BadNumber { line: 2, token: "x".into() })
+            Err(TraceError::BadNumber {
+                line: 2,
+                token: "x".into()
+            })
         );
     }
 }

@@ -5,7 +5,7 @@ use bitstream::IcapModel;
 use fabric::{device_by_name, Family, Resources};
 use multitask::{
     simulate, simulate_full_reconfig, simulate_preemptive, simulate_static, BestFit, FirstFit,
-    HwTask, PreemptiveTask, PrSystem, ReuseAware, Scheduler, Workload,
+    HwTask, PrSystem, PreemptiveTask, ReuseAware, Scheduler, Workload,
 };
 use prcost::PrrOrganization;
 use proptest::prelude::*;
@@ -24,7 +24,14 @@ fn system(prrs: u32, h: u32) -> PrSystem {
 
 fn arb_tasks() -> impl Strategy<Value = Vec<HwTask>> {
     proptest::collection::vec(
-        (0u64..1_000_000, 1u64..500_000, 0u64..130, 0u64..10, 0u64..5, 0u8..4),
+        (
+            0u64..1_000_000,
+            1u64..500_000,
+            0u64..130,
+            0u64..10,
+            0u64..5,
+            0u8..4,
+        ),
         1..60,
     )
     .prop_map(|raw| {

@@ -54,7 +54,11 @@ pub fn place_analytic(
         };
         need[pool] += 1;
     }
-    for (pool, kind) in [(0, ResourceKind::Clb), (1, ResourceKind::Dsp), (2, ResourceKind::Bram)] {
+    for (pool, kind) in [
+        (0, ResourceKind::Clb),
+        (1, ResourceKind::Dsp),
+        (2, ResourceKind::Bram),
+    ] {
         if need[pool] > kind_slots[pool].len() as u64 {
             return Err(PlaceError::Insufficient {
                 kind,
@@ -69,13 +73,17 @@ pub fn place_analytic(
     let (c0, c1) = (window.start_col as f64, window.end_col() as f64);
     let mut xs: Vec<f64> = (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let h = (i as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
             c0 + (h >> 40) as f64 / (1u64 << 24) as f64 * (c1 - c0)
         })
         .collect();
     let mut ys: Vec<f64> = (0..n)
         .map(|i| {
-            let h = (i as u64 ^ 0xABCD).wrapping_mul(seed | 3).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let h = (i as u64 ^ 0xABCD)
+                .wrapping_mul(seed | 3)
+                .wrapping_mul(0x94d0_49bb_1331_11eb);
             (h >> 40) as f64 / (1u64 << 24) as f64 * f64::from(window.height * 20)
         })
         .collect();
@@ -157,7 +165,11 @@ pub fn place_analytic(
         })
         .sum();
 
-    Ok(Placement { cell_slots: assignment, hpwl: (hpwl * 16.0) as u64, chains: 1 })
+    Ok(Placement {
+        cell_slots: assignment,
+        hpwl: (hpwl * 16.0) as u64,
+        chains: 1,
+    })
 }
 
 #[cfg(test)]
@@ -214,7 +226,10 @@ mod tests {
         let nl = netlist(500);
         assert!(matches!(
             place_analytic(&nl, &grid, &w, 1),
-            Err(PlaceError::Insufficient { kind: ResourceKind::Clb, .. })
+            Err(PlaceError::Insufficient {
+                kind: ResourceKind::Clb,
+                ..
+            })
         ));
     }
 

@@ -30,7 +30,10 @@ pub struct PrrSpec {
 impl PrrSpec {
     /// One PRR for one PRM.
     pub fn single(name: impl Into<String>, report: SynthReport) -> Self {
-        PrrSpec { name: name.into(), reports: vec![report] }
+        PrrSpec {
+            name: name.into(),
+            reports: vec![report],
+        }
     }
 
     /// Component-wise maximum requirements over the spec's PRMs.
@@ -108,7 +111,10 @@ impl fmt::Display for AutoFloorplanError {
                 write!(f, "PRR spec `{name}` has no resource requirements")
             }
             AutoFloorplanError::FamilyMismatch { name } => {
-                write!(f, "PRR spec `{name}` targets a different family than the device")
+                write!(
+                    f,
+                    "PRR spec `{name}` targets a different family than the device"
+                )
             }
             AutoFloorplanError::NoPlacement { nodes_explored } => write!(
                 f,
@@ -216,16 +222,27 @@ pub fn auto_floorplan(
         let req = spec
             .combined_requirements()
             .filter(|r| !r.is_empty())
-            .ok_or_else(|| AutoFloorplanError::EmptySpec { name: spec.name.clone() })?;
+            .ok_or_else(|| AutoFloorplanError::EmptySpec {
+                name: spec.name.clone(),
+            })?;
         if req.family != device.family() {
-            return Err(AutoFloorplanError::FamilyMismatch { name: spec.name.clone() });
+            return Err(AutoFloorplanError::FamilyMismatch {
+                name: spec.name.clone(),
+            });
         }
         let mut options: Vec<Option_> = candidates_for(&req, device)
             .into_iter()
             .filter_map(|c| match c.outcome {
-                CandidateOutcome::Feasible { organization, window, bitstream_bytes, .. } => {
-                    Some(Option_ { organization, window, bitstream_bytes })
-                }
+                CandidateOutcome::Feasible {
+                    organization,
+                    window,
+                    bitstream_bytes,
+                    ..
+                } => Some(Option_ {
+                    organization,
+                    window,
+                    bitstream_bytes,
+                }),
                 _ => None,
             })
             .collect();
@@ -241,13 +258,20 @@ pub fn auto_floorplan(
     let order: Vec<usize> = per_spec.iter().map(|(i, _)| *i).collect();
     let options: Vec<Vec<Option_>> = per_spec.into_iter().map(|(_, o)| o).collect();
 
-    let mut search =
-        Search { device, options, budget: node_budget.max(1), nodes: 0, best: None };
+    let mut search = Search {
+        device,
+        options,
+        budget: node_budget.max(1),
+        nodes: 0,
+        best: None,
+    };
     let mut placed = Vec::new();
     search.descend(0, 0, &mut placed);
 
     let Some((total, assignment)) = search.best else {
-        return Err(AutoFloorplanError::NoPlacement { nodes_explored: search.nodes });
+        return Err(AutoFloorplanError::NoPlacement {
+            nodes_explored: search.nodes,
+        });
     };
 
     // Reassemble in input order.
@@ -264,7 +288,10 @@ pub fn auto_floorplan(
     }
     Ok(AutoFloorplan {
         device: device.name().to_string(),
-        prrs: prrs.into_iter().map(|p| p.expect("every spec assigned")).collect(),
+        prrs: prrs
+            .into_iter()
+            .map(|p| p.expect("every spec assigned"))
+            .collect(),
         total_bitstream_bytes: total,
         nodes_explored: search.nodes,
     })
@@ -356,12 +383,7 @@ mod tests {
         // Nine full-height PRRs cannot fit an 8-row device's single DSP
         // column.
         let specs: Vec<PrrSpec> = (0..9)
-            .map(|i| {
-                PrrSpec::single(
-                    format!("p{i}"),
-                    PaperPrm::Fir.synth_report(Family::Virtex5),
-                )
-            })
+            .map(|i| PrrSpec::single(format!("p{i}"), PaperPrm::Fir.synth_report(Family::Virtex5)))
             .collect();
         assert!(matches!(
             auto_floorplan(&specs, &device, 50_000),
@@ -372,14 +394,19 @@ mod tests {
     #[test]
     fn input_validation() {
         let device = xc5vlx110t();
-        assert_eq!(auto_floorplan(&[], &device, 100), Err(AutoFloorplanError::Empty));
-        let empty = PrrSpec { name: "e".into(), reports: vec![] };
+        assert_eq!(
+            auto_floorplan(&[], &device, 100),
+            Err(AutoFloorplanError::Empty)
+        );
+        let empty = PrrSpec {
+            name: "e".into(),
+            reports: vec![],
+        };
         assert!(matches!(
             auto_floorplan(&[empty], &device, 100),
             Err(AutoFloorplanError::EmptySpec { .. })
         ));
-        let wrong_family =
-            PrrSpec::single("w", PaperPrm::Fir.synth_report(Family::Virtex6));
+        let wrong_family = PrrSpec::single("w", PaperPrm::Fir.synth_report(Family::Virtex6));
         assert!(matches!(
             auto_floorplan(&[wrong_family], &device, 100),
             Err(AutoFloorplanError::FamilyMismatch { .. })

@@ -47,11 +47,7 @@ impl CrossingRisk {
 /// Assess every group of `floorplan` on `device`. `utilization` gives each
 /// PRR's LUT utilization in `[0, 100]` (index-aligned with
 /// `floorplan.groups`); denser PRMs leave less crossing slack.
-pub fn assess(
-    device: &Device,
-    floorplan: &Floorplan,
-    utilization: &[f64],
-) -> Vec<CrossingRisk> {
+pub fn assess(device: &Device, floorplan: &Floorplan, utilization: &[f64]) -> Vec<CrossingRisk> {
     floorplan
         .groups
         .iter()
@@ -70,8 +66,9 @@ pub fn assess(
                     })
             };
             let left = (0..w.start_col).filter(|&c| is_static(c)).count() as f64;
-            let right =
-                (w.end_col()..device.width()).filter(|&c| is_static(c)).count() as f64;
+            let right = (w.end_col()..device.width())
+                .filter(|&c| is_static(c))
+                .count() as f64;
             // Nets cross only if static logic exists on both sides.
             let demand = if left > 0.0 && right > 0.0 {
                 left.min(right) * CROSSING_NETS_PER_COLUMN
@@ -81,11 +78,25 @@ pub fn assess(
 
             let rows = f64::from(w.height) * f64::from(device.params().clb_col);
             let total_tracks = rows * TRACKS_PER_CLB_ROW;
-            let ru = utilization.get(i).copied().unwrap_or(100.0).clamp(0.0, 100.0) / 100.0;
+            let ru = utilization
+                .get(i)
+                .copied()
+                .unwrap_or(100.0)
+                .clamp(0.0, 100.0)
+                / 100.0;
             let slack = total_tracks * (1.0 - PRM_ROUTING_SHARE * ru);
 
-            let pressure = if slack > 0.0 { demand / slack } else { f64::INFINITY };
-            CrossingRisk { group: g.name.clone(), demand, slack, pressure }
+            let pressure = if slack > 0.0 {
+                demand / slack
+            } else {
+                f64::INFINITY
+            };
+            CrossingRisk {
+                group: g.name.clone(),
+                demand,
+                slack,
+                pressure,
+            }
         })
         .collect()
 }
@@ -100,7 +111,10 @@ mod tests {
     /// A window for `req` whose start column is at least `min_col` (so the
     /// tests control whether static logic exists on the left).
     fn window_from(device: &Device, req: &WindowRequest, min_col: usize) -> fabric::Window {
-        device.windows(req).find(|w| w.start_col >= min_col).unwrap()
+        device
+            .windows(req)
+            .find(|w| w.start_col >= min_col)
+            .unwrap()
     }
 
     fn plan_mid(device: &Device, req: &WindowRequest, name: &str) -> Floorplan {

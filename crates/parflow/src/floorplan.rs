@@ -22,7 +22,10 @@ pub struct AreaGroup {
 impl AreaGroup {
     /// Constrain `name` to `window`.
     pub fn new(name: impl Into<String>, window: Window) -> Self {
-        AreaGroup { name: name.into(), window }
+        AreaGroup {
+            name: name.into(),
+            window,
+        }
     }
 
     /// Render one UCF-style constraint line:
@@ -90,7 +93,11 @@ impl fmt::Display for FloorplanError {
             FloorplanError::OutOfBounds { group } => {
                 write!(f, "area group `{group}` exceeds the device bounds")
             }
-            FloorplanError::ForbiddenColumn { group, kind, column } => write!(
+            FloorplanError::ForbiddenColumn {
+                group,
+                kind,
+                column,
+            } => write!(
                 f,
                 "area group `{group}` covers a {kind} column at index {column}; \
                  IOB/CLK columns cannot be inside PRRs"
@@ -110,7 +117,10 @@ impl std::error::Error for FloorplanError {}
 impl Floorplan {
     /// Empty floorplan for `device`.
     pub fn new(device: &Device) -> Self {
-        Floorplan { device: device.name().to_string(), groups: Vec::new() }
+        Floorplan {
+            device: device.name().to_string(),
+            groups: Vec::new(),
+        }
     }
 
     /// Add a group.
@@ -124,13 +134,17 @@ impl Floorplan {
         for g in &self.groups {
             let w = &g.window;
             if w.end_col() > device.width() || device.check_row_span(w.row, w.height).is_err() {
-                return Err(FloorplanError::OutOfBounds { group: g.name.clone() });
+                return Err(FloorplanError::OutOfBounds {
+                    group: g.name.clone(),
+                });
             }
             for (offset, &kind) in w.columns.iter().enumerate() {
                 let col = w.start_col + offset;
                 let actual = device.columns()[col];
                 if actual != kind {
-                    return Err(FloorplanError::LayoutMismatch { group: g.name.clone() });
+                    return Err(FloorplanError::LayoutMismatch {
+                        group: g.name.clone(),
+                    });
                 }
                 if !kind.allowed_in_prr() {
                     return Err(FloorplanError::ForbiddenColumn {
@@ -144,7 +158,10 @@ impl Floorplan {
         for (i, a) in self.groups.iter().enumerate() {
             for b in &self.groups[i + 1..] {
                 if a.window.overlaps(&b.window) {
-                    return Err(FloorplanError::Overlap { a: a.name.clone(), b: b.name.clone() });
+                    return Err(FloorplanError::Overlap {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
                 }
             }
         }
@@ -170,8 +187,10 @@ impl Floorplan {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let parsed = parse_ucf_line(line, device)
-                .ok_or_else(|| FloorplanError::BadUcfLine { line: line.to_string() })?;
+            let parsed =
+                parse_ucf_line(line, device).ok_or_else(|| FloorplanError::BadUcfLine {
+                    line: line.to_string(),
+                })?;
             plan.push(parsed);
         }
         Ok(plan)
@@ -219,8 +238,14 @@ mod tests {
     fn ucf_round_trip() {
         let device = xc5vlx110t();
         let mut plan = Floorplan::new(&device);
-        plan.push(AreaGroup::new("pblock_fir", window(&device, &WindowRequest::new(2, 1, 0, 5))));
-        plan.push(AreaGroup::new("pblock_sdram", window(&device, &WindowRequest::new(3, 0, 0, 1))));
+        plan.push(AreaGroup::new(
+            "pblock_fir",
+            window(&device, &WindowRequest::new(2, 1, 0, 5)),
+        ));
+        plan.push(AreaGroup::new(
+            "pblock_sdram",
+            window(&device, &WindowRequest::new(3, 0, 0, 1)),
+        ));
         // The two leftmost windows may overlap; shift the second one up.
         plan.groups[1].window.row = 7;
         plan.validate(&device).unwrap();
@@ -259,7 +284,10 @@ mod tests {
         plan.push(AreaGroup::new("bad", w));
         assert!(matches!(
             plan.validate(&device),
-            Err(FloorplanError::ForbiddenColumn { kind: ResourceKind::Iob, .. })
+            Err(FloorplanError::ForbiddenColumn {
+                kind: ResourceKind::Iob,
+                ..
+            })
         ));
     }
 
@@ -270,7 +298,10 @@ mod tests {
         let mut plan = Floorplan::new(&device);
         plan.push(AreaGroup::new("a", w.clone()));
         plan.push(AreaGroup::new("b", w));
-        assert!(matches!(plan.validate(&device), Err(FloorplanError::Overlap { .. })));
+        assert!(matches!(
+            plan.validate(&device),
+            Err(FloorplanError::Overlap { .. })
+        ));
     }
 
     #[test]

@@ -51,14 +51,22 @@ pub struct FlowOptions {
 
 impl Default for FlowOptions {
     fn default() -> Self {
-        FlowOptions { seed: 1, placer: PlacerConfig::default(), optimize: None }
+        FlowOptions {
+            seed: 1,
+            placer: PlacerConfig::default(),
+            optimize: None,
+        }
     }
 }
 
 impl FlowOptions {
     /// Low-effort options for tests.
     pub fn fast(seed: u64) -> Self {
-        FlowOptions { seed, placer: PlacerConfig::fast(seed), optimize: None }
+        FlowOptions {
+            seed,
+            placer: PlacerConfig::fast(seed),
+            optimize: None,
+        }
     }
 }
 
@@ -157,7 +165,10 @@ pub fn run_flow_from_report(
     let t = Instant::now();
     let plan = prcost::plan_prr(report, device).map_err(FlowError::Plan)?;
     let mut floorplan = Floorplan::new(device);
-    floorplan.push(AreaGroup::new(format!("pblock_{}", report.module), plan.window.clone()));
+    floorplan.push(AreaGroup::new(
+        format!("pblock_{}", report.module),
+        plan.window.clone(),
+    ));
     floorplan
         .validate(device)
         .expect("model-planned windows are valid by construction");
@@ -167,10 +178,11 @@ pub fn run_flow_from_report(
     // Optimize.
     let t = Instant::now();
     let netlist = Netlist::from_report(report, opts.seed).map_err(FlowError::Netlist)?;
-    let opt_options =
-        opts.optimize.clone().unwrap_or_else(OptimizeOptions::default_heuristic);
-    let (optimized, optimizer) =
-        optimize(&netlist, &opt_options).map_err(FlowError::Optimize)?;
+    let opt_options = opts
+        .optimize
+        .clone()
+        .unwrap_or_else(OptimizeOptions::default_heuristic);
+    let (optimized, optimizer) = optimize(&netlist, &opt_options).map_err(FlowError::Optimize)?;
     let post_report = optimized.to_report();
     times.push((FlowStage::Optimize, t.elapsed()));
 
@@ -260,8 +272,7 @@ mod tests {
     #[test]
     fn paper_flow_sdram_v5_end_to_end() {
         let device = xc5vlx110t();
-        let (rep, bs) =
-            run_paper_flow(PaperPrm::Sdram, &device, &FlowOptions::fast(3)).unwrap();
+        let (rep, bs) = run_paper_flow(PaperPrm::Sdram, &device, &FlowOptions::fast(3)).unwrap();
         // Post counts equal Table VI.
         assert_eq!(rep.post_report.lut_ff_pairs, 324);
         assert_eq!(rep.post_report.luts, 191);
@@ -299,7 +310,15 @@ mod tests {
     #[test]
     fn flow_reports_infeasible_plan() {
         let device = xc5vlx110t();
-        let report = SynthReport::new("huge", fabric::Family::Virtex5, 100_000, 90_000, 50_000, 0, 0);
+        let report = SynthReport::new(
+            "huge",
+            fabric::Family::Virtex5,
+            100_000,
+            90_000,
+            50_000,
+            0,
+            0,
+        );
         match run_flow_from_report(&report, &device, &FlowOptions::fast(1), Duration::ZERO) {
             Err(FlowError::Plan(CostError::NoFeasiblePlacement { .. })) => {}
             other => panic!("expected plan failure, got {other:?}"),

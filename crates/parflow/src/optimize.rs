@@ -33,7 +33,10 @@ impl OptimizeOptions {
     /// (pack most of what is packable, trim ~15 % of remaining LUT-only
     /// slots).
     pub fn default_heuristic() -> Self {
-        OptimizeOptions::Heuristic { pack_fraction: 0.4, lut_trim_fraction: 0.15 }
+        OptimizeOptions::Heuristic {
+            pack_fraction: 0.4,
+            lut_trim_fraction: 0.15,
+        }
     }
 }
 
@@ -84,11 +87,17 @@ impl fmt::Display for OptimizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimizeError::TargetChangesHardBlocks => {
-                write!(f, "post-PAR DSP/BRAM counts must equal the synthesis counts")
+                write!(
+                    f,
+                    "post-PAR DSP/BRAM counts must equal the synthesis counts"
+                )
             }
             OptimizeError::InvalidTarget(e) => write!(f, "invalid target report: {e}"),
             OptimizeError::Unreachable => {
-                write!(f, "no pack/trim/replicate sequence reaches the target counts")
+                write!(
+                    f,
+                    "no pack/trim/replicate sequence reaches the target counts"
+                )
             }
         }
     }
@@ -169,8 +178,14 @@ fn apply(netlist: &mut Netlist, rep: &OptimizerReport) {
     let mut lut_only: Vec<usize> = Vec::new();
     for (i, cell) in netlist.cells.iter().enumerate() {
         match cell.kind {
-            CellKind::Slice { lut: false, ff: true } => ff_only.push(i),
-            CellKind::Slice { lut: true, ff: false } => lut_only.push(i),
+            CellKind::Slice {
+                lut: false,
+                ff: true,
+            } => ff_only.push(i),
+            CellKind::Slice {
+                lut: true,
+                ff: false,
+            } => lut_only.push(i),
             _ => {}
         }
     }
@@ -180,9 +195,16 @@ fn apply(netlist: &mut Netlist, rep: &OptimizerReport) {
 
     // Pack: merge an FF-only slot into a LUT-only slot.
     for _ in 0..rep.packed {
-        let lut_idx = lut_iter.next().expect("solver bounded packs by availability");
-        let ff_idx = ff_iter.next().expect("solver bounded packs by availability");
-        netlist.cells[lut_idx].kind = CellKind::Slice { lut: true, ff: true };
+        let lut_idx = lut_iter
+            .next()
+            .expect("solver bounded packs by availability");
+        let ff_idx = ff_iter
+            .next()
+            .expect("solver bounded packs by availability");
+        netlist.cells[lut_idx].kind = CellKind::Slice {
+            lut: true,
+            ff: true,
+        };
         rehome_pins(netlist, ff_idx, lut_idx);
         removed.push(ff_idx);
     }
@@ -190,7 +212,10 @@ fn apply(netlist: &mut Netlist, rep: &OptimizerReport) {
     // Route-through: FF-only slot gains a pass-through LUT in place.
     for _ in 0..rep.route_throughs {
         let idx = ff_iter.next().expect("solver bounded route-throughs");
-        netlist.cells[idx].kind = CellKind::Slice { lut: true, ff: true };
+        netlist.cells[idx].kind = CellKind::Slice {
+            lut: true,
+            ff: true,
+        };
     }
 
     // Unpack: split full slots into LUT-only + a fresh FF-only cell.
@@ -198,12 +223,30 @@ fn apply(netlist: &mut Netlist, rep: &OptimizerReport) {
         let idx = netlist
             .cells
             .iter()
-            .position(|c| matches!(c.kind, CellKind::Slice { lut: true, ff: true }))
+            .position(|c| {
+                matches!(
+                    c.kind,
+                    CellKind::Slice {
+                        lut: true,
+                        ff: true
+                    }
+                )
+            })
             .expect("solver bounded unpacks by full-pair availability");
-        netlist.cells[idx].kind = CellKind::Slice { lut: true, ff: false };
+        netlist.cells[idx].kind = CellKind::Slice {
+            lut: true,
+            ff: false,
+        };
         let new_idx = netlist.cells.len() as u32;
-        netlist.cells.push(Cell { kind: CellKind::Slice { lut: false, ff: true } });
-        netlist.nets.push(Net { pins: vec![idx as u32, new_idx] });
+        netlist.cells.push(Cell {
+            kind: CellKind::Slice {
+                lut: false,
+                ff: true,
+            },
+        });
+        netlist.nets.push(Net {
+            pins: vec![idx as u32, new_idx],
+        });
     }
 
     // Trims.
@@ -216,16 +259,26 @@ fn apply(netlist: &mut Netlist, rep: &OptimizerReport) {
 
     // Additions: buffer LUTs and replicated registers, each tied to the
     // previous cell so connectivity stays realistic.
-    for kind in std::iter::repeat_n(CellKind::Slice { lut: true, ff: false }, rep.luts_added as usize)
-        .chain(std::iter::repeat_n(
-            CellKind::Slice { lut: false, ff: true },
-            rep.ffs_replicated as usize,
-        ))
-    {
+    for kind in std::iter::repeat_n(
+        CellKind::Slice {
+            lut: true,
+            ff: false,
+        },
+        rep.luts_added as usize,
+    )
+    .chain(std::iter::repeat_n(
+        CellKind::Slice {
+            lut: false,
+            ff: true,
+        },
+        rep.ffs_replicated as usize,
+    )) {
         let new_idx = netlist.cells.len() as u32;
         netlist.cells.push(Cell { kind });
         if new_idx > 0 {
-            netlist.nets.push(Net { pins: vec![new_idx - 1, new_idx] });
+            netlist.nets.push(Net {
+                pins: vec![new_idx - 1, new_idx],
+            });
         }
     }
 
@@ -289,11 +342,14 @@ pub fn optimize(
             }
             components(target)
         }
-        OptimizeOptions::Heuristic { pack_fraction, lut_trim_fraction } => {
+        OptimizeOptions::Heuristic {
+            pack_fraction,
+            lut_trim_fraction,
+        } => {
             let pack = (cur.ff_only.min(cur.lut_only) as f64 * pack_fraction.clamp(0.0, 1.0))
                 .floor() as i64;
-            let trim = ((cur.lut_only - pack) as f64 * lut_trim_fraction.clamp(0.0, 1.0)).floor()
-                as i64;
+            let trim =
+                ((cur.lut_only - pack) as f64 * lut_trim_fraction.clamp(0.0, 1.0)).floor() as i64;
             Components {
                 ff_only: cur.ff_only - pack,
                 full: cur.full + pack,
@@ -305,7 +361,11 @@ pub fn optimize(
     let plan = solve(cur, tgt)?;
     let mut out = netlist.clone();
     apply(&mut out, &plan);
-    debug_assert_eq!(components(&out.to_report()), tgt, "apply must realize the solved plan");
+    debug_assert_eq!(
+        components(&out.to_report()),
+        tgt,
+        "apply must realize the solved plan"
+    );
     Ok((out, plan))
 }
 
@@ -327,12 +387,18 @@ mod tests {
                 let (opt, rep) =
                     optimize(&nl, &OptimizeOptions::TowardTarget(target.clone())).unwrap();
                 let after = opt.to_report();
-                assert_eq!(after.lut_ff_pairs, target.lut_ff_pairs, "{prm:?}/{fam} pairs");
+                assert_eq!(
+                    after.lut_ff_pairs, target.lut_ff_pairs,
+                    "{prm:?}/{fam} pairs"
+                );
                 assert_eq!(after.luts, target.luts, "{prm:?}/{fam} luts");
                 assert_eq!(after.ffs, target.ffs, "{prm:?}/{fam} ffs");
                 assert_eq!(after.dsps, target.dsps);
                 assert_eq!(after.brams, target.brams);
-                assert!(rep.total_edits() > 0, "{prm:?}/{fam}: optimizer must do something");
+                assert!(
+                    rep.total_edits() > 0,
+                    "{prm:?}/{fam}: optimizer must do something"
+                );
             }
         }
     }

@@ -33,7 +33,10 @@ impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlaceError::Insufficient { kind, need, have } => {
-                write!(f, "region offers {have} {kind} slots but the netlist needs {need}")
+                write!(
+                    f,
+                    "region offers {have} {kind} slots but the netlist needs {need}"
+                )
             }
         }
     }
@@ -71,7 +74,12 @@ impl Default for PlacerConfig {
 impl PlacerConfig {
     /// A fast low-effort configuration for tests.
     pub fn fast(seed: u64) -> Self {
-        PlacerConfig { seed, chains: 2, moves_per_cell: 6, ..PlacerConfig::default() }
+        PlacerConfig {
+            seed,
+            chains: 2,
+            moves_per_cell: 6,
+            ..PlacerConfig::default()
+        }
     }
 }
 
@@ -130,7 +138,11 @@ pub(crate) fn slots_in_window(grid: &SiteGrid<'_>, window: &Window) -> Vec<Slot>
                     });
                 }
             }
-            kind => slots.push(Slot { kind, col: site.col, y_norm }),
+            kind => slots.push(Slot {
+                kind,
+                col: site.col,
+                y_norm,
+            }),
         }
     }
     slots
@@ -192,7 +204,9 @@ impl Chain<'_> {
     }
 
     fn total_hpwl(&self) -> f64 {
-        (0..self.netlist.nets.len() as u32).map(|n| self.net_hpwl(n)).sum()
+        (0..self.netlist.nets.len() as u32)
+            .map(|n| self.net_hpwl(n))
+            .sum()
     }
 
     /// Propose and maybe accept one move; returns accepted.
@@ -208,8 +222,11 @@ impl Chain<'_> {
         }
         let other = self.occupant[target_slot as usize];
 
-        let affected: Vec<u32> =
-            if other == u32::MAX { vec![cell] } else { vec![cell, other] };
+        let affected: Vec<u32> = if other == u32::MAX {
+            vec![cell]
+        } else {
+            vec![cell, other]
+        };
         let before = self.cost_of_cells(&affected);
 
         // Apply (swap or move).
@@ -270,9 +287,11 @@ pub fn place(
     for c in &netlist.cells {
         need[kind_pool(cell_kind(c.kind))] += 1;
     }
-    for (pool, kind) in
-        [(0, ResourceKind::Clb), (1, ResourceKind::Dsp), (2, ResourceKind::Bram)]
-    {
+    for (pool, kind) in [
+        (0, ResourceKind::Clb),
+        (1, ResourceKind::Dsp),
+        (2, ResourceKind::Bram),
+    ] {
         if need[pool] > kind_slots[pool].len() as u64 {
             return Err(PlaceError::Insufficient {
                 kind,
@@ -324,8 +343,7 @@ pub fn place(
 
         let n_cells = netlist.cells.len().max(1);
         let initial = chain.total_hpwl();
-        let mut temp =
-            (initial / netlist.nets.len().max(1) as f64) * cfg.initial_temp_frac + 1e-6;
+        let mut temp = (initial / netlist.nets.len().max(1) as f64) * cfg.initial_temp_frac + 1e-6;
         let total_moves = cfg.moves_per_cell as usize * n_cells;
         for m in 0..total_moves {
             chain.step(temp, &kind_slots);
@@ -336,8 +354,10 @@ pub fn place(
         (chain.total_hpwl(), chain.assignment)
     };
 
-    let results: Vec<(f64, Vec<u32>)> =
-        (0..cfg.chains.max(1)).into_par_iter().map(run_chain).collect();
+    let results: Vec<(f64, Vec<u32>)> = (0..cfg.chains.max(1))
+        .into_par_iter()
+        .map(run_chain)
+        .collect();
     let (best_hpwl, best_assignment) = results
         .into_iter()
         .min_by(|a, b| a.0.total_cmp(&b.0))
@@ -416,10 +436,24 @@ mod tests {
         let grid = SiteGrid::new(&device);
         let w = device.find_window(&WindowRequest::new(3, 0, 1, 1)).unwrap();
         let nl = small_netlist();
-        let lazy = place(&nl, &grid, &w, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(7) })
-            .unwrap();
+        let lazy = place(
+            &nl,
+            &grid,
+            &w,
+            &PlacerConfig {
+                chains: 1,
+                moves_per_cell: 0,
+                ..PlacerConfig::fast(7)
+            },
+        )
+        .unwrap();
         let tuned = place(&nl, &grid, &w, &PlacerConfig::fast(7)).unwrap();
-        assert!(tuned.hpwl <= lazy.hpwl, "annealing must not worsen: {} vs {}", tuned.hpwl, lazy.hpwl);
+        assert!(
+            tuned.hpwl <= lazy.hpwl,
+            "annealing must not worsen: {} vs {}",
+            tuned.hpwl,
+            lazy.hpwl
+        );
     }
 
     #[test]
@@ -432,7 +466,11 @@ mod tests {
         let r = SynthReport::new("big", Family::Virtex5, 500, 400, 200, 0, 0);
         let nl = Netlist::from_report(&r, 1).unwrap();
         match place(&nl, &grid, &w, &PlacerConfig::fast(1)) {
-            Err(PlaceError::Insufficient { kind: ResourceKind::Clb, need: 500, have: 160 }) => {}
+            Err(PlaceError::Insufficient {
+                kind: ResourceKind::Clb,
+                need: 500,
+                have: 160,
+            }) => {}
             other => panic!("expected Insufficient, got {other:?}"),
         }
     }
@@ -443,8 +481,8 @@ mod tests {
         // into 480 — must place.
         let device = xc5vlx110t();
         let grid = SiteGrid::new(&device);
-        let plan = prcost::plan_prr(&PaperPrm::Sdram.synth_report(Family::Virtex5), &device)
-            .unwrap();
+        let plan =
+            prcost::plan_prr(&PaperPrm::Sdram.synth_report(Family::Virtex5), &device).unwrap();
         let nl = PaperPrm::Sdram.netlist(Family::Virtex5, 2);
         let p = place(&nl, &grid, &plan.window, &PlacerConfig::fast(3)).unwrap();
         assert_eq!(p.cell_slots.len(), nl.cells.len());

@@ -102,7 +102,11 @@ pub fn route(
         let u = d / v_capacity;
         max_util = max_util.max(u);
         if d > v_capacity {
-            overflows.push(Overflow { boundary: i as u32, demand: d, capacity: v_capacity });
+            overflows.push(Overflow {
+                boundary: i as u32,
+                demand: d,
+                capacity: v_capacity,
+            });
         }
     }
     for (i, &d) in h_demand.iter().enumerate() {
@@ -157,10 +161,21 @@ mod tests {
         let mut nl = Netlist::from_report(&r, 9).unwrap();
         // Add 3000 window-spanning 2-pin nets (first cell to last cells).
         for i in 0..3000u32 {
-            nl.nets.push(synth::Net { pins: vec![i % 10, 390 + (i % 10)] });
+            nl.nets.push(synth::Net {
+                pins: vec![i % 10, 390 + (i % 10)],
+            });
         }
-        let p = place(&nl, &grid, &w, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(1) })
-            .unwrap();
+        let p = place(
+            &nl,
+            &grid,
+            &w,
+            &PlacerConfig {
+                chains: 1,
+                moves_per_cell: 0,
+                ..PlacerConfig::fast(1)
+            },
+        )
+        .unwrap();
         let rep = route(&nl, &grid, &w, &p);
         assert!(!rep.routed, "max utilization {}", rep.max_utilization);
         assert!(!rep.overflows.is_empty());

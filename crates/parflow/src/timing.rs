@@ -51,7 +51,9 @@ pub fn analyze(
 
     for i in order {
         let net = &netlist.nets[i];
-        let Some((&driver, sinks)) = net.pins.split_first() else { continue };
+        let Some((&driver, sinks)) = net.pins.split_first() else {
+            continue;
+        };
         let (min_c, max_c, min_y, max_y) = bboxes[i];
         let wire = ((max_c - min_c) + (max_y - min_y)) * WIRE_DELAY_NS_PER_UNIT;
         let delay = LOGIC_DELAY_NS + wire;
@@ -125,9 +127,17 @@ mod tests {
         let loose = device.find_window(&WindowRequest::new(8, 0, 0, 8)).unwrap();
         // Scatter placement in the loose window: zero-effort chains keep
         // greedy locality, so force spreading via distinct chain rotations.
-        let p_tight =
-            place(&nl, &grid, &tight, &PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(1) })
-                .unwrap();
+        let p_tight = place(
+            &nl,
+            &grid,
+            &tight,
+            &PlacerConfig {
+                chains: 1,
+                moves_per_cell: 0,
+                ..PlacerConfig::fast(1)
+            },
+        )
+        .unwrap();
         // Worst-of-4 random-rotation greedy placements in the big window.
         let p_loose = (0..4)
             .map(|c| {
@@ -135,7 +145,12 @@ mod tests {
                     &nl,
                     &grid,
                     &loose,
-                    &PlacerConfig { chains: 1, moves_per_cell: 0, seed: c, ..PlacerConfig::fast(c) },
+                    &PlacerConfig {
+                        chains: 1,
+                        moves_per_cell: 0,
+                        seed: c,
+                        ..PlacerConfig::fast(c)
+                    },
                 )
                 .unwrap()
             })
@@ -156,12 +171,18 @@ mod tests {
         let (device, mut nl) = setup(300);
         let grid = SiteGrid::new(&device);
         let w = device.find_window(&WindowRequest::new(4, 0, 0, 2)).unwrap();
-        let cfg = PlacerConfig { chains: 1, moves_per_cell: 0, ..PlacerConfig::fast(3) };
+        let cfg = PlacerConfig {
+            chains: 1,
+            moves_per_cell: 0,
+            ..PlacerConfig::fast(3)
+        };
         let p = place(&nl, &grid, &w, &cfg).unwrap();
         let before = analyze(&nl, &grid, &w, &p);
         // Chain the last cell back to cell 0: a long feedback wire that
         // also deepens the path.
-        nl.nets.push(synth::Net { pins: vec![0, (nl.cells.len() - 1) as u32] });
+        nl.nets.push(synth::Net {
+            pins: vec![0, (nl.cells.len() - 1) as u32],
+        });
         let p2 = place(&nl, &grid, &w, &cfg).unwrap();
         let after = analyze(&nl, &grid, &w, &p2);
         assert!(after.critical_path_ns >= before.critical_path_ns);

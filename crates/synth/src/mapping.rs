@@ -60,7 +60,8 @@ pub fn map(module: &str, ops: &OpCounts, family: Family) -> SynthReport {
         Family::Virtex4 | Family::Spartan6 => (18u32, 18u32),
         _ => (25, 18),
     };
-    let tiles = u64::from(ops.mult_width.div_ceil(dsp_a)) * u64::from(ops.mult_width.div_ceil(dsp_b));
+    let tiles =
+        u64::from(ops.mult_width.div_ceil(dsp_a)) * u64::from(ops.mult_width.div_ceil(dsp_b));
     let mut dsps = u64::from(ops.mults) * tiles.max(1);
     if dsps > 0 && ops.mults == 0 {
         dsps = 0;
@@ -90,7 +91,12 @@ pub fn map(module: &str, ops: &OpCounts, family: Family) -> SynthReport {
     let adder_luts = u64::from(ops.adders) * u64::from(ops.add_width);
     let mux_luts = u64::from(ops.muxes)
         * u64::from(ops.mux_width)
-        * u64::from(ops.mux_inputs.saturating_sub(1).div_ceil(mux_per_lut).max(1))
+        * u64::from(
+            ops.mux_inputs
+                .saturating_sub(1)
+                .div_ceil(mux_per_lut)
+                .max(1),
+        )
         * u64::from(u32::from(ops.mux_inputs > 1));
     let fsm_luts = u64::from(ops.fsm_states) * if lut_inputs >= 6 { 3 } else { 4 };
     let luts = adder_luts + mux_luts + fsm_luts + ops.misc_luts;
@@ -162,7 +168,11 @@ mod tests {
 
     #[test]
     fn wide_mults_tile_multiple_dsps() {
-        let ops = OpCounts { mults: 1, mult_width: 32, ..OpCounts::default() };
+        let ops = OpCounts {
+            mults: 1,
+            mult_width: 32,
+            ..OpCounts::default()
+        };
         let v5 = map("m", &ops, Family::Virtex5);
         // 32 bits needs ceil(32/25) x ceil(32/18) = 2 x 2 = 4 DSP48Es.
         assert_eq!(v5.dsps, 4);
@@ -172,16 +182,29 @@ mod tests {
 
     #[test]
     fn bram_capacity_is_family_specific() {
-        let ops = OpCounts { mem_bits: 200 * 1024, ..OpCounts::default() };
+        let ops = OpCounts {
+            mem_bits: 200 * 1024,
+            ..OpCounts::default()
+        };
         assert_eq!(map("m", &ops, Family::Virtex5).brams, 6); // 200k/36k
         assert_eq!(map("m", &ops, Family::Virtex4).brams, 12); // 200k/18k
     }
 
     #[test]
     fn lut4_fabric_needs_more_mux_luts() {
-        let ops = OpCounts { muxes: 4, mux_width: 32, mux_inputs: 4, ..OpCounts::default() };
+        let ops = OpCounts {
+            muxes: 4,
+            mux_width: 32,
+            mux_inputs: 4,
+            ..OpCounts::default()
+        };
         let v5 = map("m", &ops, Family::Virtex5);
         let v4 = map("m", &ops, Family::Virtex4);
-        assert!(v4.luts > v5.luts, "LUT4 mux cost {} <= LUT6 {}", v4.luts, v5.luts);
+        assert!(
+            v4.luts > v5.luts,
+            "LUT4 mux cost {} <= LUT6 {}",
+            v4.luts,
+            v5.luts
+        );
     }
 }

@@ -96,26 +96,49 @@ impl Netlist {
     /// synthetic connectivity seeded by `seed`.
     pub fn from_report(report: &SynthReport, seed: u64) -> Result<Netlist, crate::ReportError> {
         let b = report.breakdown()?;
-        let mut cells =
-            Vec::with_capacity((b.pairs() + report.dsps + report.brams) as usize);
+        let mut cells = Vec::with_capacity((b.pairs() + report.dsps + report.brams) as usize);
         for _ in 0..b.fully_used {
-            cells.push(Cell { kind: CellKind::Slice { lut: true, ff: true } });
+            cells.push(Cell {
+                kind: CellKind::Slice {
+                    lut: true,
+                    ff: true,
+                },
+            });
         }
         for _ in 0..b.unused_ff {
-            cells.push(Cell { kind: CellKind::Slice { lut: true, ff: false } });
+            cells.push(Cell {
+                kind: CellKind::Slice {
+                    lut: true,
+                    ff: false,
+                },
+            });
         }
         for _ in 0..b.unused_lut {
-            cells.push(Cell { kind: CellKind::Slice { lut: false, ff: true } });
+            cells.push(Cell {
+                kind: CellKind::Slice {
+                    lut: false,
+                    ff: true,
+                },
+            });
         }
         for _ in 0..report.dsps {
-            cells.push(Cell { kind: CellKind::Dsp });
+            cells.push(Cell {
+                kind: CellKind::Dsp,
+            });
         }
         for _ in 0..report.brams {
-            cells.push(Cell { kind: CellKind::Bram });
+            cells.push(Cell {
+                kind: CellKind::Bram,
+            });
         }
 
         let nets = synth_connectivity(cells.len() as u32, seed);
-        Ok(Netlist { name: report.module.clone(), family: report.family, cells, nets })
+        Ok(Netlist {
+            name: report.module.clone(),
+            family: report.family,
+            cells,
+            nets,
+        })
     }
 
     /// Recount the netlist into a synthesis report (inverse of
@@ -137,7 +160,15 @@ impl Netlist {
                 CellKind::Bram => brams += 1,
             }
         }
-        SynthReport::new(self.name.clone(), self.family, pairs, luts, ffs, dsps, brams)
+        SynthReport::new(
+            self.name.clone(),
+            self.family,
+            pairs,
+            luts,
+            ffs,
+            dsps,
+            brams,
+        )
     }
 
     /// Number of cells.
@@ -159,7 +190,9 @@ fn synth_connectivity(n_cells: u32, seed: u64) -> Vec<Net> {
         return nets;
     }
     for i in 0..n_cells - 1 {
-        nets.push(Net { pins: vec![i, i + 1] });
+        nets.push(Net {
+            pins: vec![i, i + 1],
+        });
     }
     let mut rng = SplitMix64(seed ^ 0xD1CE);
     let fanout_nets = n_cells / 16;

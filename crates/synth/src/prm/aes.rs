@@ -19,12 +19,18 @@ pub struct AesEngine {
 impl AesEngine {
     /// Single-lane engine with BRAM S-boxes.
     pub fn standard() -> Self {
-        AesEngine { lanes: 1, sbox_in_bram: true }
+        AesEngine {
+            lanes: 1,
+            sbox_in_bram: true,
+        }
     }
 
     /// A custom engine.
     pub fn new(lanes: u32, sbox_in_bram: bool) -> Self {
-        AesEngine { lanes, sbox_in_bram }
+        AesEngine {
+            lanes,
+            sbox_in_bram,
+        }
     }
 }
 

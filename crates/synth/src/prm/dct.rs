@@ -19,12 +19,18 @@ pub struct DctCore {
 impl DctCore {
     /// JPEG-style 8x8, 12-bit internal precision.
     pub fn jpeg() -> Self {
-        DctCore { block: 8, width: 12 }
+        DctCore {
+            block: 8,
+            width: 12,
+        }
     }
 
     /// A custom transform.
     pub fn new(block: u32, width: u32) -> Self {
-        DctCore { block: block.max(2), width }
+        DctCore {
+            block: block.max(2),
+            width,
+        }
     }
 }
 

@@ -19,12 +19,18 @@ pub struct FftCore {
 impl FftCore {
     /// 1024-point, 16-bit core.
     pub fn standard() -> Self {
-        FftCore { points: 1024, width: 16 }
+        FftCore {
+            points: 1024,
+            width: 16,
+        }
     }
 
     /// A custom core; `points` is rounded up to a power of two.
     pub fn new(points: u32, width: u32) -> Self {
-        FftCore { points: points.next_power_of_two(), width }
+        FftCore {
+            points: points.next_power_of_two(),
+            width,
+        }
     }
 
     /// Number of pipeline stages = log2(points).

@@ -22,12 +22,22 @@ pub struct FirFilter {
 impl FirFilter {
     /// The paper's instance: a 32-coefficient filter (§IV).
     pub fn paper() -> Self {
-        FirFilter { taps: 32, data_width: 16, coef_width: 16, symmetric: true }
+        FirFilter {
+            taps: 32,
+            data_width: 16,
+            coef_width: 16,
+            symmetric: true,
+        }
     }
 
     /// A custom filter.
     pub fn new(taps: u32, data_width: u32, coef_width: u32, symmetric: bool) -> Self {
-        FirFilter { taps, data_width, coef_width, symmetric }
+        FirFilter {
+            taps,
+            data_width,
+            coef_width,
+            symmetric,
+        }
     }
 
     /// Full-precision accumulator width: product width plus tap growth.

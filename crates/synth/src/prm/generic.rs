@@ -19,7 +19,10 @@ pub struct GenericPrm {
 impl GenericPrm {
     /// Wrap explicit operator counts.
     pub fn new(name: impl Into<String>, ops: OpCounts) -> Self {
-        GenericPrm { name: name.into(), ops }
+        GenericPrm {
+            name: name.into(),
+            ops,
+        }
     }
 
     /// Deterministic pseudo-random PRM at a given `scale` (rough LUT
@@ -56,7 +59,10 @@ impl GenericPrm {
             mem_bits: mem_kb * 1024,
             misc_luts: u64::from(scale) / 3 + rng.below(u64::from(scale) / 4 + 1),
         };
-        GenericPrm { name: format!("task_{seed:04x}"), ops }
+        GenericPrm {
+            name: format!("task_{seed:04x}"),
+            ops,
+        }
     }
 }
 
@@ -99,7 +105,11 @@ mod tests {
     fn scale_tracks_resource_totals() {
         let avg = |scale: u32| -> f64 {
             (0..32)
-                .map(|s| GenericPrm::random(s, scale).synthesize(Family::Virtex5).lut_ff_pairs)
+                .map(|s| {
+                    GenericPrm::random(s, scale)
+                        .synthesize(Family::Virtex5)
+                        .lut_ff_pairs
+                })
                 .sum::<u64>() as f64
                 / 32.0
         };

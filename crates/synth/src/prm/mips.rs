@@ -21,12 +21,20 @@ impl MipsCore {
     /// The paper's instance: 32-bit, 5 stages, memories filling 6 BRAM36s
     /// (§IV; BRAM_req = 6 in Table V).
     pub fn paper() -> Self {
-        MipsCore { width: 32, stages: 5, mem_bits: 204 * 1024 }
+        MipsCore {
+            width: 32,
+            stages: 5,
+            mem_bits: 204 * 1024,
+        }
     }
 
     /// A custom core.
     pub fn new(width: u32, stages: u32, mem_bits: u64) -> Self {
-        MipsCore { width, stages, mem_bits }
+        MipsCore {
+            width,
+            stages,
+            mem_bits,
+        }
     }
 }
 
@@ -49,8 +57,7 @@ impl PrmGenerator for MipsCore {
             // Pipeline latches: roughly 2 full datapath words plus control
             // per stage boundary, plus the architectural register file's
             // bypass registers.
-            register_bits: u64::from(self.stages) * u64::from(w) * 9
-                + u64::from(w) * 4 + 24,
+            register_bits: u64::from(self.stages) * u64::from(w) * 9 + u64::from(w) * 4 + 24,
             fsm_states: 8,
             // Forwarding/hazard muxes: 3 per stage boundary.
             muxes: 3 * self.stages.saturating_sub(1),

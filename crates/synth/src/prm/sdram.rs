@@ -19,12 +19,18 @@ pub struct SdramController {
 impl SdramController {
     /// The paper's instance: a 32-bit controller (§IV).
     pub fn paper() -> Self {
-        SdramController { data_width: 32, addr_width: 13 }
+        SdramController {
+            data_width: 32,
+            addr_width: 13,
+        }
     }
 
     /// A custom controller.
     pub fn new(data_width: u32, addr_width: u32) -> Self {
-        SdramController { data_width, addr_width }
+        SdramController {
+            data_width,
+            addr_width,
+        }
     }
 }
 
@@ -42,8 +48,7 @@ impl PrmGenerator for SdramController {
             adders: 2,
             add_width: self.addr_width,
             // Registered data in/out, address pipeline, timing counters.
-            register_bits: u64::from(self.data_width) * 7
-                + u64::from(self.addr_width) * 4 + 16,
+            register_bits: u64::from(self.data_width) * 7 + u64::from(self.addr_width) * 4 + 16,
             // Command FSM (init, refresh, activate, read, write, precharge
             // sequencing).
             fsm_states: 20,

@@ -46,7 +46,11 @@ impl PrmGenerator for Uart {
             muxes: 2,
             mux_width: 8,
             mux_inputs: 2,
-            mem_bits: if deep { u64::from(self.fifo_depth) * 2 * 8 } else { 0 },
+            mem_bits: if deep {
+                u64::from(self.fifo_depth) * 2 * 8
+            } else {
+                0
+            },
             misc_luts: 24,
         }
     }
@@ -75,7 +79,9 @@ mod tests {
     fn fits_a_single_clb_column_prr() {
         // One Virtex-5 CLB column row holds 20 CLBs = 160 pair slots.
         let r = Uart::standard().synthesize(Family::Virtex5);
-        let clb_req = r.lut_ff_pairs.div_ceil(u64::from(Family::Virtex5.params().lut_clb));
+        let clb_req = r
+            .lut_ff_pairs
+            .div_ceil(u64::from(Family::Virtex5.params().lut_clb));
         assert!(clb_req <= 20, "CLB_req {clb_req}");
     }
 }

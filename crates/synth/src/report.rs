@@ -216,7 +216,11 @@ mod tests {
 
     #[test]
     fn from_breakdown_round_trips() {
-        let b = PairBreakdown { unused_lut: 10, fully_used: 20, unused_ff: 30 };
+        let b = PairBreakdown {
+            unused_lut: 10,
+            fully_used: 20,
+            unused_ff: 30,
+        };
         let r = SynthReport::from_breakdown("m", Family::Virtex6, b, 1, 2);
         assert_eq!(r.lut_ff_pairs, 60);
         assert_eq!(r.luts, 50);
@@ -227,10 +231,16 @@ mod tests {
     #[test]
     fn validate_rejects_impossible_pairings() {
         let too_few_pairs = SynthReport::new("m", Family::Virtex5, 10, 20, 5, 0, 0);
-        assert!(matches!(too_few_pairs.validate(), Err(ReportError::PairsBelowMax { .. })));
+        assert!(matches!(
+            too_few_pairs.validate(),
+            Err(ReportError::PairsBelowMax { .. })
+        ));
 
         let too_many_pairs = SynthReport::new("m", Family::Virtex5, 100, 30, 40, 0, 0);
-        assert!(matches!(too_many_pairs.validate(), Err(ReportError::PairsAboveSum { .. })));
+        assert!(matches!(
+            too_many_pairs.validate(),
+            Err(ReportError::PairsAboveSum { .. })
+        ));
 
         assert!(fir_v5().validate().is_ok());
     }

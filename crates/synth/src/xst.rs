@@ -63,13 +63,22 @@ pub fn write_report(report: &SynthReport, device: &str) -> String {
     out.push_str("Release 12.4 - xst M.81d (lin64)\n");
     out.push_str("Copyright (c) 1995-2010 Xilinx, Inc.  All rights reserved.\n\n");
     out.push_str(&format!("* Design            : {}\n", report.module));
-    out.push_str(&format!("* Family            : {}\n\n", report.family.name()));
+    out.push_str(&format!(
+        "* Family            : {}\n\n",
+        report.family.name()
+    ));
     out.push_str("Device utilization summary:\n");
     out.push_str("---------------------------\n\n");
     out.push_str(&format!("Selected Device : {device}\n\n"));
     out.push_str("Slice Logic Utilization:\n");
-    out.push_str(&format!(" Number of Slice Registers:        {:>8}\n", report.ffs));
-    out.push_str(&format!(" Number of Slice LUTs:             {:>8}\n\n", report.luts));
+    out.push_str(&format!(
+        " Number of Slice Registers:        {:>8}\n",
+        report.ffs
+    ));
+    out.push_str(&format!(
+        " Number of Slice LUTs:             {:>8}\n\n",
+        report.luts
+    ));
     out.push_str("Slice Logic Distribution:\n");
     out.push_str(&format!(
         " Number of LUT Flip Flop pairs used:{:>8}\n",
@@ -88,7 +97,10 @@ pub fn write_report(report: &SynthReport, device: &str) -> String {
         b.fully_used
     ));
     out.push_str("Specific Feature Utilization:\n");
-    out.push_str(&format!(" Number of Block RAM/FIFO:         {:>8}\n", report.brams));
+    out.push_str(&format!(
+        " Number of Block RAM/FIFO:         {:>8}\n",
+        report.brams
+    ));
     out.push_str(&format!(
         " Number of {}:              {:>8}\n",
         dsp_primitive(report.family),
@@ -201,7 +213,10 @@ mod tests {
     #[test]
     fn round_trip_all_paper_reports() {
         for prm in PaperPrm::ALL {
-            for (fam, dev) in [(Family::Virtex5, "xc5vlx110t"), (Family::Virtex6, "xc6vlx75t")] {
+            for (fam, dev) in [
+                (Family::Virtex5, "xc5vlx110t"),
+                (Family::Virtex6, "xc6vlx75t"),
+            ] {
                 let original = paper_synth_report(prm, fam).unwrap();
                 let text = write_report(&original, dev);
                 let parsed = parse_report(&text).unwrap();
@@ -232,7 +247,10 @@ mod tests {
  Number of DSP48Es:  4 out of 64  6%
 ";
         let r = parse_report(text).unwrap();
-        assert_eq!((r.ffs, r.luts, r.lut_ff_pairs, r.brams, r.dsps), (100, 200, 250, 2, 4));
+        assert_eq!(
+            (r.ffs, r.luts, r.lut_ff_pairs, r.brams, r.dsps),
+            (100, 200, 250, 2, 4)
+        );
     }
 
     #[test]
@@ -266,7 +284,10 @@ mod tests {
  Number of Slice LUTs: 100
  Number of LUT Flip Flop pairs used: 10
 ";
-        assert!(matches!(parse_report(inconsistent), Err(XstParseError::Inconsistent(_))));
+        assert!(matches!(
+            parse_report(inconsistent),
+            Err(XstParseError::Inconsistent(_))
+        ));
         assert!(matches!(
             parse_report("* Family : Spartan-9\n"),
             Err(XstParseError::UnknownFamily(_))

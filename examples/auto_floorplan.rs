@@ -12,7 +12,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = fabric::device_by_name("xc5vlx110t")?;
     let specs: Vec<PrrSpec> = PaperPrm::ALL
         .iter()
-        .map(|p| PrrSpec::single(format!("prr_{}", p.module_name()), p.synth_report(device.family())))
+        .map(|p| {
+            PrrSpec::single(
+                format!("prr_{}", p.module_name()),
+                p.synth_report(device.family()),
+            )
+        })
         .collect();
 
     let plan = auto_floorplan(&specs, &device, 10_000)?;

@@ -11,11 +11,14 @@ use prfpga::prelude::*;
 use synth::prm::FirFilter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let devices =
-        ["xc5vlx110t", "xc5vsx95t", "xc6vlx75t", "xc7a100t"].map(|n| fabric::device_by_name(n).unwrap());
+    let devices = ["xc5vlx110t", "xc5vsx95t", "xc6vlx75t", "xc7a100t"]
+        .map(|n| fabric::device_by_name(n).unwrap());
 
     println!("FIR tap-count sweep (model-planned PRR per design point):\n");
-    println!("{:>5} {:>12} {:>4} {:>16} {:>14} {:>12}", "taps", "device", "H", "W(C+D+B)", "bitstream B", "reconfig");
+    println!(
+        "{:>5} {:>12} {:>4} {:>16} {:>14} {:>12}",
+        "taps", "device", "H", "W(C+D+B)", "bitstream B", "reconfig"
+    );
     for device in &devices {
         for taps in [8u32, 16, 32, 64, 128] {
             let fir = FirFilter::new(taps, 16, 16, true);
@@ -41,14 +44,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Multi-PRM sharing: one PRR hosting all three paper PRMs on the V6.
     let device = fabric::device_by_name("xc6vlx75t")?;
-    let reports: Vec<SynthReport> =
-        PaperPrm::ALL.iter().map(|p| p.synth_report(device.family())).collect();
+    let reports: Vec<SynthReport> = PaperPrm::ALL
+        .iter()
+        .map(|p| p.synth_report(device.family()))
+        .collect();
     let shared = plan_shared_prr(&reports, &device)?;
     let o = &shared.plan.organization;
-    println!("\nShared PRR for {{FIR, MIPS, SDRAM}} on {}:", device.name());
+    println!(
+        "\nShared PRR for {{FIR, MIPS, SDRAM}} on {}:",
+        device.name()
+    );
     println!(
         "  H={} W={} ({} CLB + {} DSP + {} BRAM), bitstream {} bytes",
-        o.height, o.width(), o.clb_cols, o.dsp_cols, o.bram_cols, shared.plan.bitstream_bytes
+        o.height,
+        o.width(),
+        o.clb_cols,
+        o.dsp_cols,
+        o.bram_cols,
+        shared.plan.bitstream_bytes
     );
     for (r, ru) in reports.iter().zip(&shared.per_prm_utilization) {
         let v = ru.rounded();

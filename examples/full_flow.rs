@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  synthesis {} LUT-FF pairs -> post-PAR {} ({:+.1}%)",
                 rep.synth_report.lut_ff_pairs,
                 rep.post_report.lut_ff_pairs,
-                rep.post_report.saving_pct(&rep.synth_report, |r| r.lut_ff_pairs)
+                rep.post_report
+                    .saving_pct(&rep.synth_report, |r| r.lut_ff_pairs)
             );
             println!(
                 "  optimizer: packed {} pairs, trimmed {} LUTs, replicated {} FFs, \
@@ -31,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "  placement HPWL {} | routing max utilization {:.2} | bitstream {} B",
-                rep.placement_hpwl, rep.route.max_utilization, bs.len_bytes()
+                rep.placement_hpwl,
+                rep.route.max_utilization,
+                bs.len_bytes()
             );
             print!("  stage times:");
             for (stage, t) in &rep.stage_times {

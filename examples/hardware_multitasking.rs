@@ -31,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = system.filter_workload(&Workload::generate(
         42,
         device.family(),
-        300,   // tasks
-        8,     // distinct modules
-        300,   // resource scale
-        8_000, // mean interarrival (ns)
+        300,     // tasks
+        8,       // distinct modules
+        300,     // resource scale
+        8_000,   // mean interarrival (ns)
         120_000, // mean execution (ns)
     ));
     println!(

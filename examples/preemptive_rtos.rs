@@ -51,11 +51,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let r = simulate_preemptive(&system, &tasks);
-    println!("completed {} of {} tasks in {:.3} ms", r.completed, tasks.len(), r.makespan_ns as f64 / 1e6);
-    println!("preemptions: {}  (context transfers: {}, overhead {:.3} ms)", r.preemptions, r.context_transfers, r.context_switch_ns as f64 / 1e6);
-    println!("reconfigurations: {}  ICAP busy {:.3} ms", r.reconfigurations, r.icap_busy_ns as f64 / 1e6);
-    println!("urgent mean response: {:.1} us (vs {:.1} ms if urgent tasks had to wait out a batch)",
+    println!(
+        "completed {} of {} tasks in {:.3} ms",
+        r.completed,
+        tasks.len(),
+        r.makespan_ns as f64 / 1e6
+    );
+    println!(
+        "preemptions: {}  (context transfers: {}, overhead {:.3} ms)",
+        r.preemptions,
+        r.context_transfers,
+        r.context_switch_ns as f64 / 1e6
+    );
+    println!(
+        "reconfigurations: {}  ICAP busy {:.3} ms",
+        r.reconfigurations,
+        r.icap_busy_ns as f64 / 1e6
+    );
+    println!(
+        "urgent mean response: {:.1} us (vs {:.1} ms if urgent tasks had to wait out a batch)",
         r.urgent_mean_response_ns as f64 / 1e3,
-        3_000_000f64 / 1e6);
+        3_000_000f64 / 1e6
+    );
     Ok(())
 }

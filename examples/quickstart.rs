@@ -21,19 +21,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval = prfpga::evaluate_prm(&parsed, &device)?;
     let org = &eval.plan.organization;
     println!("--- PRR plan (Fig. 1 flow) ---");
-    println!("H = {} rows, W = {} columns ({} CLB + {} DSP + {} BRAM)",
-        org.height, org.width(), org.clb_cols, org.dsp_cols, org.bram_cols);
-    println!("placed at columns {}..{}, rows {}..{}",
+    println!(
+        "H = {} rows, W = {} columns ({} CLB + {} DSP + {} BRAM)",
+        org.height,
+        org.width(),
+        org.clb_cols,
+        org.dsp_cols,
+        org.bram_cols
+    );
+    println!(
+        "placed at columns {}..{}, rows {}..{}",
         eval.plan.window.start_col,
         eval.plan.window.end_col() - 1,
         eval.plan.window.row,
-        eval.plan.window.top_row());
+        eval.plan.window.top_row()
+    );
     let ru = eval.plan.utilization.rounded();
-    println!("utilization: CLB {}%  FF {}%  LUT {}%  DSP {}%  BRAM {}%",
-        ru[0], ru[1], ru[2], ru[3], ru[4]);
+    println!(
+        "utilization: CLB {}%  FF {}%  LUT {}%  DSP {}%  BRAM {}%",
+        ru[0], ru[1], ru[2], ru[3], ru[4]
+    );
     println!("--- bitstream model (Eq. 18) ---");
-    println!("predicted partial bitstream: {} bytes", eval.plan.bitstream_bytes);
-    println!("generated partial bitstream: {} bytes (must match)", eval.bitstream.len_bytes());
+    println!(
+        "predicted partial bitstream: {} bytes",
+        eval.plan.bitstream_bytes
+    );
+    println!(
+        "generated partial bitstream: {} bytes (must match)",
+        eval.bitstream.len_bytes()
+    );
     println!("reconfiguration via DMA-fed ICAP: {:?}", eval.reconfig_time);
     assert_eq!(eval.plan.bitstream_bytes, eval.bitstream.len_bytes());
     Ok(())

@@ -14,7 +14,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:<10} {:>5} {:>7} {:>11} {:>12} {:>10}",
         "device", "family", "H", "W", "words/frame", "bytes/word", "bitstream B"
     );
-    for name in ["xc4vlx60", "xc5vlx110t", "xc6vlx75t", "xc7a100t", "xc6slx45", "xc6slx16"] {
+    for name in [
+        "xc4vlx60",
+        "xc5vlx110t",
+        "xc6vlx75t",
+        "xc7a100t",
+        "xc6slx45",
+        "xc6slx16",
+    ] {
         let device = fabric::device_by_name(name)?;
         let report = fir.synthesize(device.family());
         let g = &device.params().frames;

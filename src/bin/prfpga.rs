@@ -6,6 +6,7 @@
 //! prfpga bitstream <device> (--syr <file> | --prm <name>) [-o <out.bin>]
 //! prfpga dump <bitstream.bin>
 //! prfpga floorplan <device> --prms fir,mips,sdram
+//! prfpga sweep [--json <file>] [--metrics <file>]
 //! ```
 
 use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -21,9 +22,10 @@ fn main() -> ExitCode {
         Some("dump") => cmd_dump(&args[1..]),
         Some("floorplan") => cmd_floorplan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
             eprintln!(
-                "usage: prfpga <devices|plan|bitstream|dump|floorplan> ...\n\
+                "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep> ...\n\
                  \n\
                  devices                                    list the device database\n\
                  plan <device> --syr <file>                 plan a PRR from an XST report\n\
@@ -32,7 +34,8 @@ fn main() -> ExitCode {
                  dump <file>                                parse + summarize a bitstream file\n\
                  floorplan <device> --prms a,b,c            jointly place one PRR per PRM\n\
                  simulate <device> --trace FILE [--prrs N]  replay a task trace\n\
-                          [--clb C --dsp D --bram B --height H] [--preemptive]"
+                          [--clb C --dsp D --bram B --height H] [--preemptive]\n\
+                 sweep [--json FILE] [--metrics FILE]       evaluate every PRM on every device"
             );
             return ExitCode::from(2);
         }
@@ -49,7 +52,10 @@ fn main() -> ExitCode {
 type AnyError = Box<dyn std::error::Error>;
 
 fn cmd_devices() -> Result<(), AnyError> {
-    println!("{:<12} {:<10} {:>5} {:>6} {:>6} {:>6} {:>6}", "part", "family", "rows", "CLBs", "DSPs", "BRAMs", "full-bitstream B");
+    println!(
+        "{:<12} {:<10} {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "part", "family", "rows", "CLBs", "DSPs", "BRAMs", "full-bitstream B"
+    );
     for d in fabric::all_devices() {
         let t = d.total_resources();
         println!(
@@ -67,7 +73,10 @@ fn cmd_devices() -> Result<(), AnyError> {
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn load_report(args: &[String], family: Family) -> Result<SynthReport, AnyError> {
@@ -93,7 +102,12 @@ fn cmd_plan(args: &[String], with_bitstream: bool) -> Result<(), AnyError> {
     let report = load_report(args, device.family())?;
     let eval = prfpga::evaluate_prm(&report, &device)?;
     let o = &eval.plan.organization;
-    println!("module {} on {} ({})", report.module, device.name(), device.family());
+    println!(
+        "module {} on {} ({})",
+        report.module,
+        device.name(),
+        device.family()
+    );
     println!(
         "PRR: H={} W={} ({} CLB + {} DSP + {} BRAM) at columns {}..{}, rows {}..{}",
         o.height,
@@ -121,7 +135,10 @@ fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
     let bytes = std::fs::read(path)?;
     let words = bitstream::PartialBitstream::words_from_bytes(&bytes);
     let parsed = bitstream::parser::parse_words(&words, false)?;
-    println!("{} words, sync at word {}", parsed.total_words, parsed.sync_offset_words);
+    println!(
+        "{} words, sync at word {}",
+        parsed.total_words, parsed.sync_offset_words
+    );
     if let Some(id) = parsed.idcode {
         println!("IDCODE {id:#010x}");
     }
@@ -148,7 +165,10 @@ fn cmd_floorplan(args: &[String]) -> Result<(), AnyError> {
             "sdram" => PaperPrm::Sdram,
             other => return Err(format!("unknown PRM `{other}`").into()),
         };
-        specs.push(PrrSpec::single(format!("prr{i}_{}", prm.module_name()), prm.synth_report(device.family())));
+        specs.push(PrrSpec::single(
+            format!("prr{i}_{}", prm.module_name()),
+            prm.synth_report(device.family()),
+        ));
     }
     let plan = auto_floorplan(&specs, &device, 10_000)?;
     println!(
@@ -161,6 +181,83 @@ fn cmd_floorplan(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
+    use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+
+    let generators: Vec<Box<dyn PrmGenerator + Sync>> = vec![
+        Box::new(FirFilter::paper()),
+        Box::new(MipsCore::paper()),
+        Box::new(SdramController::paper()),
+        Box::new(Uart::standard()),
+        Box::new(AesEngine::standard()),
+        Box::new(FftCore::standard()),
+    ];
+    let devices = fabric::all_devices();
+    let engine = Engine::new();
+    let run = prfpga::sweep::sweep_with_engine(&engine, &generators, &devices);
+
+    println!(
+        "{:<14} {:<12} {:>3} {:>3} {:>12} {:>12} {:>7}",
+        "module", "device", "H", "W", "bitstream B", "reconfig", "RU_CLB"
+    );
+    for p in &run.points {
+        match &p.outcome {
+            Ok(plan) => println!(
+                "{:<14} {:<12} {:>3} {:>3} {:>12} {:>12} {:>6.1}%",
+                p.module,
+                p.device,
+                plan.height,
+                plan.width,
+                plan.bitstream_bytes,
+                format!("{:.1?}", plan.reconfig),
+                plan.ru_clb,
+            ),
+            Err(e) => println!("{:<14} {:<12} infeasible: {e}", p.module, p.device),
+        }
+    }
+
+    let feasible = run.points.iter().filter(|p| p.outcome.is_ok()).count();
+    let c = &run.metrics.counters;
+    println!();
+    println!(
+        "{} points ({} feasible) in {:.1?} — {:.0} points/s",
+        run.points.len(),
+        feasible,
+        run.elapsed,
+        run.points_per_sec
+    );
+    println!(
+        "stage time: synth {:.1?}, geometry {:.1?}, plan {:.1?}",
+        run.metrics.stage_total("synth"),
+        run.metrics.stage_total("geometry"),
+        run.metrics.stage_total("plan"),
+    );
+    let pct =
+        |r: Option<f64>| r.map_or_else(|| "n/a".to_string(), |v| format!("{:.0}%", v * 100.0));
+    println!(
+        "cache hit rates: synth {} ({} runs), geometry {} ({} builds), \
+         window memo {} ({} queries), plan memo {} ({} plans)",
+        pct(c.synth_hit_rate()),
+        c.synth_calls,
+        pct(c.geometry_hit_rate()),
+        c.geometry_builds,
+        pct(c.window_memo_hit_rate()),
+        c.window_queries,
+        pct(c.plan_hit_rate()),
+        c.plans,
+    );
+
+    if let Some(path) = flag(args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&run.points)?)?;
+        println!("wrote sweep points to {path}");
+    }
+    if let Some(path) = flag(args, "--metrics") {
+        std::fs::write(path, serde_json::to_string_pretty(&run.metrics)?)?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     let device_name = args.first().ok_or("missing <device>")?;
     let device = fabric::device_by_name(device_name)?;
@@ -169,7 +266,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     let tasks = multitask::parse_trace(&text)?;
 
     let num = |name: &str, default: u32| -> u32 {
-        flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        flag(args, name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     };
     let org = PrrOrganization {
         family: device.family(),

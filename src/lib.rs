@@ -10,12 +10,13 @@
 //!
 //! ```
 //! use prfpga::prelude::*;
+//! use prfpga::reference;
 //!
 //! let device = fabric::device_by_name("xc5vlx110t")?;
 //! let report = synth::PaperPrm::Fir.synth_report(device.family());
 //! let eval = prfpga::evaluate_prm(&report, &device)?;
-//! assert_eq!(eval.plan.organization.height, 5);
-//! assert_eq!(eval.plan.bitstream_bytes, 83_040);
+//! assert_eq!(eval.plan.organization.height, reference::FIR_V5_HEIGHT);
+//! assert_eq!(eval.plan.bitstream_bytes, reference::FIR_V5_BITSTREAM_BYTES);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -50,11 +51,27 @@ use std::time::Duration;
 pub mod prelude {
     pub use baselines::{ClausModel, FarmModel, NaiveStrategy, PapadimitriouModel};
     pub use bitstream::{IcapModel, PartialBitstream};
-    pub use fabric::{self, Device, Family, ResourceKind, Resources};
+    pub use fabric::{self, Device, DeviceGeometry, Family, ResourceKind, Resources};
     pub use multitask::{simulate, PrSystem, Workload};
     pub use parflow::flow::{run_flow, run_paper_flow, FlowOptions};
-    pub use prcost::{plan_prr, plan_shared_prr, PrrOrganization, PrrPlan, PrrRequirements};
+    pub use prcost::{
+        plan_prr, plan_shared_prr, Engine, MetricsSnapshot, PlanScratch, PrrOrganization, PrrPlan,
+        PrrRequirements,
+    };
     pub use synth::{self, PaperPrm, PrmGenerator, SynthReport};
+}
+
+/// Headline reference values from the paper's Table V, kept in one place
+/// so the crate's doc examples and tests assert the same constants.
+pub mod reference {
+    /// FIR on the Virtex-5 LX110T: selected PRR height.
+    pub const FIR_V5_HEIGHT: u32 = 5;
+    /// FIR on the Virtex-5 LX110T: predicted partial bitstream bytes.
+    pub const FIR_V5_BITSTREAM_BYTES: u64 = 83_040;
+    /// SDRAM on the Virtex-6 LX75T: selected PRR height.
+    pub const SDRAM_V6_HEIGHT: u32 = 1;
+    /// SDRAM on the Virtex-6 LX75T: predicted partial bitstream bytes.
+    pub const SDRAM_V6_BITSTREAM_BYTES: u64 = 23_792;
 }
 
 /// One PRM's full cost-model evaluation.
@@ -84,7 +101,11 @@ pub fn evaluate_prm(
     let bs = bitstream::generate(&spec)?;
     debug_assert_eq!(bs.len_bytes(), plan.bitstream_bytes);
     let reconfig_time = bitstream::IcapModel::V5_DMA.transfer_time(plan.bitstream_bytes);
-    Ok(PrmEvaluation { plan, reconfig_time, bitstream: bs })
+    Ok(PrmEvaluation {
+        plan,
+        reconfig_time,
+        bitstream: bs,
+    })
 }
 
 #[cfg(test)]
@@ -99,6 +120,24 @@ mod tests {
         assert_eq!(eval.bitstream.len_bytes(), eval.plan.bitstream_bytes);
         assert!(eval.reconfig_time > Duration::ZERO);
         assert_eq!(eval.plan.organization.height, 1);
+    }
+
+    /// The doc-example constants in [`crate::reference`] must be the
+    /// values the pipeline actually produces.
+    #[test]
+    fn reference_constants_match_the_pipeline() {
+        let v5 = fabric::device_by_name("xc5vlx110t").unwrap();
+        let fir = evaluate_prm(&synth::PaperPrm::Fir.synth_report(v5.family()), &v5).unwrap();
+        assert_eq!(fir.plan.organization.height, reference::FIR_V5_HEIGHT);
+        assert_eq!(fir.plan.bitstream_bytes, reference::FIR_V5_BITSTREAM_BYTES);
+
+        let v6 = fabric::device_by_name("xc6vlx75t").unwrap();
+        let sdram = evaluate_prm(&synth::PaperPrm::Sdram.synth_report(v6.family()), &v6).unwrap();
+        assert_eq!(sdram.plan.organization.height, reference::SDRAM_V6_HEIGHT);
+        assert_eq!(
+            sdram.plan.bitstream_bytes,
+            reference::SDRAM_V6_BITSTREAM_BYTES
+        );
     }
 
     #[test]

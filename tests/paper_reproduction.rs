@@ -27,7 +27,11 @@ fn table5_end_to_end() {
     for (prm, device, (h, wc, wd, wb), bytes) in expect {
         let plan = plan_prr(&prm.synth_report(device.family()), device).unwrap();
         let o = &plan.organization;
-        assert_eq!((o.height, o.clb_cols, o.dsp_cols, o.bram_cols), (h, wc, wd, wb), "{prm:?}");
+        assert_eq!(
+            (o.height, o.clb_cols, o.dsp_cols, o.bram_cols),
+            (h, wc, wd, wb),
+            "{prm:?}"
+        );
         assert_eq!(plan.bitstream_bytes, bytes, "{prm:?} bitstream");
     }
 }
@@ -42,7 +46,10 @@ fn table6_end_to_end() {
         for prm in PaperPrm::ALL {
             let (rep, _) = run_paper_flow(prm, device, &FlowOptions::fast(11)).unwrap();
             let expected = prm.post_par_report(device.family()).unwrap();
-            assert_eq!(rep.post_report.lut_ff_pairs, expected.lut_ff_pairs, "{prm:?}");
+            assert_eq!(
+                rep.post_report.lut_ff_pairs, expected.lut_ff_pairs,
+                "{prm:?}"
+            );
             assert_eq!(rep.post_report.luts, expected.luts, "{prm:?}");
             assert_eq!(rep.post_report.ffs, expected.ffs, "{prm:?}");
             assert!(rep.route.routed, "{prm:?} must route in the model PRR");
@@ -101,7 +108,10 @@ fn post_par_replanning_savings() {
     let before = plan_prr(&PaperPrm::Mips.synth_report(v5.family()), &v5).unwrap();
     let after = plan_prr(&PaperPrm::Mips.post_par_report(v5.family()).unwrap(), &v5).unwrap();
     let saved = seg(&before) - seg(&after);
-    assert!((2..=3).contains(&saved), "MIPS/V5 saved {saved} CLB column segments");
+    assert!(
+        (2..=3).contains(&saved),
+        "MIPS/V5 saved {saved} CLB column segments"
+    );
 }
 
 /// The model plan dominates every naive sizing strategy on predicted

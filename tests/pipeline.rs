@@ -20,7 +20,10 @@ fn aes_on_kintex7_full_pipeline() {
     // Cost models.
     let eval = prfpga::evaluate_prm(&parsed, &device).unwrap();
     assert_eq!(eval.bitstream.len_bytes(), eval.plan.bitstream_bytes);
-    assert!(eval.plan.organization.bram_cols > 0, "AES S-boxes land in BRAM");
+    assert!(
+        eval.plan.organization.bram_cols > 0,
+        "AES S-boxes land in BRAM"
+    );
 
     // Full simulated flow in the model-predicted PRR.
     let (rep, bs) = run_flow(&aes, &device, &FlowOptions::fast(23)).unwrap();
@@ -59,24 +62,27 @@ fn multitask_uses_model_planned_prrs() {
         .map(|i| synth::prm::GenericPrm::random(i, 400).synthesize(device.family()))
         .collect();
     let shared = plan_shared_prr(&reports, &device).unwrap();
-    let sys = PrSystem::homogeneous(
-        &device,
-        shared.plan.organization,
-        2,
-        IcapModel::V5_DMA,
-    )
-    .unwrap();
+    let sys =
+        PrSystem::homogeneous(&device, shared.plan.organization, 2, IcapModel::V5_DMA).unwrap();
 
     // Alternate between two modules so a 2-PRR system can actually hit
     // bitstream reuse (cycling more modules than PRRs never re-matches).
     let tasks: Vec<multitask::HwTask> = (0..60)
         .map(|i| {
-            multitask::HwTask::from_report(i, &reports[(i % 2) as usize], u64::from(i) * 1_000, 50_000)
+            multitask::HwTask::from_report(
+                i,
+                &reports[(i % 2) as usize],
+                u64::from(i) * 1_000,
+                50_000,
+            )
         })
         .collect();
     let wl = Workload::new(tasks);
     let r = simulate(&sys, &wl, &ReuseAware);
-    assert_eq!(r.completed, 60, "every task fits a PRR planned for the set's maximum");
+    assert_eq!(
+        r.completed, 60,
+        "every task fits a PRR planned for the set's maximum"
+    );
     assert!(r.reuse_hits > 0, "cycling modules should hit reuse");
 }
 

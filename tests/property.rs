@@ -1,8 +1,8 @@
 //! Property-based tests over the core invariants (proptest).
 
-use proptest::prelude::*;
-use prfpga::prelude::*;
 use prcost::prr::PrrOrganization as Org;
+use prfpga::prelude::*;
+use proptest::prelude::*;
 
 fn arb_family() -> impl Strategy<Value = Family> {
     prop_oneof![
@@ -17,8 +17,15 @@ fn arb_family() -> impl Strategy<Value = Family> {
 /// Arbitrary internally consistent synthesis reports, built from the pair
 /// breakdown so the slice algebra holds by construction.
 fn arb_report() -> impl Strategy<Value = SynthReport> {
-    (arb_family(), 0u64..4000, 0u64..4000, 0u64..4000, 0u64..64, 0u64..32).prop_map(
-        |(family, unused_lut, fully, unused_ff, dsps, brams)| {
+    (
+        arb_family(),
+        0u64..4000,
+        0u64..4000,
+        0u64..4000,
+        0u64..64,
+        0u64..32,
+    )
+        .prop_map(|(family, unused_lut, fully, unused_ff, dsps, brams)| {
             SynthReport::from_breakdown(
                 "prop",
                 family,
@@ -30,8 +37,7 @@ fn arb_report() -> impl Strategy<Value = SynthReport> {
                 dsps,
                 brams,
             )
-        },
-    )
+        })
 }
 
 fn arb_org() -> impl Strategy<Value = Org> {

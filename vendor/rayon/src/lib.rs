@@ -1,0 +1,344 @@
+//! Offline shim of `rayon`'s parallel iterator surface.
+//!
+//! The shim materializes the source iterator into a `Vec`, splits it
+//! into contiguous chunks, and fans the chunks out over
+//! `std::thread::scope` workers. Output order always matches input
+//! order, so `collect()` is deterministic regardless of scheduling.
+
+#![allow(clippy::all)]
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads to fan out over.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on collections: parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send + 'a;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// The operations the workspace uses on parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Run the pipeline, producing the ordered output vector.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map with a per-worker scratch value cloned from `init`.
+    ///
+    /// Each worker thread clones `init` once and reuses it across every
+    /// element that worker processes — the rayon idiom for reusable
+    /// per-worker buffers.
+    fn map_with<S, R, F>(self, init: S, f: F) -> MapWith<Self, S, F>
+    where
+        S: Clone + Send,
+        R: Send,
+        F: Fn(&mut S, Self::Item) -> R + Sync + Send,
+    {
+        MapWith {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    /// Keep elements for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Collect into `C`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    /// Apply `f` to every element (in parallel, order unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).drive();
+    }
+
+    /// Sum the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Collection from a parallel iterator (order-preserving).
+pub trait FromParallelIterator<T: Send> {
+    /// Build `Self` from the iterator's ordered output.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.drive()
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        iter.drive().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` pipeline stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let f = &self.f;
+        run_chunked(self.base.drive(), move |item| f(item))
+    }
+}
+
+/// Parallel `map_with` pipeline stage (per-worker scratch).
+pub struct MapWith<B, S, F> {
+    base: B,
+    init: S,
+    f: F,
+}
+
+impl<B, S, R, F> ParallelIterator for MapWith<B, S, F>
+where
+    B: ParallelIterator,
+    S: Clone + Send,
+    R: Send,
+    F: Fn(&mut S, B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let f = &self.f;
+        let init = &self.init;
+        run_chunked_with(
+            self.base.drive(),
+            move || init.clone(),
+            move |scratch, item| f(scratch, item),
+        )
+    }
+}
+
+/// Parallel `filter` pipeline stage.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+
+    fn drive(self) -> Vec<B::Item> {
+        let f = self.f;
+        self.base
+            .drive()
+            .into_iter()
+            .filter(|item| f(item))
+            .collect()
+    }
+}
+
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    run_chunked_with(items, || (), |(), item| f(item))
+}
+
+/// Chunked fan-out: split `items` into one contiguous chunk per worker,
+/// process chunks on scoped threads, and splice results back in input
+/// order. Each worker builds its scratch once via `mk_scratch`.
+fn run_chunked_with<T, S, R, F, M>(items: Vec<T>, mut mk_scratch: M, f: F) -> Vec<R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, T) -> R + Sync,
+    M: FnMut() -> S,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        let mut scratch = mk_scratch();
+        return items
+            .into_iter()
+            .map(|item| f(&mut scratch, item))
+            .collect();
+    }
+
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                // Scratch values are built on the calling thread and
+                // moved into their worker, so `mk_scratch` needs no
+                // `Sync` bound.
+                let mut scratch = mk_scratch();
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|item| f(&mut scratch, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_per_worker() {
+        let out: Vec<usize> = (0usize..64)
+            .into_par_iter()
+            .map_with(Vec::<u8>::with_capacity(16), |scratch, x| {
+                scratch.clear();
+                scratch.extend(std::iter::repeat_n(0u8, x % 7));
+                scratch.len()
+            })
+            .collect();
+        assert_eq!(out, (0usize..64).map(|x| x % 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1, 2, 3, 4];
+        let out: Vec<i32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline shim of the `serde` facade.
+//!
+//! This workspace vendors its dependencies because the build environment
+//! has no network access to a crates.io registry. The shim keeps the
+//! surface the workspace actually uses — `#[derive(Serialize, Deserialize)]`
+//! plus the `serde_json` functions — but trades serde's zero-copy
+//! `Serializer`/`Deserializer` machinery for a simple JSON-like
+//! [`Value`] tree: `Serialize` renders into a `Value`, `Deserialize`
+//! reconstructs from one. Round-trips through `serde_json` are exact for
+//! every type the workspace serializes.
+
+#![allow(clippy::all)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Serialization into the shim's [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the shim's [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// New error with `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ------------------------------------------------------- derive helpers
+
+/// Look up struct field `name` in an object value (derive helper).
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(f) => T::from_value(f),
+        None => Err(DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+/// Look up element `idx` of an array value (derive helper).
+pub fn __index<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+    match v {
+        Value::Array(items) => match items.get(idx) {
+            Some(item) => T::from_value(item),
+            None => Err(DeError::new(format!("missing tuple element {idx}"))),
+        },
+        other => Err(DeError::new(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Split an externally tagged enum value into `(tag, payload)` (derive
+/// helper). Unit variants arrive as plain strings; data-carrying variants
+/// as single-entry objects.
+pub fn __enum_parts(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Object(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        other => Err(DeError::new(format!(
+            "expected enum (string or single-entry object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Unwrap a variant payload that must be present (derive helper).
+pub fn __payload<'v>(payload: Option<&'v Value>, variant: &str) -> Result<&'v Value, DeError> {
+    payload.ok_or_else(|| DeError::new(format!("variant `{variant}` is missing its payload")))
+}
+
+// ------------------------------------------------------------ std impls
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // `Value` carries integers as u64; wider values degrade to float
+        // (matching the shim's JSON number range).
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_u64().map(u128::from)
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_i64().map(i128::from)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!(
+                "expected char, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(inner) => Value::tagged("Ok", inner.to_value()),
+            Err(inner) => Value::tagged("Err", inner.to_value()),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (tag, payload) = __enum_parts(v)?;
+        let payload = __payload(payload, tag)?;
+        match tag {
+            "Ok" => T::from_value(payload).map(Ok),
+            "Err" => E::from_value(payload).map(Err),
+            other => Err(DeError::new(format!("unknown Result variant `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::from_entries(vec![
+            ("secs", Value::UInt(self.as_secs())),
+            ("nanos", Value::UInt(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs: u64 = __field(v, "secs")?;
+        let nanos: u32 = __field(v, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => other.render_compact(),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    // Keys were rendered as strings; try the string form
+                    // first, then reverse integer keys through the
+                    // numeric Value forms.
+                    let key = K::from_value(&Value::Str(k.clone())).or_else(|e| {
+                        if let Ok(n) = k.parse::<u64>() {
+                            K::from_value(&Value::UInt(n))
+                        } else if let Ok(n) = k.parse::<i64>() {
+                            K::from_value(&Value::Int(n))
+                        } else {
+                            Err(e)
+                        }
+                    })?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                Ok(($(__index::<$t>(v, $n)?,)+))
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The shim's JSON-like value tree.
+//!
+//! Objects preserve insertion order (a `Vec` of entries rather than a
+//! map), so serialized field order matches declaration order and text
+//! round-trips are stable.
+
+use crate::DeError;
+use std::fmt::Write as _;
+use std::ops::Index;
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative (or explicitly signed) integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered entries.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Build an object from `(key, value)` entries.
+    pub fn from_entries(entries: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Build an array from items.
+    pub fn from_items(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+
+    /// A string value.
+    pub fn text(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// An externally tagged single-entry object: `{"tag": value}`.
+    pub fn tagged(tag: &str, value: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), value)])
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Numeric accessor: unsigned.
+    pub fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            other => Err(DeError::new(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric accessor: signed.
+    pub fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+            other => Err(DeError::new(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric accessor: float (integers widen).
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Render as compact JSON text.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Render as pretty JSON text (two-space indent).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest representation that parses
+                    // back to the same f64 and always marks it as a float.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => render_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.render(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    render_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// Comparisons against plain literals, for test ergonomics
+// (`json["clb_col"] == 20`).
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::UInt(n) => i128::from(*n) == *other as i128,
+                    Value::Int(n) => i128::from(*n) == *other as i128,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_int!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Float(f) if f == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`, so it builds with no network access)
+//! derive macros for the vendored `serde` facade in `vendor/serde`. The
+//! supported input grammar is exactly what this workspace uses: plain
+//! structs with named fields, tuple/unit structs, and enums whose variants
+//! are unit (optionally with discriminants), newtype, tuple, or
+//! struct-shaped. Generic types are rejected with a clear error.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim: generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim: expected `struct` or `enum`, found `{t}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim: expected type name, found `{t}`"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic types are not supported (type `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde shim: expected enum body, found `{t:?}`"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+
+    Item { name, kind }
+}
+
+/// Skip any number of outer attributes (`#[...]`) and a visibility
+/// qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names. Types
+/// are skipped wholesale (commas inside angle brackets are tracked; other
+/// bracket kinds arrive as single `Group` tokens).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde shim: expected field name, found `{t}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde shim: expected `:` after field `{fname}`, found `{t}`"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(fname);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket depth
+/// aware) or the end of the stream.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 < tokens.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde shim: expected variant name, found `{t}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` (unit variants only).
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i); // same "until top-level comma" rule
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\", ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "::serde::Value::from_entries(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "::serde::Value::from_items(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!("{name}::{vn} => ::serde::Value::text(\"{vn}\"),"),
+                        Shape::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::tagged(\"{vn}\", \
+                             ::serde::Serialize::to_value(__f0)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::tagged(\"{vn}\", \
+                                 ::serde::Value::from_items(::std::vec![{}])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("(\"{f}\", ::serde::Serialize::to_value({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::tagged(\"{vn}\", \
+                                 ::serde::Value::from_entries(::std::vec![{}])),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::__index(__v, {k})?"))
+                .collect();
+            format!("::core::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        ItemKind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Shape::Newtype => format!(
+                            "\"{vn}\" => {{ let __p = ::serde::__payload(__payload, \"{vn}\")?; \
+                             ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__p)?)) }}"
+                        ),
+                        Shape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::__index(__p, {k})?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__payload(__payload, \"{vn}\")?; \
+                                 ::core::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__field(__p, \"{f}\")?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__payload(__payload, \"{vn}\")?; \
+                                 ::core::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__enum_parts(__v)?;\n\
+                 match __tag {{\n{}\n__other => ::core::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{}}` of `{name}`\", __other))) }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
