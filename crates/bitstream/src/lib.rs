@@ -45,4 +45,7 @@ pub use packet::{Command, ConfigRegister, Packet};
 pub use parser::{parse, ParseError, ParsedBitstream};
 pub use readback::{context_cost, ContextCost};
 pub use relocate::{compatible, relocate, RelocateError};
-pub use writer::{generate, BitstreamSpec, PartialBitstream};
+pub use writer::{
+    digest_batch, emit_into, generate, generate_batch, generate_owned, BitstreamDigest,
+    BitstreamSpec, PartialBitstream,
+};

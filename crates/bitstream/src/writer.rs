@@ -175,6 +175,8 @@ fn push_frame_block(
         .encode(),
     );
     words.push(Packet::Noop.encode());
+    let payload_start = words.len();
+    words.reserve(payload_words as usize);
     let mut state = seed ^ u64::from(far.encode());
     for _ in 0..payload_words {
         // splitmix64 step — deterministic frame contents per (module, FAR).
@@ -182,10 +184,10 @@ fn push_frame_block(
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        let w = (z ^ (z >> 31)) as u32;
-        crc.push_word(w);
-        words.push(w);
+        words.push((z ^ (z >> 31)) as u32);
     }
+    // Batch-checksum the payload through the slice-by-8 fast path.
+    crc.push_words(&words[payload_start..]);
 }
 
 /// Emit the final-word block. Exactly `FW` (=14) words: CRC check, LFRM,
@@ -228,6 +230,32 @@ fn push_final(words: &mut Vec<u32>, crc_value: u32) {
 /// plus one pad frame; then, if the PRR has BRAM columns, per row one
 /// BRAM-content FDRI write of `W_BRAM * DF_BRAM + 1` frames.
 pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
+    let mut words = Vec::new();
+    emit_into(spec, &mut words)?;
+    Ok(PartialBitstream {
+        spec: spec.clone(),
+        words,
+    })
+}
+
+/// [`generate`], consuming the spec — no `BitstreamSpec` clone.
+///
+/// The variant batch pipelines should prefer when they own their specs.
+pub fn generate_owned(spec: BitstreamSpec) -> Result<PartialBitstream, GenError> {
+    let mut words = Vec::new();
+    emit_into(&spec, &mut words)?;
+    Ok(PartialBitstream { spec, words })
+}
+
+/// Emit `spec`'s configuration words into `out`, reusing its allocation.
+///
+/// `out` is cleared first; on success it holds the exact word stream
+/// [`generate`] would produce (on error it is left cleared). This is the
+/// streaming core every generation entry point shares: callers that loop
+/// over many specs keep one buffer (or one per rayon worker, as
+/// [`digest_batch`] does) and amortize the `Vec` growth to zero.
+pub fn emit_into(spec: &BitstreamSpec, out: &mut Vec<u32>) -> Result<(), GenError> {
+    out.clear();
     let org = &spec.organization;
     let geom = &org.family.params().frames;
 
@@ -266,14 +294,13 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
         0
     };
 
-    let mut words = Vec::new();
     let mut crc = Crc32::new();
-    push_initial(&mut words, idcode);
+    push_initial(out, idcode);
 
     // Configuration frames, row by row (bottom to top).
     for r in 0..org.height {
         let far = FrameAddress::config(spec.start_row + r, spec.start_col, 0);
-        push_frame_block(&mut words, &mut crc, far, config_frames * fr, seed);
+        push_frame_block(out, &mut crc, far, config_frames * fr, seed);
     }
     // BRAM initialization frames, row by row.
     if bram_frames > 0 {
@@ -285,15 +312,65 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
             .expect("bram_cols > 0 implies a BRAM column") as u32;
         for r in 0..org.height {
             let far = FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
-            push_frame_block(&mut words, &mut crc, far, bram_frames * fr, seed);
+            push_frame_block(out, &mut crc, far, bram_frames * fr, seed);
         }
     }
 
-    push_final(&mut words, crc.value());
-    Ok(PartialBitstream {
-        spec: spec.clone(),
-        words,
-    })
+    push_final(out, crc.value());
+    Ok(())
+}
+
+/// Generate many bitstreams across rayon workers.
+///
+/// Each worker reuses one emission buffer via [`emit_into`], so growth
+/// reallocations are amortized across the batch; only the returned word
+/// vectors are allocated, sized exactly. Output order matches input.
+pub fn generate_batch(specs: &[BitstreamSpec]) -> Vec<Result<PartialBitstream, GenError>> {
+    use rayon::prelude::*;
+    specs
+        .par_iter()
+        .map_with(Vec::new(), |buf: &mut Vec<u32>, spec| {
+            emit_into(spec, buf)?;
+            Ok(PartialBitstream {
+                spec: spec.clone(),
+                words: buf.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Summary of one generated bitstream, produced without retaining words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitstreamDigest {
+    /// Emitted configuration words.
+    pub words: usize,
+    /// Size in bytes (`words * Bytes_word`, the Eq. 18 quantity).
+    pub bytes: u64,
+    /// CRC-32C over the full emitted word stream (identity fingerprint,
+    /// not the in-stream payload CRC).
+    pub crc: u32,
+}
+
+/// Generate and summarize many bitstreams without keeping their words.
+///
+/// The fully allocation-free batch path: each rayon worker owns one
+/// reused emission buffer, and per spec only a 16-byte digest escapes.
+/// This is what workload-scale evaluation loops (millions of bitstreams)
+/// should use when they need sizes/fingerprints rather than the streams.
+pub fn digest_batch(specs: &[BitstreamSpec]) -> Vec<Result<BitstreamDigest, GenError>> {
+    use rayon::prelude::*;
+    specs
+        .par_iter()
+        .map_with(Vec::new(), |buf: &mut Vec<u32>, spec| {
+            emit_into(spec, buf)?;
+            Ok(BitstreamDigest {
+                words: buf.len(),
+                bytes: buf.len() as u64
+                    * u64::from(spec.organization.family.params().frames.bytes_word),
+                crc: crate::crc::crc_words(buf),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -340,6 +417,61 @@ mod tests {
         assert_eq!(a, b);
         let mips = generate(&spec_for(PaperPrm::Mips, &device)).unwrap();
         assert_ne!(a.words, mips.words);
+    }
+
+    #[test]
+    fn emit_into_reuses_buffer_and_matches_generate() {
+        let device = xc5vlx110t();
+        let mut buf = Vec::new();
+        for prm in PaperPrm::ALL {
+            let spec = spec_for(prm, &device);
+            emit_into(&spec, &mut buf).unwrap();
+            assert_eq!(buf, generate(&spec).unwrap().words, "{prm:?}");
+        }
+        // Error paths leave the buffer cleared.
+        let mut bad = spec_for(PaperPrm::Fir, &device);
+        bad.columns.push(ResourceKind::Clb);
+        assert!(emit_into(&bad, &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn owned_and_batch_variants_match_generate() {
+        let device = xc6vlx75t();
+        let specs: Vec<BitstreamSpec> = PaperPrm::ALL
+            .iter()
+            .map(|&p| spec_for(p, &device))
+            .collect();
+        let direct: Vec<PartialBitstream> = specs.iter().map(|s| generate(s).unwrap()).collect();
+        for (spec, expect) in specs.iter().zip(&direct) {
+            assert_eq!(&generate_owned(spec.clone()).unwrap(), expect);
+        }
+        let batch = generate_batch(&specs);
+        assert_eq!(batch.len(), specs.len());
+        for (got, expect) in batch.iter().zip(&direct) {
+            assert_eq!(got.as_ref().unwrap(), expect);
+        }
+        let digests = digest_batch(&specs);
+        for (d, expect) in digests.iter().zip(&direct) {
+            let d = d.as_ref().unwrap();
+            assert_eq!(d.words, expect.words.len());
+            assert_eq!(d.bytes, expect.len_bytes());
+            assert_eq!(d.crc, crate::crc::crc_words(&expect.words));
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_per_spec_errors() {
+        let device = xc5vlx110t();
+        let good = spec_for(PaperPrm::Fir, &device);
+        let mut bad = good.clone();
+        bad.columns[0] = ResourceKind::Clk;
+        let out = generate_batch(&[good.clone(), bad.clone()]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(GenError::ForbiddenColumn(_))));
+        let digests = digest_batch(&[bad, good]);
+        assert!(digests[0].is_err());
+        assert!(digests[1].is_ok());
     }
 
     #[test]

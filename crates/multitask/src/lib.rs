@@ -16,11 +16,16 @@
 //!   overprovisioned PRR), and reuse-aware (prefer a PRR that already
 //!   holds the task's module, skipping reconfiguration entirely).
 //! * [`sim`] — a discrete-event simulator producing makespan, waiting
-//!   times, reconfiguration counts/time and per-PRR utilization.
+//!   times, reconfiguration counts/time and per-PRR utilization. The core
+//!   is allocation-free after setup: interned module ids ([`intern`]),
+//!   per-task fits bitmasks, a binary-heap event queue and a reusable
+//!   [`SimScratch`], with [`simulate_batch`] fanning scenarios across
+//!   rayon workers (one scratch per worker).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod preempt;
 pub mod sched;
 pub mod sim;
@@ -28,9 +33,13 @@ pub mod system;
 pub mod task;
 pub mod trace;
 
+pub use intern::{ModuleId, ModuleTable};
 pub use preempt::{simulate_preemptive, PreemptReport, PreemptiveTask};
-pub use sched::{BestFit, FirstFit, ReuseAware, Scheduler};
-pub use sim::{simulate, simulate_full_reconfig, simulate_static, SimReport};
+pub use sched::{BestFit, FirstFit, PrrState, ReuseAware, Scheduler};
+pub use sim::{
+    simulate, simulate_batch, simulate_full_reconfig, simulate_static, simulate_with_scratch,
+    Scenario, SimReport, SimScratch,
+};
 pub use system::{PrSystem, PrrSlot, SystemError};
 pub use task::{HwTask, Workload};
 pub use trace::{parse_trace, parse_workload, write_trace, write_workload};

@@ -10,6 +10,7 @@
 //! and is costed from the PRR organization via `prcost` Eq. 18 and
 //! `bitstream::context_cost`.
 
+use crate::intern::{ModuleId, ModuleTable};
 use crate::system::PrSystem;
 use bitstream::readback::context_cost;
 use fabric::Resources;
@@ -82,7 +83,7 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
     let n_slots = system.prrs.len();
     let mut slot_free_at = vec![0u64; n_slots];
     let mut slot_running: Vec<Option<Running>> = vec![None; n_slots];
-    let mut slot_module: Vec<Option<String>> = vec![None; n_slots];
+    let mut slot_module: Vec<Option<ModuleId>> = vec![None; n_slots];
     let mut icap_free_at = 0u64;
 
     let mut pending: Vec<Pending> = tasks
@@ -96,6 +97,32 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
         })
         .collect();
     pending.sort_by_key(|p| (p.task.arrival_ns, p.task.id));
+
+    // Hot-path precomputation (mirrors `sim`): intern module names once so
+    // reconfiguration checks are integer compares, and freeze each task's
+    // per-slot fits bitmask so dispatch never rescans `fits` per slot.
+    let mut modules = ModuleTable::new();
+    let module_ids: Vec<ModuleId> = pending
+        .iter()
+        .map(|p| modules.intern(&p.task.module))
+        .collect();
+    let avail: Vec<Resources> = system.prrs.iter().map(|p| p.available()).collect();
+    let words_per_task = n_slots.div_ceil(64).max(1);
+    let mut fits_bits = vec![0u64; pending.len() * words_per_task];
+    for (ti, p) in pending.iter().enumerate() {
+        for (si, a) in avail.iter().enumerate() {
+            if a.covers(&p.task.needs) {
+                fits_bits[ti * words_per_task + si / 64] |= 1u64 << (si % 64);
+            }
+        }
+    }
+    let fits_any = |ti: usize| {
+        fits_bits[ti * words_per_task..(ti + 1) * words_per_task]
+            .iter()
+            .any(|&w| w != 0)
+    };
+    let fits_slot =
+        |ti: usize, si: usize| fits_bits[ti * words_per_task + si / 64] >> (si % 64) & 1 == 1;
 
     let mut waiting: Vec<usize> = Vec::new(); // indices into pending
     let mut next_arrival = 0usize;
@@ -138,16 +165,9 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
             )
         });
         loop {
-            let Some(pos) = waiting
-                .iter()
-                .position(|&i| (0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs)))
-            else {
+            let Some(pos) = waiting.iter().position(|&i| fits_any(i)) else {
                 // Drop unservable tasks.
-                if !waiting.is_empty()
-                    && waiting.iter().all(|&i| {
-                        !(0..n_slots).any(|s| system.prrs[s].fits(&pending[i].task.needs))
-                    })
-                {
+                if !waiting.is_empty() && waiting.iter().all(|&i| !fits_any(i)) {
                     waiting.clear();
                 }
                 break;
@@ -156,18 +176,15 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
             let prio = pending[pi].task.priority;
 
             // Free fitting PRR?
-            let free = (0..n_slots).find(|&s| {
-                slot_free_at[s] <= now
-                    && slot_running[s].is_none()
-                    && system.prrs[s].fits(&pending[pi].task.needs)
-            });
+            let free = (0..n_slots)
+                .find(|&s| slot_free_at[s] <= now && slot_running[s].is_none() && fits_slot(pi, s));
             let slot = match free {
                 Some(s) => Some(s),
                 None => {
                     // Preempt the lowest-priority strictly-lower victim.
                     (0..n_slots)
                         .filter(|&s| {
-                            system.prrs[s].fits(&pending[pi].task.needs)
+                            fits_slot(pi, s)
                                 && slot_running[s]
                                     .as_ref()
                                     .is_some_and(|r| r.priority < prio && r.done_at > now)
@@ -195,13 +212,13 @@ pub fn simulate_preemptive(system: &PrSystem, tasks: &[PreemptiveTask]) -> Preem
             }
 
             // Bitstream write if the module differs, restore if resuming.
-            let needs_write = slot_module[s].as_deref() != Some(pending[pi].task.module.as_str());
+            let needs_write = slot_module[s] != Some(module_ids[pi]);
             if needs_write {
                 let w = system.reconfig_ns(&system.prrs[s]);
                 t += w;
                 report.reconfigurations += 1;
                 report.icap_busy_ns += w;
-                slot_module[s] = Some(pending[pi].task.module.clone());
+                slot_module[s] = Some(module_ids[pi]);
             }
             if pending[pi].saved {
                 let ctx = context_cost(&system.prrs[s].organization);

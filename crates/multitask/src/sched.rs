@@ -1,29 +1,46 @@
 //! PRR selection policies.
+//!
+//! The scheduler API is built for the allocation-free simulator core:
+//! per-slot state is a `Copy` snapshot holding an interned [`ModuleId`]
+//! (no `String` clones per dispatch), and the task's own module id is
+//! passed alongside the task so reuse checks are integer compares.
 
-use crate::system::PrrSlot;
-use crate::task::HwTask;
+use crate::intern::ModuleId;
+use fabric::Resources;
 
 /// Runtime state of one PRR the scheduler can inspect.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the simulator refreshes a reusable snapshot buffer with these
+/// per dispatch instead of allocating and cloning module names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrrState {
     /// Whether a task is currently executing (or the slot is mid-reconfig).
     pub busy: bool,
-    /// Module currently configured into the PRR, if any.
-    pub loaded_module: Option<String>,
+    /// Module currently configured into the PRR, if any (interned).
+    pub loaded_module: Option<ModuleId>,
 }
 
 /// A PRR selection policy: pick a free PRR for `task`, or `None` to wait.
-pub trait Scheduler {
+///
+/// `Send + Sync` so trait objects can be shared across the workers of
+/// [`crate::simulate_batch`].
+pub trait Scheduler: Send + Sync {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
     /// Choose among the indices of free, fitting PRRs. `candidates` is
-    /// never empty.
+    /// never empty. `needs` is the task's resource demand and `module`
+    /// its interned module id — the only task attributes a policy may
+    /// use, passed directly so the simulator's dispatch loop never has
+    /// to touch the (cache-cold) task array. `avail` is each slot's
+    /// available resources, hoisted once per simulation so policies
+    /// don't recompute column products per dispatch.
     fn choose(
         &self,
-        task: &HwTask,
+        needs: &Resources,
+        module: ModuleId,
         candidates: &[usize],
-        slots: &[PrrSlot],
+        avail: &[Resources],
         states: &[PrrState],
     ) -> usize;
 }
@@ -39,9 +56,10 @@ impl Scheduler for FirstFit {
 
     fn choose(
         &self,
-        _task: &HwTask,
+        _needs: &Resources,
+        _module: ModuleId,
         candidates: &[usize],
-        _slots: &[PrrSlot],
+        _avail: &[Resources],
         _states: &[PrrState],
     ) -> usize {
         candidates[0]
@@ -53,9 +71,8 @@ impl Scheduler for FirstFit {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BestFit;
 
-fn spare_cost(task: &HwTask, slot: &PrrSlot) -> u64 {
-    let avail = slot.available();
-    let spare = avail.saturating_sub(&task.needs);
+fn spare_cost(needs: &Resources, avail: &Resources) -> u64 {
+    let spare = avail.saturating_sub(needs);
     // Weight DSP/BRAM columns by their CLB-equivalent area.
     spare.clb() + spare.dsp() * 3 + spare.bram() * 5
 }
@@ -67,14 +84,15 @@ impl Scheduler for BestFit {
 
     fn choose(
         &self,
-        task: &HwTask,
+        needs: &Resources,
+        _module: ModuleId,
         candidates: &[usize],
-        slots: &[PrrSlot],
+        avail: &[Resources],
         _states: &[PrrState],
     ) -> usize {
         *candidates
             .iter()
-            .min_by_key(|&&i| (spare_cost(task, &slots[i]), i))
+            .min_by_key(|&&i| (spare_cost(needs, &avail[i]), i))
             .expect("candidates is non-empty")
     }
 }
@@ -91,113 +109,76 @@ impl Scheduler for ReuseAware {
 
     fn choose(
         &self,
-        task: &HwTask,
+        needs: &Resources,
+        module: ModuleId,
         candidates: &[usize],
-        slots: &[PrrSlot],
+        avail: &[Resources],
         states: &[PrrState],
     ) -> usize {
         if let Some(&hit) = candidates
             .iter()
-            .find(|&&i| states[i].loaded_module.as_deref() == Some(task.module.as_str()))
+            .find(|&&i| states[i].loaded_module == Some(module))
         {
             return hit;
         }
-        BestFit.choose(task, candidates, slots, states)
+        BestFit.choose(needs, module, candidates, avail, states)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric::{Family, Resources};
+    use fabric::Family;
     use prcost::PrrOrganization;
 
-    fn slot(id: u32, clb_cols: u32) -> PrrSlot {
-        let org = PrrOrganization {
+    /// Available resources of a 1-row, `clb_cols`-column CLB-only PRR.
+    fn avail(clb_cols: u32) -> Resources {
+        PrrOrganization {
             family: Family::Virtex5,
             height: 1,
             clb_cols,
             dsp_cols: 0,
             bram_cols: 0,
-        };
-        PrrSlot {
-            id,
-            organization: org,
-            window: fabric::Window {
-                start_col: id as usize * 10,
-                width: clb_cols,
-                row: 1,
-                height: 1,
-                columns: vec![fabric::ResourceKind::Clb; clb_cols as usize],
-            },
-            bitstream_bytes: prcost::bitstream_size_bytes(&org),
         }
+        .available()
     }
 
-    fn task(module: &str, clbs: u64) -> HwTask {
-        HwTask {
-            id: 0,
-            module: module.into(),
-            needs: Resources::new(clbs, 0, 0),
-            arrival_ns: 0,
-            exec_ns: 100,
+    const M: ModuleId = ModuleId(0);
+    const OTHER: ModuleId = ModuleId(1);
+
+    fn free(loaded_module: Option<ModuleId>) -> PrrState {
+        PrrState {
+            busy: false,
+            loaded_module,
         }
     }
 
     #[test]
     fn first_fit_takes_lowest_index() {
-        let slots = vec![slot(0, 8), slot(1, 2)];
-        let states = vec![
-            PrrState {
-                busy: false,
-                loaded_module: None,
-            },
-            PrrState {
-                busy: false,
-                loaded_module: None,
-            },
-        ];
-        let t = task("m", 10);
-        assert_eq!(FirstFit.choose(&t, &[0, 1], &slots, &states), 0);
+        let av = vec![avail(8), avail(2)];
+        let states = vec![free(None), free(None)];
+        let needs = Resources::new(10, 0, 0);
+        assert_eq!(FirstFit.choose(&needs, M, &[0, 1], &av, &states), 0);
     }
 
     #[test]
     fn best_fit_minimizes_spare() {
-        let slots = vec![slot(0, 8), slot(1, 2)];
-        let states = vec![
-            PrrState {
-                busy: false,
-                loaded_module: None,
-            },
-            PrrState {
-                busy: false,
-                loaded_module: None,
-            },
-        ];
+        let av = vec![avail(8), avail(2)];
+        let states = vec![free(None), free(None)];
         // Task needs 30 CLBs: slot 1 (2 cols = 40 CLBs) is tighter than
         // slot 0 (8 cols = 160 CLBs).
-        let t = task("m", 30);
-        assert_eq!(BestFit.choose(&t, &[0, 1], &slots, &states), 1);
+        let needs = Resources::new(30, 0, 0);
+        assert_eq!(BestFit.choose(&needs, M, &[0, 1], &av, &states), 1);
     }
 
     #[test]
     fn reuse_beats_best_fit() {
-        let slots = vec![slot(0, 8), slot(1, 2)];
-        let states = vec![
-            PrrState {
-                busy: false,
-                loaded_module: Some("m".into()),
-            },
-            PrrState {
-                busy: false,
-                loaded_module: None,
-            },
-        ];
-        let t = task("m", 30);
+        let av = vec![avail(8), avail(2)];
+        let states = vec![free(Some(M)), free(None)];
+        let needs = Resources::new(30, 0, 0);
         // Best fit would pick 1; reuse-aware picks 0 (already loaded).
-        assert_eq!(ReuseAware.choose(&t, &[0, 1], &slots, &states), 0);
+        assert_eq!(ReuseAware.choose(&needs, M, &[0, 1], &av, &states), 0);
         // Different module: falls back to best fit.
-        let other = task("x", 30);
-        assert_eq!(ReuseAware.choose(&other, &[0, 1], &slots, &states), 1);
+        assert_eq!(ReuseAware.choose(&needs, OTHER, &[0, 1], &av, &states), 1);
     }
 }

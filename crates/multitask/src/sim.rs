@@ -14,12 +14,38 @@
 //!   proportionally longer reconfiguration — the paper's core motivation.
 //! * Execution inside one PRR does not block other PRRs (isolated
 //!   reconfiguration).
+//!
+//! # Performance architecture
+//!
+//! The evaluation loop is allocation-free after setup:
+//!
+//! * Module names are interned to [`ModuleId`]s once per simulation, so
+//!   reuse checks are integer compares and per-slot state snapshots are
+//!   `Copy` (`PrrState`), not `Option<String>` clones.
+//! * Each task's "which PRRs fit me" set is computed once, at admission,
+//!   into a bitmask carried in its queue entry, so dispatch feasibility
+//!   is a mask-and-free test and the unservable-task check (`fits_ever`)
+//!   is `mask != 0` — the seed re-scanned every PRR each time a task
+//!   reached the queue head.
+//! * Clock advance pops a [`BinaryHeap`] of pending slot/ICAP free times
+//!   instead of scanning all slots per step.
+//! * All working memory lives in a reusable [`SimScratch`];
+//!   [`simulate_batch`] fans scenarios out over rayon workers with one
+//!   scratch per worker and records per-scenario wall time into the
+//!   `prcost::metrics` stage histograms.
+//!
+//! The seed implementation is frozen in [`reference`] as the equivalence
+//! oracle: property tests assert the heap simulator produces an identical
+//! [`SimReport`] for random workloads, systems and schedulers.
 
+use crate::intern::{ModuleId, ModuleTable};
 use crate::sched::{PrrState, Scheduler};
 use crate::system::PrSystem;
 use crate::task::Workload;
 use serde::Serialize;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
 
 /// Simulation outcome metrics.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -63,15 +89,111 @@ impl SimReport {
     }
 }
 
-/// Per-PRR runtime bookkeeping.
+/// Per-PRR runtime bookkeeping (interned module identity).
+#[derive(Debug, Clone, Copy)]
 struct SlotRt {
     free_at: u64,
-    loaded: Option<String>,
+    loaded: Option<ModuleId>,
+}
+
+/// Task attributes copied into the FIFO at admission, while the task's
+/// cache lines are warm from the sequential arrival scan. On large
+/// workloads the head of a backed-up queue was admitted tens of
+/// thousands of tasks earlier, so dispatching off the original task /
+/// fits arrays costs cold misses per dispatch; the queue itself is read
+/// sequentially and stays prefetcher-friendly.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    module: ModuleId,
+    /// Fits bitmask over the first 64 slots (the whole mask for systems
+    /// with ≤ 64 PRRs; wider systems re-test the tail against `avail`).
+    fits: u64,
+    needs: fabric::Resources,
+    arrival_ns: u64,
+    exec_ns: u64,
+}
+
+/// Reusable working memory for [`simulate_with_scratch`].
+///
+/// Holds every buffer the simulator needs — hoisted per-slot data, slot
+/// runtime state, the scheduler's state snapshot, the FIFO queue and the
+/// event heap — so repeated simulations (sweeps,
+/// batches) allocate nothing after the first run reaches steady-state
+/// capacity. `Default`-construct once and pass to every call.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    modules: ModuleTable,
+    /// Fallback intern buffer for workloads without a pre-interned cache.
+    module_ids: Vec<ModuleId>,
+    /// Hoisted per-slot available resources.
+    avail: Vec<fabric::Resources>,
+    /// Hoisted per-slot reconfiguration time (ns): the float ICAP
+    /// transfer-time math runs once per slot, not once per dispatch.
+    reconfig_ns: Vec<u64>,
+    rt: Vec<SlotRt>,
+    states: Vec<PrrState>,
+    candidates: Vec<usize>,
+    queue: VecDeque<QueueEntry>,
+    /// Min-heap of pending `(free_time, slot)` events.
+    events: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl SimScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Reset and precompute per-run state: module ids (interned here only
+    /// when the workload lacks its construction-time cache), hoisted
+    /// per-slot availability and reconfiguration times.
+    fn prepare(&mut self, system: &PrSystem, workload: &Workload) {
+        self.modules.clear();
+        self.module_ids.clear();
+        if workload.module_ids().len() != workload.tasks.len() {
+            self.module_ids.extend(
+                workload
+                    .tasks
+                    .iter()
+                    .map(|t| self.modules.intern(&t.module)),
+            );
+        }
+
+        let n_slots = system.prrs.len();
+        self.avail.clear();
+        self.avail.extend(system.prrs.iter().map(|p| p.available()));
+        self.reconfig_ns.clear();
+        self.reconfig_ns
+            .extend(system.prrs.iter().map(|p| system.reconfig_ns(p)));
+
+        self.rt.clear();
+        self.rt.resize(
+            n_slots,
+            SlotRt {
+                free_at: 0,
+                loaded: None,
+            },
+        );
+        self.states.clear();
+        self.states.resize(
+            n_slots,
+            PrrState {
+                busy: false,
+                loaded_module: None,
+            },
+        );
+        self.candidates.clear();
+        self.queue.clear();
+        self.events.clear();
+    }
 }
 
 /// Simulate `workload` on `system` under `scheduler`.
 ///
 /// Tasks that fit no PRR at all are dropped (counted out of `completed`).
+/// Allocates a fresh [`SimScratch`] per call; use
+/// [`simulate_with_scratch`] or [`simulate_batch`] to amortize buffers
+/// across many runs.
 ///
 /// ```
 /// use multitask::{simulate, PrSystem, ReuseAware, Workload};
@@ -90,19 +212,57 @@ struct SlotRt {
 /// let report = simulate(&system, &workload, &ReuseAware);
 /// assert_eq!(report.completed as usize, workload.tasks.len());
 /// ```
-pub fn simulate(system: &PrSystem, workload: &Workload, scheduler: &dyn Scheduler) -> SimReport {
-    let n_slots = system.prrs.len();
-    let mut rt: Vec<SlotRt> = (0..n_slots)
-        .map(|_| SlotRt {
-            free_at: 0,
-            loaded: None,
-        })
-        .collect();
-    let mut icap_free_at = 0u64;
+pub fn simulate<S: Scheduler + ?Sized>(
+    system: &PrSystem,
+    workload: &Workload,
+    scheduler: &S,
+) -> SimReport {
+    simulate_with_scratch(system, workload, scheduler, &mut SimScratch::new())
+}
 
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut next_arrival = 0usize;
+/// [`simulate`] with caller-provided working memory.
+///
+/// Behaviourally identical to [`simulate`] (and to the frozen seed
+/// implementation in [`reference`]); reuses `scratch`'s buffers so
+/// steady-state simulation performs no heap allocation.
+pub fn simulate_with_scratch<S: Scheduler + ?Sized>(
+    system: &PrSystem,
+    workload: &Workload,
+    scheduler: &S,
+    scratch: &mut SimScratch,
+) -> SimReport {
+    scratch.prepare(system, workload);
     let tasks = &workload.tasks;
+    // Split the scratch into disjoint field borrows so the pre-interned
+    // id slice can come straight from the workload (no copy) while the
+    // queue/heap fields stay mutable.
+    let SimScratch {
+        module_ids: ids_buf,
+        avail,
+        reconfig_ns,
+        rt,
+        states,
+        candidates,
+        queue,
+        events,
+        ..
+    } = scratch;
+    let module_ids: &[ModuleId] = if workload.module_ids().len() == tasks.len() {
+        workload.module_ids()
+    } else {
+        ids_buf
+    };
+    let mut icap_free_at = 0u64;
+    let mut next_arrival = 0usize;
+    // Free-slot bitmask over the first 64 slots, kept in sync with the
+    // event heap: a dispatch clears the chosen bit, popping the slot's
+    // free event sets it back. Candidate discovery for a queue head is
+    // then `entry.fits & free_mask` — no per-dispatch slot scan.
+    let mut free_mask: u64 = if rt.len() >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << rt.len()) - 1
+    };
 
     let mut report = SimReport {
         scheduler: scheduler.name(),
@@ -115,91 +275,171 @@ pub fn simulate(system: &PrSystem, workload: &Workload, scheduler: &dyn Schedule
         total_exec_ns: 0,
     };
 
-    // Event-driven loop over "interesting" times: arrivals and slot/icap
-    // frees. We advance a virtual clock to the earliest time progress can
-    // happen, then dispatch greedily.
+    // Event-driven loop over "interesting" times: arrivals and slot/ICAP
+    // frees. The clock jumps to the earliest pending event (heap pop);
+    // dispatch then proceeds greedily at that instant.
     let mut now = 0u64;
     loop {
-        // Admit arrivals up to `now`.
+        // Admit arrivals up to `now`. The fits mask is computed here from
+        // the L1-resident `avail` (strictly cheaper than a precompute
+        // pass plus a re-read); unservable tasks (empty mask) are dropped
+        // here, once per task — the seed re-scanned every PRR each time
+        // such a task reached the queue head. Everything the dispatch
+        // path needs rides in the queue entry.
         while next_arrival < tasks.len() && tasks[next_arrival].arrival_ns <= now {
-            queue.push_back(next_arrival);
+            let task = &tasks[next_arrival];
+            let mut mask = 0u64;
+            for (si, av) in avail.iter().take(64).enumerate() {
+                if av.covers(&task.needs) {
+                    mask |= 1u64 << si;
+                }
+            }
+            let servable = mask != 0
+                || avail.len() > 64 && avail[64..].iter().any(|av| av.covers(&task.needs));
+            if servable {
+                queue.push_back(QueueEntry {
+                    module: module_ids[next_arrival],
+                    fits: mask,
+                    needs: task.needs,
+                    arrival_ns: task.arrival_ns,
+                    exec_ns: task.exec_ns,
+                });
+            }
             next_arrival += 1;
         }
 
-        // Dispatch FIFO head(s) while possible.
-        let mut dispatched_any = true;
-        while dispatched_any {
-            dispatched_any = false;
-            if let Some(&ti) = queue.front() {
-                let task = &tasks[ti];
-                let candidates: Vec<usize> = (0..n_slots)
-                    .filter(|&i| rt[i].free_at <= now && system.prrs[i].fits(&task.needs))
-                    .collect();
-                let fits_ever = (0..n_slots).any(|i| system.prrs[i].fits(&task.needs));
-                if !fits_ever {
-                    // Unservable task: drop it.
-                    queue.pop_front();
-                    dispatched_any = true;
-                    continue;
+        // Dispatch FIFO head(s) while possible. Candidates come from the
+        // fits-and-free mask (ascending slot order, matching the seed's
+        // scan); `states` is maintained incrementally — `loaded_module`
+        // changes only here, `busy` flips here and at event pops — so no
+        // per-dispatch rebuild.
+        while let Some(entry) = queue.front().copied() {
+            candidates.clear();
+            if rt.len() <= 64 {
+                let mut m = entry.fits & free_mask;
+                while m != 0 {
+                    candidates.push(m.trailing_zeros() as usize);
+                    m &= m - 1;
                 }
-                if !candidates.is_empty() {
-                    let states: Vec<PrrState> = rt
-                        .iter()
-                        .map(|s| PrrState {
-                            busy: s.free_at > now,
-                            loaded_module: s.loaded.clone(),
-                        })
-                        .collect();
-                    let chosen = scheduler.choose(task, &candidates, &system.prrs, &states);
-                    debug_assert!(candidates.contains(&chosen));
-                    queue.pop_front();
-
-                    let reuse = rt[chosen].loaded.as_deref() == Some(task.module.as_str());
-                    let exec_start = if reuse {
-                        report.reuse_hits += 1;
-                        now
+            } else {
+                for (si, slot) in rt.iter().enumerate() {
+                    let fits = if si < 64 {
+                        entry.fits >> si & 1 == 1
                     } else {
-                        let reconfig = system.reconfig_ns(&system.prrs[chosen]);
-                        let start = now.max(icap_free_at);
-                        icap_free_at = start + reconfig;
-                        report.reconfigurations += 1;
-                        report.icap_busy_ns += reconfig;
-                        rt[chosen].loaded = Some(task.module.clone());
-                        icap_free_at
+                        avail[si].covers(&entry.needs)
                     };
-                    let done = exec_start + task.exec_ns;
-                    rt[chosen].free_at = done;
-                    report.total_wait_ns += exec_start - task.arrival_ns;
-                    report.total_exec_ns += task.exec_ns;
-                    report.completed += 1;
-                    report.makespan_ns = report.makespan_ns.max(done);
-                    dispatched_any = true;
+                    if fits && slot.free_at <= now {
+                        candidates.push(si);
+                    }
                 }
             }
+            if candidates.is_empty() {
+                break;
+            }
+            let module = entry.module;
+            let chosen = scheduler.choose(&entry.needs, module, candidates, avail, states);
+            debug_assert!(candidates.contains(&chosen));
+            queue.pop_front();
+
+            let reuse = rt[chosen].loaded == Some(module);
+            let exec_start = if reuse {
+                report.reuse_hits += 1;
+                now
+            } else {
+                let reconfig = reconfig_ns[chosen];
+                let start = now.max(icap_free_at);
+                icap_free_at = start + reconfig;
+                report.reconfigurations += 1;
+                report.icap_busy_ns += reconfig;
+                rt[chosen].loaded = Some(module);
+                states[chosen].loaded_module = Some(module);
+                // Note: no event for `icap_free_at`. An ICAP free can
+                // never enable a dispatch (dispatch is gated on arrivals
+                // and slot frees only; reconfigurations serialize through
+                // `max(now, icap_free_at)` whatever `now` is), so waking
+                // then — as the seed does — is a provable no-op.
+                icap_free_at
+            };
+            let done = exec_start + entry.exec_ns;
+            rt[chosen].free_at = done;
+            if done > now {
+                if chosen < 64 {
+                    free_mask &= !(1u64 << chosen);
+                }
+                states[chosen].busy = true;
+                events.push(Reverse((done, chosen as u32)));
+            }
+            // done == now (zero-length execution on a reuse hit): the
+            // slot is immediately free again — keep its bit, no event.
+            report.total_wait_ns += exec_start - entry.arrival_ns;
+            report.total_exec_ns += entry.exec_ns;
+            report.completed += 1;
+            report.makespan_ns = report.makespan_ns.max(done);
         }
 
-        // Advance the clock to the next event.
-        let mut next = u64::MAX;
-        if next_arrival < tasks.len() {
-            next = next.min(tasks[next_arrival].arrival_ns);
-        }
-        if !queue.is_empty() {
-            for s in &rt {
-                if s.free_at > now {
-                    next = next.min(s.free_at);
-                }
+        // Advance the clock. While the FIFO is backed up, arrivals can
+        // never overtake the blocked head, so the only interesting time
+        // is the next slot-free event; the intervening arrivals are
+        // admitted in one batch when it fires (dispatch order and times
+        // are identical — the seed woke at every arrival instead). With
+        // an empty queue the next arrival is the only interesting time.
+        if queue.is_empty() {
+            match tasks.get(next_arrival) {
+                Some(t) => now = t.arrival_ns,
+                None => break,
             }
-            if icap_free_at > now {
-                next = next.min(icap_free_at);
+        } else {
+            // A blocked head means some fitting slot is busy, hence a
+            // pending event; jump straight to the earliest one.
+            let Reverse((t, _)) = *events.peek().expect("blocked head implies pending event");
+            now = t;
+        }
+        // Free every slot whose event is due at (or before) `now`.
+        while let Some(&Reverse((t, si))) = events.peek() {
+            if t > now {
+                break;
+            }
+            events.pop();
+            let si = si as usize;
+            states[si].busy = false;
+            if si < 64 {
+                free_mask |= 1u64 << si;
             }
         }
-        if next == u64::MAX {
-            break;
-        }
-        now = next;
     }
 
     report
+}
+
+/// One (system, workload, scheduler) combination for [`simulate_batch`].
+#[derive(Clone, Copy)]
+pub struct Scenario<'a> {
+    /// PR system to simulate on.
+    pub system: &'a PrSystem,
+    /// Task stream.
+    pub workload: &'a Workload,
+    /// PRR selection policy.
+    pub scheduler: &'a dyn Scheduler,
+}
+
+/// Simulate many scenarios across rayon workers.
+///
+/// Each worker owns one [`SimScratch`] reused across every scenario it
+/// processes, so the fleet performs no per-scenario allocation beyond
+/// first-touch growth. Per-scenario wall time is recorded under the
+/// `"simulate"` stage of [`prcost::Metrics::global`], joining the
+/// planning-engine histograms. Output order matches input order.
+pub fn simulate_batch(scenarios: &[Scenario<'_>]) -> Vec<SimReport> {
+    use rayon::prelude::*;
+    scenarios
+        .par_iter()
+        .map_with(SimScratch::new(), |scratch, sc| {
+            let start = Instant::now();
+            let report = simulate_with_scratch(sc.system, sc.workload, sc.scheduler, scratch);
+            prcost::Metrics::global().record_stage("simulate", start.elapsed());
+            report
+        })
+        .collect()
 }
 
 /// Simulate the **full-reconfiguration** baseline the paper's introduction
@@ -288,6 +528,187 @@ pub fn simulate_static(device: &fabric::Device, workload: &Workload) -> Option<S
         report.makespan_ns = report.makespan_ns.max(done);
     }
     Some(report)
+}
+
+pub mod reference {
+    //! The seed simulator, frozen verbatim as the equivalence oracle and
+    //! benchmark baseline.
+    //!
+    //! This is the exact pre-optimization implementation: per-dispatch
+    //! `Vec` allocations for candidates and states, `Option<String>`
+    //! module identity with per-slot clones, an O(slots) `fits_ever`
+    //! rescan every time a task reaches the queue head, and an O(slots)
+    //! clock-advance scan per step. Scheduling policies are inlined (the
+    //! live [`Scheduler`](crate::Scheduler) trait now takes interned
+    //! ids), replicating the seed's first-fit / best-fit / reuse-aware
+    //! behaviour byte for byte so [`super::simulate`] can be
+    //! property-tested report-identical against it.
+
+    use super::SimReport;
+    use crate::system::{PrSystem, PrrSlot};
+    use crate::task::{HwTask, Workload};
+    use std::collections::VecDeque;
+
+    /// Seed scheduling policy (mirrors the live unit-struct schedulers).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SeedPolicy {
+        /// Lowest-id free PRR that fits.
+        FirstFit,
+        /// Fewest spare CLB-equivalents.
+        BestFit,
+        /// Prefer a PRR already holding the module; else best fit.
+        ReuseAware,
+    }
+
+    impl SeedPolicy {
+        /// Report name, identical to the live scheduler's.
+        pub fn name(self) -> &'static str {
+            match self {
+                SeedPolicy::FirstFit => "first-fit",
+                SeedPolicy::BestFit => "best-fit",
+                SeedPolicy::ReuseAware => "reuse-aware",
+            }
+        }
+
+        fn spare_cost(task: &HwTask, slot: &PrrSlot) -> u64 {
+            let avail = slot.available();
+            let spare = avail.saturating_sub(&task.needs);
+            spare.clb() + spare.dsp() * 3 + spare.bram() * 5
+        }
+
+        fn choose(
+            self,
+            task: &HwTask,
+            candidates: &[usize],
+            slots: &[PrrSlot],
+            states: &[(bool, Option<String>)],
+        ) -> usize {
+            match self {
+                SeedPolicy::FirstFit => candidates[0],
+                SeedPolicy::BestFit => *candidates
+                    .iter()
+                    .min_by_key(|&&i| (Self::spare_cost(task, &slots[i]), i))
+                    .expect("candidates is non-empty"),
+                SeedPolicy::ReuseAware => {
+                    if let Some(&hit) = candidates
+                        .iter()
+                        .find(|&&i| states[i].1.as_deref() == Some(task.module.as_str()))
+                    {
+                        return hit;
+                    }
+                    SeedPolicy::BestFit.choose(task, candidates, slots, states)
+                }
+            }
+        }
+    }
+
+    struct SlotRt {
+        free_at: u64,
+        loaded: Option<String>,
+    }
+
+    /// The seed `simulate`, unchanged except that policies are inlined.
+    pub fn simulate_seed(system: &PrSystem, workload: &Workload, policy: SeedPolicy) -> SimReport {
+        let n_slots = system.prrs.len();
+        let mut rt: Vec<SlotRt> = (0..n_slots)
+            .map(|_| SlotRt {
+                free_at: 0,
+                loaded: None,
+            })
+            .collect();
+        let mut icap_free_at = 0u64;
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut next_arrival = 0usize;
+        let tasks = &workload.tasks;
+
+        let mut report = SimReport {
+            scheduler: policy.name(),
+            completed: 0,
+            makespan_ns: 0,
+            reconfigurations: 0,
+            reuse_hits: 0,
+            icap_busy_ns: 0,
+            total_wait_ns: 0,
+            total_exec_ns: 0,
+        };
+
+        let mut now = 0u64;
+        loop {
+            while next_arrival < tasks.len() && tasks[next_arrival].arrival_ns <= now {
+                queue.push_back(next_arrival);
+                next_arrival += 1;
+            }
+
+            let mut dispatched_any = true;
+            while dispatched_any {
+                dispatched_any = false;
+                if let Some(&ti) = queue.front() {
+                    let task = &tasks[ti];
+                    let candidates: Vec<usize> = (0..n_slots)
+                        .filter(|&i| rt[i].free_at <= now && system.prrs[i].fits(&task.needs))
+                        .collect();
+                    let fits_ever = (0..n_slots).any(|i| system.prrs[i].fits(&task.needs));
+                    if !fits_ever {
+                        queue.pop_front();
+                        dispatched_any = true;
+                        continue;
+                    }
+                    if !candidates.is_empty() {
+                        let states: Vec<(bool, Option<String>)> = rt
+                            .iter()
+                            .map(|s| (s.free_at > now, s.loaded.clone()))
+                            .collect();
+                        let chosen = policy.choose(task, &candidates, &system.prrs, &states);
+                        debug_assert!(candidates.contains(&chosen));
+                        queue.pop_front();
+
+                        let reuse = rt[chosen].loaded.as_deref() == Some(task.module.as_str());
+                        let exec_start = if reuse {
+                            report.reuse_hits += 1;
+                            now
+                        } else {
+                            let reconfig = system.reconfig_ns(&system.prrs[chosen]);
+                            let start = now.max(icap_free_at);
+                            icap_free_at = start + reconfig;
+                            report.reconfigurations += 1;
+                            report.icap_busy_ns += reconfig;
+                            rt[chosen].loaded = Some(task.module.clone());
+                            icap_free_at
+                        };
+                        let done = exec_start + task.exec_ns;
+                        rt[chosen].free_at = done;
+                        report.total_wait_ns += exec_start - task.arrival_ns;
+                        report.total_exec_ns += task.exec_ns;
+                        report.completed += 1;
+                        report.makespan_ns = report.makespan_ns.max(done);
+                        dispatched_any = true;
+                    }
+                }
+            }
+
+            let mut next = u64::MAX;
+            if next_arrival < tasks.len() {
+                next = next.min(tasks[next_arrival].arrival_ns);
+            }
+            if !queue.is_empty() {
+                for s in &rt {
+                    if s.free_at > now {
+                        next = next.min(s.free_at);
+                    }
+                }
+                if icap_free_at > now {
+                    next = next.min(icap_free_at);
+                }
+            }
+            if next == u64::MAX {
+                break;
+            }
+            now = next;
+        }
+
+        report
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +822,109 @@ mod tests {
         let w = Workload::new(vec![t, task(1, "a", 0, 10)]);
         let r = simulate(&sys, &w, &FirstFit);
         assert_eq!(r.completed, 1);
+    }
+
+    /// Regression for the hoisted `fits_ever` check: many unservable tasks
+    /// interleaved with servable ones are each dropped exactly once —
+    /// completed + dropped covers the whole workload, under every
+    /// scheduler, and the report matches the seed oracle.
+    #[test]
+    fn unservable_tasks_are_dropped_exactly_once() {
+        let sys = simple_system(2);
+        let mut tasks = Vec::new();
+        for i in 0..30u32 {
+            let mut t = task(
+                i,
+                if i % 3 == 0 { "huge" } else { "a" },
+                u64::from(i) * 50,
+                200,
+            );
+            if i % 3 == 0 {
+                t.needs = Resources::new(10_000, 0, 0);
+            }
+            tasks.push(t);
+        }
+        let w = Workload::new(tasks);
+        let servable = w
+            .tasks
+            .iter()
+            .filter(|t| sys.prrs.iter().any(|p| p.fits(&t.needs)))
+            .count();
+        assert!(servable < w.tasks.len());
+        for (sched, policy) in [
+            (
+                &FirstFit as &dyn crate::Scheduler,
+                reference::SeedPolicy::FirstFit,
+            ),
+            (&BestFit, reference::SeedPolicy::BestFit),
+            (&ReuseAware, reference::SeedPolicy::ReuseAware),
+        ] {
+            let r = simulate(&sys, &w, sched);
+            assert_eq!(r.completed as usize, servable, "{}", sched.name());
+            assert_eq!(r, reference::simulate_seed(&sys, &w, policy));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_report_identical() {
+        let sys = mixed_system(4, 1, 6, 1, 1);
+        let wl_a = sys.filter_workload(&Workload::generate(
+            13,
+            Family::Virtex5,
+            100,
+            8,
+            250,
+            1_000,
+            10_000,
+        ));
+        let wl_b = sys.filter_workload(&Workload::generate(
+            29,
+            Family::Virtex5,
+            60,
+            4,
+            250,
+            2_000,
+            20_000,
+        ));
+        let mut scratch = SimScratch::new();
+        // Reuse the same scratch across differently-shaped runs.
+        let a1 = simulate_with_scratch(&sys, &wl_a, &ReuseAware, &mut scratch);
+        let b1 = simulate_with_scratch(&sys, &wl_b, &BestFit, &mut scratch);
+        let a2 = simulate_with_scratch(&sys, &wl_a, &ReuseAware, &mut scratch);
+        assert_eq!(a1, simulate(&sys, &wl_a, &ReuseAware));
+        assert_eq!(b1, simulate(&sys, &wl_b, &BestFit));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let sys4 = mixed_system(4, 1, 6, 1, 1);
+        let sys2 = mixed_system(2, 1, 6, 1, 1);
+        let wl = sys4.filter_workload(&Workload::generate(
+            17,
+            Family::Virtex5,
+            120,
+            8,
+            250,
+            2_000,
+            15_000,
+        ));
+        let scheds: [&dyn crate::Scheduler; 3] = [&FirstFit, &BestFit, &ReuseAware];
+        let mut scenarios = Vec::new();
+        for sys in [&sys4, &sys2] {
+            for s in scheds {
+                scenarios.push(Scenario {
+                    system: sys,
+                    workload: &wl,
+                    scheduler: s,
+                });
+            }
+        }
+        let batch = simulate_batch(&scenarios);
+        assert_eq!(batch.len(), scenarios.len());
+        for (r, sc) in batch.iter().zip(&scenarios) {
+            assert_eq!(*r, simulate(sc.system, sc.workload, sc.scheduler));
+        }
     }
 
     /// For an execution-bound workload (execution time >> reconfiguration

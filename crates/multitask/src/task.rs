@@ -1,5 +1,6 @@
 //! Hardware tasks and workload generation.
 
+use crate::intern::{ModuleId, ModuleTable};
 use fabric::{Family, Resources};
 use serde::{Deserialize, Serialize};
 use synth::prm::GenericPrm;
@@ -40,17 +41,60 @@ impl HwTask {
 }
 
 /// A deterministic stream of hardware tasks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// All tasks, sorted by arrival time.
     pub tasks: Vec<HwTask>,
+    /// Module names interned once at construction so every simulation of
+    /// this workload skips the per-task string work.
+    modules: ModuleTable,
+    /// Interned module id per task (task order).
+    module_ids: Vec<ModuleId>,
+}
+
+/// Only the task list is serialized; deserialization rebuilds the
+/// interned module cache through [`Workload::new`].
+impl Serialize for Workload {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("tasks".to_string(), self.tasks.to_value())])
+    }
+}
+
+impl Deserialize for Workload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Workload::new(serde::__field(v, "tasks")?))
+    }
+}
+
+/// Equality is over the task list alone: the interned cache is derived
+/// data and is empty on deserialized workloads.
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks
+    }
 }
 
 impl Workload {
-    /// Wrap an explicit task list (sorts by arrival).
+    /// Wrap an explicit task list (sorts by arrival, interns modules).
     pub fn new(mut tasks: Vec<HwTask>) -> Self {
         tasks.sort_by_key(|t| (t.arrival_ns, t.id));
-        Workload { tasks }
+        let mut modules = ModuleTable::new();
+        let module_ids = tasks.iter().map(|t| modules.intern(&t.module)).collect();
+        Workload {
+            tasks,
+            modules,
+            module_ids,
+        }
+    }
+
+    /// Interned module ids, one per task in task order.
+    pub fn module_ids(&self) -> &[ModuleId] {
+        &self.module_ids
+    }
+
+    /// The interned module table behind [`Workload::module_ids`].
+    pub fn modules(&self) -> &ModuleTable {
+        &self.modules
     }
 
     /// Generate `n` task instances drawn from a pool of `modules` distinct
@@ -95,10 +139,7 @@ impl Workload {
 
     /// Distinct module names in the workload.
     pub fn module_count(&self) -> usize {
-        let mut names: Vec<&str> = self.tasks.iter().map(|t| t.module.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        names.len()
+        self.modules.len()
     }
 }
 

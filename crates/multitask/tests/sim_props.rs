@@ -3,9 +3,11 @@
 
 use bitstream::IcapModel;
 use fabric::{device_by_name, Family, Resources};
+use multitask::sim::reference::{simulate_seed, SeedPolicy};
 use multitask::{
-    simulate, simulate_full_reconfig, simulate_preemptive, simulate_static, BestFit, FirstFit,
-    HwTask, PrSystem, PreemptiveTask, ReuseAware, Scheduler, Workload,
+    simulate, simulate_batch, simulate_full_reconfig, simulate_preemptive, simulate_static,
+    simulate_with_scratch, BestFit, FirstFit, HwTask, PrSystem, PreemptiveTask, ReuseAware,
+    Scenario, Scheduler, SimScratch, Workload,
 };
 use prcost::PrrOrganization;
 use proptest::prelude::*;
@@ -75,6 +77,56 @@ proptest! {
                 prop_assert!(r.makespan_ns >= max_exec);
             }
             prop_assert!(r.reconfigurations + r.reuse_hits == r.completed);
+        }
+    }
+
+    /// Equivalence oracle: the event-heap, interned, bitmask simulator
+    /// produces a report *identical* to the frozen seed implementation for
+    /// random workloads, system shapes and schedulers — including
+    /// workloads with unservable tasks.
+    #[test]
+    fn heap_simulator_equals_seed(tasks in arb_tasks(), prrs in 1u32..5, h in 1u32..3) {
+        let sys = system(prrs, h);
+        let wl = Workload::new(tasks);
+        let pairs: [(&dyn Scheduler, SeedPolicy); 3] = [
+            (&FirstFit, SeedPolicy::FirstFit),
+            (&BestFit, SeedPolicy::BestFit),
+            (&ReuseAware, SeedPolicy::ReuseAware),
+        ];
+        let mut scratch = SimScratch::new();
+        for (sched, policy) in pairs {
+            let new = simulate(&sys, &wl, sched);
+            let seed = simulate_seed(&sys, &wl, policy);
+            prop_assert_eq!(&new, &seed, "{}", sched.name());
+            // Scratch reuse across schedulers must not leak state.
+            let reused = simulate_with_scratch(&sys, &wl, sched, &mut scratch);
+            prop_assert_eq!(&reused, &seed);
+        }
+    }
+
+    /// `simulate_batch` is scenario-wise identical to sequential
+    /// `simulate`, regardless of how scenarios share systems/workloads.
+    #[test]
+    fn batch_equals_sequential(tasks in arb_tasks(), prrs_a in 1u32..4, prrs_b in 1u32..4) {
+        let sys_a = system(prrs_a, 1);
+        let sys_b = system(prrs_b, 2);
+        let wl = Workload::new(tasks);
+        let scheds: [&dyn Scheduler; 3] = [&FirstFit, &BestFit, &ReuseAware];
+        let wl_ref = &wl;
+        let scenarios: Vec<Scenario> = [&sys_a, &sys_b]
+            .into_iter()
+            .flat_map(|sys| {
+                scheds.iter().map(move |&scheduler| Scenario {
+                    system: sys,
+                    workload: wl_ref,
+                    scheduler,
+                })
+            })
+            .collect();
+        let batch = simulate_batch(&scenarios);
+        prop_assert_eq!(batch.len(), scenarios.len());
+        for (got, sc) in batch.iter().zip(&scenarios) {
+            prop_assert_eq!(got, &simulate(sc.system, sc.workload, sc.scheduler));
         }
     }
 
