@@ -222,6 +222,32 @@ pub fn candidates_for(req: &PrrRequirements, device: &Device) -> Vec<Candidate> 
         .collect()
 }
 
+/// [`candidates_for`], with window probes answered through a precomputed
+/// [`DeviceGeometry`] and the padded-fallback enumeration buffered in
+/// `scratch`.
+///
+/// Returns exactly what [`candidates_for`] returns for the same inputs
+/// (the geometry's window answers are identical to
+/// [`Device::find_window`]'s). Callers that evaluate several requirement
+/// sets against one device — the multi-PRR floorplanner above all — share
+/// one geometry so every height and every spec reuses the same
+/// composition memo instead of rescanning the column list per probe.
+/// `geometry` must have been derived from `device`.
+pub fn candidates_for_cached(
+    req: &PrrRequirements,
+    device: &Device,
+    geometry: &DeviceGeometry,
+    scratch: &mut PlanScratch,
+) -> Vec<Candidate> {
+    if req.is_empty() || req.family != device.family() {
+        return Vec::new();
+    }
+    let finder = |r: &WindowRequest| geometry.find_window(device, r);
+    (1..=device.rows())
+        .map(|h| evaluate_height_with(req, device, h, &finder, scratch))
+        .collect()
+}
+
 /// Evaluate one candidate height of the Fig. 1 flow: organization
 /// (Eqs. 2–6), exact window search, and — only when no exact-composition
 /// window exists — minimal CLB-column padding.

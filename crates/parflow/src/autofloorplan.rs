@@ -9,13 +9,40 @@
 //! PRR's cost-model candidates (all feasible heights from the Fig. 1
 //! enumeration), each tried at every horizontal window and vertical
 //! offset, hardest PRR first.
+//!
+//! Three things make the search fast (Deak & Creț and Goswami & Bhatia
+//! both report that pruning plus cheap candidate evaluation is what makes
+//! PR floorplanning tractable at device scale):
+//!
+//! * **cached geometry** — candidate windows are probed through one shared
+//!   [`fabric::DeviceGeometry`] (`prcost::search::candidates_for_cached`),
+//!   so every spec and every height reuses the same composition memo
+//!   instead of rescanning the device's column list;
+//! * **dominance pruning** — a candidate organization whose bitstream,
+//!   column span and height are all covered by another candidate can be
+//!   substituted by it in any solution without raising the cost, so it is
+//!   dropped before the tree is built;
+//! * **parallel branch-and-bound** — the tree fans out over rayon at the
+//!   first branching level with the incumbent cost shared through an
+//!   `AtomicU64`, so every worker prunes against the globally best known
+//!   solution. Workers prune *strictly* against the shared bound and the
+//!   per-branch results are reduced in depth-first order, which makes the
+//!   parallel answer identical to the serial tree's under the same
+//!   tie-breaks ([`auto_floorplan_serial`] is the identity oracle;
+//!   equality is property-tested in `crates/parflow/tests/floorplan_props.rs`).
+//!
+//! The pre-optimization floorplanner — serial tree, raw
+//! `Device::find_window` probes, no dominance pruning — is frozen in
+//! [`reference`] as the benchmark baseline (`results/BENCH_floorplan.json`).
 
 use crate::floorplan::{AreaGroup, Floorplan};
 use core::fmt;
-use fabric::{Device, Window};
-use prcost::search::{candidates_for, CandidateOutcome};
-use prcost::{PrrOrganization, PrrRequirements};
+use fabric::{Device, DeviceGeometry, Window};
+use prcost::search::{candidates_for_cached, CandidateOutcome};
+use prcost::{PlanScratch, PrrOrganization, PrrRequirements};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use synth::SynthReport;
 
 /// One PRR to place: a name and the PRMs that will time-multiplex it.
@@ -134,51 +161,208 @@ struct Option_ {
     bitstream_bytes: u64,
 }
 
-struct Search<'a> {
-    device: &'a Device,
-    /// Options per spec (sorted by bitstream), spec order = search order.
-    options: Vec<Vec<Option_>>,
-    budget: u64,
-    nodes: u64,
-    best: Option<(u64, Vec<(usize, Window)>)>,
+/// Drop every option that another option *dominates*: `a` dominates `b`
+/// when `a` costs no more bitstream, its column span lies inside `b`'s and
+/// it is no taller. Any complete floorplan using `b` at some row stays
+/// feasible — and gets no more expensive — with `a` substituted at the
+/// same row, so pruned options can never be part of a *strictly* better
+/// solution and the optimal total cost is preserved. (This strengthens
+/// plain `(bitstream, width, height)` dominance with the span condition,
+/// which is what makes the substitution argument airtight: a narrower
+/// window elsewhere on the device could dodge an overlap the dominating
+/// one has.) Options must arrive sorted by ascending bitstream; the
+/// earliest of two mutually dominating options survives, keeping the
+/// pruned set deterministic.
+fn prune_dominated(options: &mut Vec<Option_>) {
+    let mut keep = vec![true; options.len()];
+    for j in 1..options.len() {
+        let b = &options[j];
+        for (i, a) in options[..j].iter().enumerate() {
+            if keep[i]
+                && a.bitstream_bytes <= b.bitstream_bytes
+                && a.window.start_col >= b.window.start_col
+                && a.window.end_col() <= b.window.end_col()
+                && a.organization.height <= b.organization.height
+            {
+                keep[j] = false;
+                break;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    options.retain(|_| *it.next().expect("keep mask covers options"));
 }
 
-impl Search<'_> {
-    /// Depth-first branch and bound: `placed` holds (option index, placed
-    /// window) per already-assigned spec; `cost` is their bitstream sum.
-    fn descend(&mut self, depth: usize, cost: u64, placed: &mut Vec<(usize, Window)>) {
+/// Candidate options per spec, dominance-pruned and ordered hardest spec
+/// first. Returns the spec order (search position -> input index) and the
+/// per-position option lists.
+#[allow(clippy::type_complexity)]
+fn spec_options(
+    specs: &[PrrSpec],
+    device: &Device,
+) -> Result<(Vec<usize>, Vec<Vec<Option_>>), AutoFloorplanError> {
+    let geometry = DeviceGeometry::new(device);
+    let mut scratch = PlanScratch::default();
+    let mut per_spec: Vec<(usize, Vec<Option_>)> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let req = spec
+            .combined_requirements()
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| AutoFloorplanError::EmptySpec {
+                name: spec.name.clone(),
+            })?;
+        if req.family != device.family() {
+            return Err(AutoFloorplanError::FamilyMismatch {
+                name: spec.name.clone(),
+            });
+        }
+        let mut options: Vec<Option_> =
+            candidates_for_cached(&req, device, &geometry, &mut scratch)
+                .into_iter()
+                .filter_map(|c| match c.outcome {
+                    CandidateOutcome::Feasible {
+                        organization,
+                        window,
+                        bitstream_bytes,
+                        ..
+                    } => Some(Option_ {
+                        organization,
+                        window,
+                        bitstream_bytes,
+                    }),
+                    _ => None,
+                })
+                .collect();
+        options.sort_by_key(|o| o.bitstream_bytes);
+        prune_dominated(&mut options);
+        if options.is_empty() {
+            return Err(AutoFloorplanError::NoPlacement { nodes_explored: 0 });
+        }
+        per_spec.push((i, options));
+    }
+
+    // Hardest (most expensive cheapest-option) first.
+    per_spec.sort_by_key(|(_, opts)| std::cmp::Reverse(opts[0].bitstream_bytes));
+    let order: Vec<usize> = per_spec.iter().map(|(i, _)| *i).collect();
+    let options: Vec<Vec<Option_>> = per_spec.into_iter().map(|(_, o)| o).collect();
+    Ok((order, options))
+}
+
+/// `lb[d]` = sum over positions `d..` of each spec's cheapest option — the
+/// admissible remaining-cost lower bound at depth `d`.
+fn suffix_lower_bounds(options: &[Vec<Option_>]) -> Vec<u64> {
+    let mut lb = vec![0u64; options.len() + 1];
+    for d in (0..options.len()).rev() {
+        lb[d] = lb[d + 1] + options[d].first().map_or(0, |o| o.bitstream_bytes);
+    }
+    lb
+}
+
+/// A chosen option per search position: `(option index, window row)`.
+/// Windows are only materialized for the final assignment — the descent
+/// itself works on [`OptSpan`]s, never cloning a `Window` (whose `columns`
+/// `Vec` makes cloning an allocation, the seed tree's dominant per-node
+/// cost).
+type Assignment = Vec<(usize, u32)>;
+
+/// The placement-relevant footprint of one option: its column interval,
+/// height and cost, precomputed once per search.
+#[derive(Debug, Clone, Copy)]
+struct OptSpan {
+    start: usize,
+    end: usize,
+    height: u32,
+    bytes: u64,
+}
+
+/// One assigned spec on the descent stack: option choice plus its
+/// occupied rectangle.
+#[derive(Debug, Clone, Copy)]
+struct PlacedSpan {
+    oi: usize,
+    row: u32,
+    start: usize,
+    end: usize,
+    top: u32,
+}
+
+impl PlacedSpan {
+    fn at(span: &OptSpan, oi: usize, row: u32) -> Self {
+        PlacedSpan {
+            oi,
+            row,
+            start: span.start,
+            end: span.end,
+            top: row + span.height - 1,
+        }
+    }
+
+    /// Mirror of [`Window::overlaps`] on spans.
+    fn clear_of(&self, start: usize, end: usize, row: u32, top: u32) -> bool {
+        !(self.start < end && start < self.end && self.row <= top && row <= self.top)
+    }
+}
+
+/// Per-position option footprints for the span-based descent.
+fn option_spans(options: &[Vec<Option_>]) -> Vec<Vec<OptSpan>> {
+    options
+        .iter()
+        .map(|opts| {
+            opts.iter()
+                .map(|o| OptSpan {
+                    start: o.window.start_col,
+                    end: o.window.end_col(),
+                    height: o.organization.height,
+                    bytes: o.bitstream_bytes,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn extract(placed: &[PlacedSpan]) -> Assignment {
+    placed.iter().map(|p| (p.oi, p.row)).collect()
+}
+
+struct SerialSearch<'a> {
+    rows: u32,
+    /// Option footprints per search position (sorted by bitstream).
+    spans: &'a [Vec<OptSpan>],
+    lb: &'a [u64],
+    budget: u64,
+    nodes: u64,
+    best: Option<(u64, Assignment)>,
+}
+
+impl SerialSearch<'_> {
+    /// Depth-first branch and bound: `placed` holds the chosen option and
+    /// occupied rectangle per already-assigned spec; `cost` is their
+    /// bitstream sum.
+    fn descend(&mut self, depth: usize, cost: u64, placed: &mut Vec<PlacedSpan>) {
         if self.nodes >= self.budget {
             return;
         }
         self.nodes += 1;
         if let Some((best_cost, _)) = &self.best {
-            // Lower bound: remaining specs each cost at least their
-            // cheapest option.
-            let lb: u64 = self.options[depth..]
-                .iter()
-                .map(|opts| opts.first().map_or(0, |o| o.bitstream_bytes))
-                .sum();
-            if cost + lb >= *best_cost {
+            if cost + self.lb[depth] >= *best_cost {
                 return;
             }
         }
-        if depth == self.options.len() {
-            self.best = Some((cost, placed.clone()));
+        if depth == self.spans.len() {
+            self.best = Some((cost, extract(placed)));
             return;
         }
         // Try each option at each vertical offset.
-        let n_options = self.options[depth].len();
-        for oi in 0..n_options {
-            let (h, base, bytes) = {
-                let o = &self.options[depth][oi];
-                (o.organization.height, o.window.clone(), o.bitstream_bytes)
-            };
-            for row in 1..=(self.device.rows() - h + 1) {
-                let mut w = base.clone();
-                w.row = row;
-                if placed.iter().all(|(_, pw)| !pw.overlaps(&w)) {
-                    placed.push((oi, w));
-                    self.descend(depth + 1, cost + bytes, placed);
+        for oi in 0..self.spans[depth].len() {
+            let span = self.spans[depth][oi];
+            for row in 1..=(self.rows - span.height + 1) {
+                let top = row + span.height - 1;
+                if placed
+                    .iter()
+                    .all(|p| p.clear_of(span.start, span.end, row, top))
+                {
+                    placed.push(PlacedSpan::at(&span, oi, row));
+                    self.descend(depth + 1, cost + span.bytes, placed);
                     placed.pop();
                 }
                 if self.nodes >= self.budget {
@@ -189,9 +373,209 @@ impl Search<'_> {
     }
 }
 
+/// Bits reserved for the branch index in the packed shared bound.
+const BRANCH_BITS: u32 = 20;
+
+/// Pack an incumbent as `(cost, first-level branch index)` in one `u64`,
+/// ordered lexicographically — smaller cost wins, and on equal cost the
+/// DFS-earlier branch wins, which is exactly the serial tree's
+/// first-of-equals tie-break. Publishing *provenance* with the cost is
+/// what lets workers prune with `>=` (instead of the lossier strict `>`)
+/// without ever cutting the branch the serial tree would have kept: a
+/// subtree of branch `i` whose packed floor is `>=` the bound cannot
+/// contain a solution that beats the bound's (cost, branch) pair.
+fn pack_bound(cost: u64, branch: u64) -> u64 {
+    debug_assert!(cost < 1 << (u64::BITS - BRANCH_BITS));
+    debug_assert!(branch < 1 << BRANCH_BITS);
+    (cost << BRANCH_BITS) | branch
+}
+
+/// Shared state of the parallel branch-and-bound.
+struct ParSearch<'a> {
+    rows: u32,
+    spans: &'a [Vec<OptSpan>],
+    lb: &'a [u64],
+    budget: u64,
+    /// Nodes expanded across all workers (also the budget gate).
+    nodes: AtomicU64,
+    /// Best complete solution published by any worker so far, packed via
+    /// [`pack_bound`].
+    bound: AtomicU64,
+}
+
+impl ParSearch<'_> {
+    /// Serial descent within one first-level branch (`branch` is its
+    /// depth-first index). `local_best` follows the classic `>=` prune;
+    /// the shared bound compares packed `(cost, branch)` values, so a
+    /// cost tie prunes exactly when the published solution sits in a
+    /// DFS-earlier branch — the serial incumbent rule, distributed.
+    fn descend(
+        &self,
+        branch: u64,
+        depth: usize,
+        cost: u64,
+        placed: &mut Vec<PlacedSpan>,
+        local_best: &mut Option<(u64, Assignment)>,
+    ) {
+        if self.nodes.fetch_add(1, Ordering::Relaxed) >= self.budget {
+            return;
+        }
+        if let Some((best_cost, _)) = local_best {
+            if cost + self.lb[depth] >= *best_cost {
+                return;
+            }
+        }
+        if pack_bound(cost + self.lb[depth], branch) >= self.bound.load(Ordering::Relaxed) {
+            return;
+        }
+        if depth == self.spans.len() {
+            self.bound
+                .fetch_min(pack_bound(cost, branch), Ordering::Relaxed);
+            *local_best = Some((cost, extract(placed)));
+            return;
+        }
+        for oi in 0..self.spans[depth].len() {
+            let span = self.spans[depth][oi];
+            for row in 1..=(self.rows - span.height + 1) {
+                let top = row + span.height - 1;
+                if placed
+                    .iter()
+                    .all(|p| p.clear_of(span.start, span.end, row, top))
+                {
+                    placed.push(PlacedSpan::at(&span, oi, row));
+                    self.descend(branch, depth + 1, cost + span.bytes, placed, local_best);
+                    placed.pop();
+                }
+                if self.nodes.load(Ordering::Relaxed) >= self.budget {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Run the parallel branch-and-bound over pruned `options`.
+fn search_parallel(
+    device: &Device,
+    options: &[Vec<Option_>],
+    budget: u64,
+) -> (u64, Option<(u64, Assignment)>) {
+    let lb = suffix_lower_bounds(options);
+    let spans = option_spans(options);
+    let search = ParSearch {
+        rows: device.rows(),
+        spans: &spans,
+        lb: &lb,
+        budget,
+        nodes: AtomicU64::new(0),
+        bound: AtomicU64::new(u64::MAX),
+    };
+
+    // First branching level, in depth-first order: every (option, row)
+    // pair of the hardest spec seeds one worker subtree.
+    let mut branches: Vec<(usize, u32)> = Vec::new();
+    for (oi, span) in spans[0].iter().enumerate() {
+        for row in 1..=(device.rows() - span.height + 1) {
+            branches.push((oi, row));
+        }
+    }
+    if branches.len() >= 1 << BRANCH_BITS {
+        // Too wide for the packed bound (never seen on real devices) —
+        // the serial tree is the defined behaviour anyway.
+        return search_serial(device, options, budget);
+    }
+
+    let per_branch: Vec<Option<(u64, Assignment)>> = branches
+        .par_iter()
+        .enumerate()
+        .map(|(branch, &(oi, row))| {
+            let span = search.spans[0][oi];
+            let mut placed = vec![PlacedSpan::at(&span, oi, row)];
+            let mut local_best = None;
+            search.descend(branch as u64, 1, span.bytes, &mut placed, &mut local_best);
+            local_best
+        })
+        .collect();
+
+    // Depth-first-ordered reduction: first strictly-smaller cost wins,
+    // exactly like the serial incumbent update.
+    let mut best: Option<(u64, Assignment)> = None;
+    for candidate in per_branch.into_iter().flatten() {
+        match &best {
+            Some((c, _)) if candidate.0 >= *c => {}
+            _ => best = Some(candidate),
+        }
+    }
+    (search.nodes.load(Ordering::Relaxed), best)
+}
+
+/// Run the serial branch-and-bound over pruned `options`.
+fn search_serial(
+    device: &Device,
+    options: &[Vec<Option_>],
+    budget: u64,
+) -> (u64, Option<(u64, Assignment)>) {
+    let lb = suffix_lower_bounds(options);
+    let spans = option_spans(options);
+    let mut search = SerialSearch {
+        rows: device.rows(),
+        spans: &spans,
+        lb: &lb,
+        budget,
+        nodes: 0,
+        best: None,
+    };
+    let mut placed = Vec::new();
+    search.descend(0, 0, &mut placed);
+    (search.nodes, search.best)
+}
+
+/// Reassemble a search result into input-spec order.
+fn assemble(
+    specs: &[PrrSpec],
+    device: &Device,
+    order: &[usize],
+    options: &[Vec<Option_>],
+    nodes: u64,
+    found: Option<(u64, Assignment)>,
+) -> Result<AutoFloorplan, AutoFloorplanError> {
+    let Some((total, assignment)) = found else {
+        return Err(AutoFloorplanError::NoPlacement {
+            nodes_explored: nodes,
+        });
+    };
+    let mut prrs: Vec<Option<PlacedPrr>> = vec![None; specs.len()];
+    for (search_pos, &(oi, row)) in assignment.iter().enumerate() {
+        let spec_idx = order[search_pos];
+        let opt = &options[search_pos][oi];
+        let mut window = opt.window.clone();
+        window.row = row;
+        prrs[spec_idx] = Some(PlacedPrr {
+            name: specs[spec_idx].name.clone(),
+            organization: opt.organization,
+            window,
+            bitstream_bytes: opt.bitstream_bytes,
+        });
+    }
+    Ok(AutoFloorplan {
+        device: device.name().to_string(),
+        prrs: prrs
+            .into_iter()
+            .map(|p| p.expect("every spec assigned"))
+            .collect(),
+        total_bitstream_bytes: total,
+        nodes_explored: nodes,
+    })
+}
+
 /// Place all `specs` on `device` without overlap, minimizing total
 /// predicted bitstream bytes. `node_budget` bounds the branch-and-bound
 /// (10 000 nodes resolves typical 2–6-PRR problems exactly).
+///
+/// The tree is explored in parallel (see the module docs); with the
+/// budget not exhausted the result is identical to
+/// [`auto_floorplan_serial`]'s. `nodes_explored` counts expansions across
+/// all workers and is the one field that may differ from the serial tree.
 ///
 /// ```
 /// use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -215,86 +599,200 @@ pub fn auto_floorplan(
     if specs.is_empty() {
         return Err(AutoFloorplanError::Empty);
     }
+    let (order, options) = spec_options(specs, device)?;
+    let (nodes, found) = search_parallel(device, &options, node_budget.max(1));
+    assemble(specs, device, &order, &options, nodes, found)
+}
 
-    // Candidate options per spec.
-    let mut per_spec: Vec<(usize, Vec<Option_>)> = Vec::with_capacity(specs.len());
-    for (i, spec) in specs.iter().enumerate() {
-        let req = spec
-            .combined_requirements()
-            .filter(|r| !r.is_empty())
-            .ok_or_else(|| AutoFloorplanError::EmptySpec {
-                name: spec.name.clone(),
-            })?;
-        if req.family != device.family() {
-            return Err(AutoFloorplanError::FamilyMismatch {
-                name: spec.name.clone(),
+/// [`auto_floorplan`] with the branch-and-bound run serially — the
+/// identity oracle the parallel tree is property-tested against
+/// (`crates/parflow/tests/floorplan_props.rs`). Same candidate options,
+/// same dominance pruning, same tie-breaks.
+#[doc(hidden)]
+pub fn auto_floorplan_serial(
+    specs: &[PrrSpec],
+    device: &Device,
+    node_budget: u64,
+) -> Result<AutoFloorplan, AutoFloorplanError> {
+    if specs.is_empty() {
+        return Err(AutoFloorplanError::Empty);
+    }
+    let (order, options) = spec_options(specs, device)?;
+    let (nodes, found) = search_serial(device, &options, node_budget.max(1));
+    assemble(specs, device, &order, &options, nodes, found)
+}
+
+pub mod reference {
+    //! The seed floorplanner, frozen verbatim as the benchmark baseline.
+    //!
+    //! This is the exact pre-optimization implementation: candidate
+    //! windows probed through raw [`Device::find_window`] rescans for
+    //! every spec and height, no dominance pruning of the option lists,
+    //! and a strictly serial branch-and-bound. The live
+    //! [`auto_floorplan`](super::auto_floorplan) is benchmarked against
+    //! it in `crates/bench/benches/floorplan_bb.rs`; both reach the same
+    //! optimal total bitstream bytes whenever neither exhausts its node
+    //! budget (dominance pruning is cost-preserving).
+
+    use super::{AutoFloorplan, AutoFloorplanError, PlacedPrr, PrrSpec};
+    use fabric::{Device, Window};
+    use prcost::search::{candidates_for, CandidateOutcome};
+    use prcost::PrrOrganization;
+
+    /// A feasible (organization, column window) option for one spec.
+    #[derive(Debug, Clone)]
+    struct Option_ {
+        organization: PrrOrganization,
+        window: Window,
+        bitstream_bytes: u64,
+    }
+
+    struct Search<'a> {
+        device: &'a Device,
+        /// Options per spec (sorted by bitstream), spec order = search order.
+        options: Vec<Vec<Option_>>,
+        budget: u64,
+        nodes: u64,
+        best: Option<(u64, Vec<(usize, Window)>)>,
+    }
+
+    impl Search<'_> {
+        /// Depth-first branch and bound: `placed` holds (option index,
+        /// placed window) per already-assigned spec; `cost` is their
+        /// bitstream sum.
+        fn descend(&mut self, depth: usize, cost: u64, placed: &mut Vec<(usize, Window)>) {
+            if self.nodes >= self.budget {
+                return;
+            }
+            self.nodes += 1;
+            if let Some((best_cost, _)) = &self.best {
+                // Lower bound: remaining specs each cost at least their
+                // cheapest option.
+                let lb: u64 = self.options[depth..]
+                    .iter()
+                    .map(|opts| opts.first().map_or(0, |o| o.bitstream_bytes))
+                    .sum();
+                if cost + lb >= *best_cost {
+                    return;
+                }
+            }
+            if depth == self.options.len() {
+                self.best = Some((cost, placed.clone()));
+                return;
+            }
+            // Try each option at each vertical offset.
+            let n_options = self.options[depth].len();
+            for oi in 0..n_options {
+                let (h, base, bytes) = {
+                    let o = &self.options[depth][oi];
+                    (o.organization.height, o.window.clone(), o.bitstream_bytes)
+                };
+                for row in 1..=(self.device.rows() - h + 1) {
+                    let mut w = base.clone();
+                    w.row = row;
+                    if placed.iter().all(|(_, pw)| !pw.overlaps(&w)) {
+                        placed.push((oi, w));
+                        self.descend(depth + 1, cost + bytes, placed);
+                        placed.pop();
+                    }
+                    if self.nodes >= self.budget {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The frozen seed floorplanner (see the module docs).
+    pub fn auto_floorplan_seed(
+        specs: &[PrrSpec],
+        device: &Device,
+        node_budget: u64,
+    ) -> Result<AutoFloorplan, AutoFloorplanError> {
+        if specs.is_empty() {
+            return Err(AutoFloorplanError::Empty);
+        }
+
+        // Candidate options per spec.
+        let mut per_spec: Vec<(usize, Vec<Option_>)> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let req = spec
+                .combined_requirements()
+                .filter(|r| !r.is_empty())
+                .ok_or_else(|| AutoFloorplanError::EmptySpec {
+                    name: spec.name.clone(),
+                })?;
+            if req.family != device.family() {
+                return Err(AutoFloorplanError::FamilyMismatch {
+                    name: spec.name.clone(),
+                });
+            }
+            let mut options: Vec<Option_> = candidates_for(&req, device)
+                .into_iter()
+                .filter_map(|c| match c.outcome {
+                    CandidateOutcome::Feasible {
+                        organization,
+                        window,
+                        bitstream_bytes,
+                        ..
+                    } => Some(Option_ {
+                        organization,
+                        window,
+                        bitstream_bytes,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            options.sort_by_key(|o| o.bitstream_bytes);
+            if options.is_empty() {
+                return Err(AutoFloorplanError::NoPlacement { nodes_explored: 0 });
+            }
+            per_spec.push((i, options));
+        }
+
+        // Hardest (most expensive cheapest-option) first.
+        per_spec.sort_by_key(|(_, opts)| std::cmp::Reverse(opts[0].bitstream_bytes));
+        let order: Vec<usize> = per_spec.iter().map(|(i, _)| *i).collect();
+        let options: Vec<Vec<Option_>> = per_spec.into_iter().map(|(_, o)| o).collect();
+
+        let mut search = Search {
+            device,
+            options,
+            budget: node_budget.max(1),
+            nodes: 0,
+            best: None,
+        };
+        let mut placed = Vec::new();
+        search.descend(0, 0, &mut placed);
+
+        let Some((total, assignment)) = search.best else {
+            return Err(AutoFloorplanError::NoPlacement {
+                nodes_explored: search.nodes,
+            });
+        };
+
+        // Reassemble in input order.
+        let mut prrs: Vec<Option<PlacedPrr>> = vec![None; specs.len()];
+        for (search_pos, (oi, window)) in assignment.iter().enumerate() {
+            let spec_idx = order[search_pos];
+            let opt = &search.options[search_pos][*oi];
+            prrs[spec_idx] = Some(PlacedPrr {
+                name: specs[spec_idx].name.clone(),
+                organization: opt.organization,
+                window: window.clone(),
+                bitstream_bytes: opt.bitstream_bytes,
             });
         }
-        let mut options: Vec<Option_> = candidates_for(&req, device)
-            .into_iter()
-            .filter_map(|c| match c.outcome {
-                CandidateOutcome::Feasible {
-                    organization,
-                    window,
-                    bitstream_bytes,
-                    ..
-                } => Some(Option_ {
-                    organization,
-                    window,
-                    bitstream_bytes,
-                }),
-                _ => None,
-            })
-            .collect();
-        options.sort_by_key(|o| o.bitstream_bytes);
-        if options.is_empty() {
-            return Err(AutoFloorplanError::NoPlacement { nodes_explored: 0 });
-        }
-        per_spec.push((i, options));
-    }
-
-    // Hardest (most expensive cheapest-option) first.
-    per_spec.sort_by_key(|(_, opts)| std::cmp::Reverse(opts[0].bitstream_bytes));
-    let order: Vec<usize> = per_spec.iter().map(|(i, _)| *i).collect();
-    let options: Vec<Vec<Option_>> = per_spec.into_iter().map(|(_, o)| o).collect();
-
-    let mut search = Search {
-        device,
-        options,
-        budget: node_budget.max(1),
-        nodes: 0,
-        best: None,
-    };
-    let mut placed = Vec::new();
-    search.descend(0, 0, &mut placed);
-
-    let Some((total, assignment)) = search.best else {
-        return Err(AutoFloorplanError::NoPlacement {
+        Ok(AutoFloorplan {
+            device: device.name().to_string(),
+            prrs: prrs
+                .into_iter()
+                .map(|p| p.expect("every spec assigned"))
+                .collect(),
+            total_bitstream_bytes: total,
             nodes_explored: search.nodes,
-        });
-    };
-
-    // Reassemble in input order.
-    let mut prrs: Vec<Option<PlacedPrr>> = vec![None; specs.len()];
-    for (search_pos, (oi, window)) in assignment.iter().enumerate() {
-        let spec_idx = order[search_pos];
-        let opt = &search.options[search_pos][*oi];
-        prrs[spec_idx] = Some(PlacedPrr {
-            name: specs[spec_idx].name.clone(),
-            organization: opt.organization,
-            window: window.clone(),
-            bitstream_bytes: opt.bitstream_bytes,
-        });
+        })
     }
-    Ok(AutoFloorplan {
-        device: device.name().to_string(),
-        prrs: prrs
-            .into_iter()
-            .map(|p| p.expect("every spec assigned"))
-            .collect(),
-        total_bitstream_bytes: total,
-        nodes_explored: search.nodes,
-    })
 }
 
 #[cfg(test)]
@@ -309,6 +807,19 @@ mod tests {
             .iter()
             .map(|p| PrrSpec::single(format!("prr_{}", p.module_name()), p.synth_report(fam)))
             .collect()
+    }
+
+    /// Parallel tree == serial tree on `specs` (everything except the
+    /// node diagnostic), and both reach the frozen seed's optimal cost.
+    fn assert_matches_serial_and_seed(specs: &[PrrSpec], device: &Device, budget: u64) {
+        let par = auto_floorplan(specs, device, budget).unwrap();
+        let ser = auto_floorplan_serial(specs, device, budget).unwrap();
+        assert_eq!(par.prrs, ser.prrs);
+        assert_eq!(par.total_bitstream_bytes, ser.total_bitstream_bytes);
+        assert_eq!(par.device, ser.device);
+        let seed = reference::auto_floorplan_seed(specs, device, budget).unwrap();
+        assert_eq!(par.total_bitstream_bytes, seed.total_bitstream_bytes);
+        assert_eq!(par.prrs, seed.prrs);
     }
 
     /// The marquee future-work scenario: all three paper PRMs in separate
@@ -334,6 +845,7 @@ mod tests {
             .collect();
         assert_eq!(on_dsp.len(), 2);
         assert_ne!(on_dsp[0].window.row, on_dsp[1].window.row);
+        assert_matches_serial_and_seed(&paper_specs(Family::Virtex5), &device, 10_000);
     }
 
     /// Joint placement never beats the sum of individually optimal plans,
@@ -355,6 +867,7 @@ mod tests {
         // On the LX75T (6 DSP columns, plenty of room) there is no
         // contention: the joint optimum equals the individual sum.
         assert_eq!(plan.total_bitstream_bytes, individual);
+        assert_matches_serial_and_seed(&specs, &device, 10_000);
     }
 
     #[test]
@@ -375,6 +888,7 @@ mod tests {
         let compute = &plan.prrs[0];
         assert!(compute.organization.dsp_cols >= 2, "FIR needs 27 DSPs");
         assert!(compute.organization.bram_cols >= 1, "MIPS needs 6 BRAMs");
+        assert_matches_serial_and_seed(&specs, &device, 10_000);
     }
 
     #[test]
@@ -387,6 +901,10 @@ mod tests {
             .collect();
         assert!(matches!(
             auto_floorplan(&specs, &device, 50_000),
+            Err(AutoFloorplanError::NoPlacement { .. })
+        ));
+        assert!(matches!(
+            auto_floorplan_serial(&specs, &device, 50_000),
             Err(AutoFloorplanError::NoPlacement { .. })
         ));
     }
@@ -411,5 +929,28 @@ mod tests {
             auto_floorplan(&[wrong_family], &device, 100),
             Err(AutoFloorplanError::FamilyMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn dominance_pruning_is_cost_preserving() {
+        // On both paper devices the pruned searches reach the frozen
+        // seed's optimum (checked spec-by-spec and jointly above); here
+        // make sure pruning actually removes something on the LX110T so
+        // the property is not vacuous.
+        let device = xc5vlx110t();
+        let specs = paper_specs(Family::Virtex5);
+        let (_, options) = spec_options(&specs, &device).unwrap();
+        let pruned: usize = options.iter().map(Vec::len).sum();
+        let unpruned: usize = specs
+            .iter()
+            .map(|s| {
+                let req = s.combined_requirements().unwrap();
+                prcost::search::candidates_for(&req, &device)
+                    .into_iter()
+                    .filter(|c| c.bitstream_bytes().is_some())
+                    .count()
+            })
+            .sum();
+        assert!(pruned < unpruned, "{pruned} vs {unpruned}");
     }
 }

@@ -15,14 +15,20 @@
 //!   the published post-PAR resource counts (Table VI); for other PRMs a
 //!   heuristic profile applies.
 //! * [`place`](mod@place) — a deterministic multi-start simulated-annealing placer
-//!   over the device's site grid (rayon-parallel across restarts).
+//!   over the device's site grid (rayon-parallel across restarts). The
+//!   move loop is allocation-free: x16 fixed-point HPWL maintained by
+//!   incremental per-net bounding boxes, proven identical to the frozen
+//!   [`place::reference`] full recompute (see DESIGN.md §9).
 //! * [`route`](mod@route) — a boundary-congestion router: per-column-boundary channel
 //!   demand from net bounding boxes against family-derived capacity.
 //! * [`flow`] — the end-to-end driver with per-stage wall times (the
-//!   "Implementation" column of Table VIII).
+//!   "Implementation" column of Table VIII), plus [`run_flows`]: batch
+//!   execution over rayon with per-worker placer scratch and per-stage
+//!   histograms recorded into `prcost::Metrics`.
 //! * [`autofloorplan`] — the paper's stated future work: using the cost
-//!   models to floorplan several PRRs jointly (branch-and-bound over each
-//!   PRR's Fig. 1 candidates, minimizing total bitstream bytes).
+//!   models to floorplan several PRRs jointly (parallel branch-and-bound
+//!   over each PRR's Fig. 1 candidates with a shared best-cost bound and
+//!   dominance pruning, minimizing total bitstream bytes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,8 +47,8 @@ pub use analytic::place_analytic;
 pub use autofloorplan::{auto_floorplan, AutoFloorplan, PrrSpec};
 pub use crossings::{assess, CrossingRisk};
 pub use floorplan::{AreaGroup, Floorplan, FloorplanError};
-pub use flow::{run_flow, FlowOptions, FlowReport, FlowStage};
+pub use flow::{run_flow, run_flows, FlowJob, FlowOptions, FlowReport, FlowStage};
 pub use optimize::{optimize, OptimizeOptions, OptimizerReport};
-pub use place::{place, PlaceError, Placement, PlacerConfig};
+pub use place::{place, place_with_scratch, PlaceError, PlaceScratch, Placement, PlacerConfig};
 pub use route::{route, RouteReport};
 pub use timing::{analyze, TimingReport};

@@ -30,8 +30,8 @@ pub enum OptimizeOptions {
 
 impl OptimizeOptions {
     /// The default heuristic, fitted to the paper PRMs' observed behaviour
-    /// (pack most of what is packable, trim ~15 % of remaining LUT-only
-    /// slots).
+    /// (pack ~40 % of packable slot pairs — the Table VI PRMs leave most
+    /// pairs unpacked — and trim ~15 % of remaining LUT-only slots).
     pub fn default_heuristic() -> Self {
         OptimizeOptions::Heuristic {
             pack_fraction: 0.4,

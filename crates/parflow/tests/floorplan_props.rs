@@ -1,0 +1,89 @@
+//! Property suite for the parallel branch-and-bound auto-floorplanner:
+//! structural invariants of every returned floorplan, and exact identity
+//! with the serial tree ([`parflow::autofloorplan::auto_floorplan_serial`])
+//! under the same tie-breaks.
+
+use fabric::device_by_name;
+use parflow::autofloorplan::{auto_floorplan, auto_floorplan_serial, PrrSpec};
+use proptest::prelude::*;
+use synth::PrmGenerator;
+
+fn random_specs(seeds: &[u64]) -> Vec<PrrSpec> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            PrrSpec::single(
+                format!("p{i}"),
+                synth::prm::GenericPrm::random(s, 150 + (s as u32 % 37) * 11)
+                    .synthesize(fabric::Family::Virtex5),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every returned floorplan satisfies the paper's structural
+    /// invariants: PRRs never overlap, each placed window's column mix is
+    /// exactly its chosen organization's, and the reported total is the
+    /// sum of the per-PRR bitstream predictions.
+    #[test]
+    fn autofloorplan_structural_invariants(
+        seeds in proptest::collection::vec(0u64..256, 1..5),
+    ) {
+        let device = device_by_name("xc5vsx95t").unwrap();
+        let specs = random_specs(&seeds);
+        let Ok(plan) = auto_floorplan(&specs, &device, 20_000) else { return Ok(()) };
+
+        prop_assert_eq!(plan.prrs.len(), specs.len());
+        for (i, a) in plan.prrs.iter().enumerate() {
+            for b in &plan.prrs[i + 1..] {
+                prop_assert!(!a.window.overlaps(&b.window), "{} vs {}", a.name, b.name);
+            }
+        }
+        for p in &plan.prrs {
+            let counts = p.window.column_counts();
+            prop_assert_eq!(counts.clb(), u64::from(p.organization.clb_cols));
+            prop_assert_eq!(counts.dsp(), u64::from(p.organization.dsp_cols));
+            prop_assert_eq!(counts.bram(), u64::from(p.organization.bram_cols));
+            prop_assert_eq!(p.window.height, p.organization.height);
+            prop_assert_eq!(
+                p.bitstream_bytes,
+                prcost::bitstream_size_bytes(&p.organization)
+            );
+        }
+        let sum: u64 = plan.prrs.iter().map(|p| p.bitstream_bytes).sum();
+        prop_assert_eq!(plan.total_bitstream_bytes, sum);
+        plan.to_floorplan(&device).validate(&device).unwrap();
+    }
+
+    /// The parallel tree returns the identical floorplan to the serial
+    /// tree — same placements, same organizations, same total — with the
+    /// node diagnostic the only field allowed to differ. Errors must
+    /// agree in kind too.
+    #[test]
+    fn parallel_tree_is_identical_to_serial_tree(
+        seeds in proptest::collection::vec(0u64..256, 1..5),
+    ) {
+        let device = device_by_name("xc5vsx95t").unwrap();
+        let specs = random_specs(&seeds);
+        let par = auto_floorplan(&specs, &device, 20_000);
+        let ser = auto_floorplan_serial(&specs, &device, 20_000);
+        match (par, ser) {
+            (Ok(p), Ok(s)) => {
+                prop_assert_eq!(p.prrs, s.prrs);
+                prop_assert_eq!(p.total_bitstream_bytes, s.total_bitstream_bytes);
+                prop_assert_eq!(p.device, s.device);
+            }
+            (Err(pe), Err(se)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&pe),
+                    std::mem::discriminant(&se)
+                );
+            }
+            (p, s) => prop_assert!(false, "parallel {p:?} vs serial {s:?}"),
+        }
+    }
+}

@@ -9,7 +9,8 @@
 
 pub mod prelude {
     pub use crate::{
-        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
@@ -50,6 +51,30 @@ where
     type Iter = <&'a C as IntoParallelIterator>::Iter;
 
     fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on collections: parallel iterator over mutable
+/// references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type (a mutable reference).
+    type Item: Send + 'a;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
         self.into_par_iter()
     }
 }
@@ -115,6 +140,11 @@ pub trait ParallelIterator: Sized {
         F: Fn(&Self::Item) -> bool + Sync + Send,
     {
         Filter { base: self, f }
+    }
+
+    /// Pair each element with its input-order index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
     }
 
     /// Collect into `C`, preserving input order.
@@ -214,6 +244,24 @@ where
             move || init.clone(),
             move |scratch, item| f(scratch, item),
         )
+    }
+}
+
+/// Parallel `enumerate` pipeline stage.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+
+    fn drive(self) -> Vec<(usize, B::Item)> {
+        // Indices are assigned before fan-out, so they follow input order
+        // regardless of scheduling.
+        self.base.drive().into_iter().enumerate().collect()
     }
 }
 
