@@ -90,12 +90,18 @@ impl Engine {
             .time("geometry", || Arc::new(DeviceGeometry::new(device)));
         let mut map = self.geometries.write();
         // A racing worker may have inserted first; keep its copy so every
-        // caller shares one memo.
-        let entry = map.entry(key).or_insert_with(|| {
-            self.metrics.geometry_builds.incr();
-            geo
-        });
-        Arc::clone(entry)
+        // caller shares one index. The loser counts as a cache hit so
+        // builds + hits always equals the number of lookups.
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.metrics.geometry_cache_hits.incr();
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.metrics.geometry_builds.incr();
+                Arc::clone(v.insert(geo))
+            }
+        }
     }
 
     /// `generator`'s synthesis report for `family`, memoized on
@@ -108,11 +114,18 @@ impl Engine {
         }
         let report = self.metrics.time("synth", || generator.synthesize(family));
         let mut map = self.synth_memo.write();
-        let entry = map.entry(key).or_insert_with(|| {
-            self.metrics.synth_calls.incr();
-            report
-        });
-        entry.clone()
+        // Same race accounting as the geometry cache: a losing racer's
+        // lookup counts as a hit, not a vanished call.
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.metrics.synth_cache_hits.incr();
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.metrics.synth_calls.incr();
+                v.insert(report).clone()
+            }
+        }
     }
 
     /// Plan the PRR for `report` on `device` through the geometry cache.
@@ -143,9 +156,53 @@ impl Engine {
             return result.clone();
         }
         let geometry = self.geometry(device);
+        self.plan_uncached(key, report, device, &geometry, scratch)
+    }
+
+    /// [`Engine::plan_with_scratch`] with the geometry supplied by the
+    /// caller, skipping the per-plan geometry-map lookup entirely.
+    ///
+    /// Sweep drivers prefetch one [`Arc<DeviceGeometry>`] per device and
+    /// hand the same index to every worker, so the only shared state a
+    /// plan touches is the whole-plan memo. `geometry` must have been
+    /// derived from `device` (e.g. via [`Engine::geometry`]).
+    pub fn plan_with_geometry(
+        &self,
+        report: &SynthReport,
+        device: &Device,
+        geometry: &DeviceGeometry,
+        scratch: &mut PlanScratch,
+    ) -> Result<PrrPlan, CostError> {
+        self.metrics.plans.incr();
+        let key = plan_key(&PrrRequirements::from_report(report), device);
+        if let Some(result) = self.plan_memo.read().get(&key) {
+            self.metrics.plan_cache_hits.incr();
+            match result {
+                Ok(_) => self.metrics.plans_feasible.incr(),
+                Err(_) => self.metrics.plans_infeasible.incr(),
+            }
+            return result.clone();
+        }
+        self.plan_uncached(key, report, device, geometry, scratch)
+    }
+
+    /// Shared memo-miss path: run the cached Fig. 1 search, tally the
+    /// padded-fallback delta, record outcome counters, and memoize.
+    fn plan_uncached(
+        &self,
+        key: PlanKey,
+        report: &SynthReport,
+        device: &Device,
+        geometry: &DeviceGeometry,
+        scratch: &mut PlanScratch,
+    ) -> Result<PrrPlan, CostError> {
+        let padded_before = scratch.padded_resolution_count();
         let result = self.metrics.time("plan", || {
-            plan_prr_cached(report, device, &geometry, scratch)
+            plan_prr_cached(report, device, geometry, scratch)
         });
+        self.metrics
+            .padded_fallbacks
+            .add(scratch.padded_resolution_count() - padded_before);
         match &result {
             Ok(_) => self.metrics.plans_feasible.incr(),
             Err(_) => self.metrics.plans_infeasible.incr(),
@@ -167,19 +224,20 @@ impl Engine {
         self.plan(&report, device)
     }
 
-    /// Snapshot of the engine's metrics, with the window-query counters
-    /// folded in from the interned geometries' own atomics.
+    /// Snapshot of the engine's metrics, with the composition-index stats
+    /// (probe count, distinct interned compositions) folded in from the
+    /// interned geometries.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
-        let (queries, hits) = self
+        let (probes, compositions) = self
             .geometries
             .read()
             .values()
-            .fold((0u64, 0u64), |(q, h), geo| {
-                (q + geo.query_count(), h + geo.memo_hit_count())
+            .fold((0u64, 0u64), |(p, c), geo| {
+                (p + geo.probe_count(), c + geo.distinct_compositions())
             });
-        snap.counters.window_queries = queries;
-        snap.counters.window_memo_hits = hits;
+        snap.counters.window_probes = probes;
+        snap.counters.distinct_compositions = compositions;
         snap
     }
 }
@@ -266,11 +324,35 @@ mod tests {
         engine.evaluate(gen.as_ref(), &v6).unwrap();
         engine.evaluate(gen.as_ref(), &v6).unwrap();
         let snap = engine.snapshot();
-        assert!(snap.counters.window_queries > 0);
-        // Heights 2 and 3 share the same column composition, so even the
-        // first plan hits the composition memo.
-        assert!(snap.counters.window_memo_hits > 0);
+        assert!(snap.counters.window_probes > 0);
+        assert!(snap.counters.distinct_compositions > 0);
+        // SDRAM fits exactly at every height: no padded fallback runs.
+        assert_eq!(snap.counters.padded_fallbacks, 0);
         assert_eq!(snap.counters.plans, 2);
         assert_eq!(snap.counters.plans_feasible, 2);
+    }
+
+    #[test]
+    fn plan_with_geometry_matches_and_skips_map_lookup() {
+        let engine = Engine::new();
+        let v5 = xc5vlx110t();
+        let geo = engine.geometry(&v5);
+        let report = PaperPrm::Fir.generator().synthesize(v5.family());
+        let mut scratch = PlanScratch::default();
+        let via_geometry = engine
+            .plan_with_geometry(&report, &v5, &geo, &mut scratch)
+            .unwrap();
+        let direct = plan_prr(&report, &v5).unwrap();
+        assert_eq!(via_geometry, direct);
+        let c = engine.snapshot().counters;
+        // One explicit geometry() call; plan_with_geometry touched neither
+        // the geometry cache nor the builder.
+        assert_eq!(c.geometry_builds + c.geometry_cache_hits, 1);
+        // The second identical plan is a whole-plan memo hit.
+        let again = engine
+            .plan_with_geometry(&report, &v5, &geo, &mut scratch)
+            .unwrap();
+        assert_eq!(again, via_geometry);
+        assert_eq!(engine.snapshot().counters.plan_cache_hits, 1);
     }
 }

@@ -102,10 +102,9 @@ pub struct Metrics {
     pub geometry_builds: Counter,
     /// Geometry requests answered from the per-device cache.
     pub geometry_cache_hits: Counter,
-    /// Window queries answered (geometry-cached planning only).
-    pub window_queries: Counter,
-    /// Window queries answered from the composition memo.
-    pub window_memo_hits: Counter,
+    /// Padded-fallback enumerations resolved (geometry-cached planning
+    /// only; one per distinct composition with no exact window).
+    pub padded_fallbacks: Counter,
     /// Plans attempted.
     pub plans: Counter,
     /// Plans answered from the engine's whole-plan memo.
@@ -172,8 +171,12 @@ impl Metrics {
                 synth_cache_hits: self.synth_cache_hits.get(),
                 geometry_builds: self.geometry_builds.get(),
                 geometry_cache_hits: self.geometry_cache_hits.get(),
-                window_queries: self.window_queries.get(),
-                window_memo_hits: self.window_memo_hits.get(),
+                // Probe and composition counts live in the interned
+                // geometries; a bare registry reports zero and the batch
+                // engine's snapshot folds the real values in.
+                window_probes: 0,
+                distinct_compositions: 0,
+                padded_fallbacks: self.padded_fallbacks.get(),
                 plans: self.plans.get(),
                 plan_cache_hits: self.plan_cache_hits.get(),
                 plans_feasible: self.plans_feasible.get(),
@@ -195,10 +198,14 @@ pub struct CounterSnapshot {
     pub geometry_builds: u64,
     /// Geometry requests answered from the per-device cache.
     pub geometry_cache_hits: u64,
-    /// Window queries answered.
-    pub window_queries: u64,
-    /// Window queries answered from the composition memo.
-    pub window_memo_hits: u64,
+    /// Composition-index probes answered by the interned geometries (every
+    /// probe is a lock-free O(1) lookup — there is no hit/miss split).
+    pub window_probes: u64,
+    /// Distinct achievable compositions interned across the geometries.
+    pub distinct_compositions: u64,
+    /// Padded-fallback enumerations resolved (one per distinct composition
+    /// with no exact-fit window).
+    pub padded_fallbacks: u64,
     /// Plans attempted.
     pub plans: u64,
     /// Plans answered from the whole-plan memo.
@@ -224,11 +231,6 @@ impl CounterSnapshot {
             self.geometry_cache_hits,
             self.geometry_builds + self.geometry_cache_hits,
         )
-    }
-
-    /// Window composition-memo hit rate in `[0, 1]`.
-    pub fn window_memo_hit_rate(&self) -> Option<f64> {
-        rate(self.window_memo_hits, self.window_queries)
     }
 
     /// Whole-plan memo hit rate in `[0, 1]`.
@@ -330,8 +332,9 @@ mod tests {
             synth_cache_hits: 3,
             geometry_builds: 2,
             geometry_cache_hits: 2,
-            window_queries: 10,
-            window_memo_hits: 5,
+            window_probes: 10,
+            distinct_compositions: 120,
+            padded_fallbacks: 2,
             plans: 4,
             plan_cache_hits: 1,
             plans_feasible: 3,
@@ -339,15 +342,15 @@ mod tests {
         };
         assert_eq!(c.synth_hit_rate(), Some(0.75));
         assert_eq!(c.geometry_hit_rate(), Some(0.5));
-        assert_eq!(c.window_memo_hit_rate(), Some(0.5));
         assert_eq!(c.plan_hit_rate(), Some(0.25));
         let empty = CounterSnapshot {
             synth_calls: 0,
             synth_cache_hits: 0,
             geometry_builds: 0,
             geometry_cache_hits: 0,
-            window_queries: 0,
-            window_memo_hits: 0,
+            window_probes: 0,
+            distinct_compositions: 0,
+            padded_fallbacks: 0,
             plans: 0,
             plan_cache_hits: 0,
             plans_feasible: 0,

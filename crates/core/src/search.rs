@@ -19,16 +19,74 @@ use fabric::{Device, DeviceGeometry, Window, WindowRequest};
 use serde::{Deserialize, Serialize};
 use synth::SynthReport;
 
-/// Reusable per-worker scratch for the padded-window fallback.
+/// Cap on the extra DSP columns the padded-window fallback will absorb
+/// beyond the Eqs. 2–5 requirement.
+///
+/// DSP columns are scarce (1–12 per device in the database) and widely
+/// separated by CLB columns, so a window forced to swallow many extra DSP
+/// columns also swallows the CLB columns between them — which the
+/// unbounded CLB-padding axis already covers. The cap exists purely to
+/// bound the enumeration (≤ `(cap+1)²` DSP×BRAM combinations per CLB
+/// padding level); `find_padded_window` debug-asserts, and
+/// `padding_caps_lose_no_feasible_plan` in this module's tests verifies,
+/// that no database device loses a feasible plan to it.
+pub const MAX_PAD_DSP_COLS: u32 = 4;
+
+/// Cap on the extra BRAM columns the padded-window fallback will absorb
+/// beyond the Eqs. 2–5 requirement. Same rationale and same no-lost-plans
+/// guarantee as [`MAX_PAD_DSP_COLS`].
+pub const MAX_PAD_BRAM_COLS: u32 = 4;
+
+/// How a `(W_CLB, W_DSP, W_BRAM)` column composition resolves on a device.
+///
+/// Window existence is height-independent, and the padded-fallback winner
+/// is too (the Eq. 18 bitstream is affine in `H` with height-independent
+/// per-row weights, so the `(bytes, pad)` ordering of padding options —
+/// ties included — is the same at every height). One resolution therefore
+/// serves every candidate height that produces the same base composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompResolution {
+    /// An exact-composition window exists.
+    Exact,
+    /// No exact window; the cheapest feasible padding is `pad` extra
+    /// `[CLB, DSP, BRAM]` columns.
+    Padded {
+        /// Winning extra columns per kind.
+        pad: [u32; 3],
+    },
+    /// No window exists even with padding.
+    Infeasible,
+}
+
+/// Reusable per-worker scratch for the padded-window fallback and the
+/// per-plan composition-resolution cache.
 ///
 /// [`find_padded_window`] enumerates up to ~1000 padded organizations per
-/// infeasible height; reusing one scratch across the plans a sweep worker
-/// processes keeps that enumeration allocation-free after warm-up. A fresh
-/// `PlanScratch::default()` is always valid — results never depend on
-/// scratch contents, only allocation reuse does.
+/// infeasible composition; reusing one scratch across the plans a sweep
+/// worker processes keeps that enumeration allocation-free after warm-up.
+/// The cached planning paths additionally record, per plan, how each
+/// distinct base composition resolved ([`CompResolution`]) so the padded
+/// enumeration runs once per composition instead of once per height. A
+/// fresh `PlanScratch::default()` is always valid — results never depend
+/// on scratch contents, only allocation reuse does.
 #[derive(Debug, Clone, Default)]
 pub struct PlanScratch {
     options: Vec<(u64, [u32; 3], PrrOrganization)>,
+    /// Per-plan composition → resolution cache (linear map: a plan touches
+    /// at most `rows` distinct compositions). Cleared at plan start.
+    resolutions: Vec<((u32, u32, u32), CompResolution)>,
+    /// Cumulative count of padded-fallback enumerations resolved through
+    /// this scratch (never reset; callers read deltas).
+    padded_resolutions: u64,
+}
+
+impl PlanScratch {
+    /// Cumulative number of padded-fallback resolutions (full padding
+    /// enumerations) performed through this scratch. Monotonic; the batch
+    /// engine folds per-plan deltas into its metrics registry.
+    pub fn padded_resolution_count(&self) -> u64 {
+        self.padded_resolutions
+    }
 }
 
 /// Outcome of evaluating one candidate height.
@@ -149,11 +207,15 @@ pub fn plan_prr(report: &SynthReport, device: &Device) -> Result<PrrPlan, CostEr
 ///
 /// Returns exactly what [`plan_prr`] returns for the same inputs (the
 /// geometry's window answers are identical to [`Device::find_window`]'s,
-/// and the padded-organization enumeration order is preserved), but window
-/// probes are O(1) after the first composition query and the padded-window
-/// fallback reuses `scratch` instead of allocating. This is the planning
-/// path the batch [`crate::engine::Engine`] drives; `geometry` must have
-/// been derived from `device`.
+/// and the padded-organization selection is byte-for-byte preserved), but
+/// every window probe is a lock-free O(1) composition-index lookup, and
+/// the planning loop is **height-factored**: each distinct base
+/// composition — including its padded-fallback enumeration, which the
+/// per-height loop used to regenerate and re-sort at every infeasible
+/// height — resolves once per plan and is reused across all heights that
+/// produce it. This is the planning path the batch
+/// [`crate::engine::Engine`] drives; `geometry` must have been derived
+/// from `device`.
 ///
 /// Unlike [`plan_prr`], this records no global metrics — the engine owns
 /// its own [`Metrics`] registry and times whole plans around this call.
@@ -179,10 +241,42 @@ pub fn plan_prr_cached(
     if req.is_empty() {
         return Err(CostError::EmptyRequirements);
     }
-    let finder = |r: &WindowRequest| geometry.find_window(device, r);
+    scratch.resolutions.clear();
     let mut candidates = Vec::with_capacity(device.rows() as usize);
     for h in 1..=device.rows() {
-        candidates.push(evaluate_height_with(&req, device, h, &finder, scratch));
+        candidates.push(evaluate_height_cached(&req, device, h, geometry, scratch));
+    }
+    select_best(&req, device, candidates)
+}
+
+/// The seed per-height planning loop, driven through an arbitrary window
+/// `finder`: one probe per height plus a full padded enumeration at every
+/// infeasible height, with no composition reuse.
+///
+/// Kept (hidden) so the `window_index` benchmark can drive the frozen
+/// `fabric::reference::MemoGeometry` through the exact pre-index planning
+/// shape as an honest baseline. Returns what [`plan_prr`] returns for the
+/// same inputs whenever `finder` agrees with [`Device::find_window`].
+#[doc(hidden)]
+pub fn plan_prr_via_finder(
+    report: &SynthReport,
+    device: &Device,
+    finder: &dyn Fn(&WindowRequest) -> Option<Window>,
+    scratch: &mut PlanScratch,
+) -> Result<PrrPlan, CostError> {
+    if report.family != device.family() {
+        return Err(CostError::FamilyMismatch {
+            report: report.family,
+            device: device.family(),
+        });
+    }
+    let req = PrrRequirements::from_report(report);
+    if req.is_empty() {
+        return Err(CostError::EmptyRequirements);
+    }
+    let mut candidates = Vec::with_capacity(device.rows() as usize);
+    for h in 1..=device.rows() {
+        candidates.push(evaluate_height_with(&req, device, h, finder, scratch));
     }
     select_best(&req, device, candidates)
 }
@@ -228,10 +322,11 @@ pub fn candidates_for(req: &PrrRequirements, device: &Device) -> Vec<Candidate> 
 ///
 /// Returns exactly what [`candidates_for`] returns for the same inputs
 /// (the geometry's window answers are identical to
-/// [`Device::find_window`]'s). Callers that evaluate several requirement
-/// sets against one device — the multi-PRR floorplanner above all — share
-/// one geometry so every height and every spec reuses the same
-/// composition memo instead of rescanning the column list per probe.
+/// [`Device::find_window`]'s), height-factored like [`plan_prr_cached`]:
+/// each distinct base composition resolves once per call and serves every
+/// height. Callers that evaluate several requirement sets against one
+/// device — the multi-PRR floorplanner above all — share one geometry so
+/// every probe is a lock-free index lookup instead of a column rescan.
 /// `geometry` must have been derived from `device`.
 pub fn candidates_for_cached(
     req: &PrrRequirements,
@@ -242,9 +337,9 @@ pub fn candidates_for_cached(
     if req.is_empty() || req.family != device.family() {
         return Vec::new();
     }
-    let finder = |r: &WindowRequest| geometry.find_window(device, r);
+    scratch.resolutions.clear();
     (1..=device.rows())
-        .map(|h| evaluate_height_with(req, device, h, &finder, scratch))
+        .map(|h| evaluate_height_cached(req, device, h, geometry, scratch))
         .collect()
 }
 
@@ -294,23 +389,228 @@ fn evaluate_height_with(
     Candidate { height: h, outcome }
 }
 
-/// When no exact-composition window exists at a height, absorb extra
-/// columns: enumerate small paddings of each kind, order them by the
-/// padded organization's predicted bitstream (the search objective), and
-/// take the cheapest one with a real window. The enumeration buffer lives
-/// in `scratch` so sweep workers stop allocating here after warm-up; the
+/// [`evaluate_height`] with the window search answered from a
+/// [`DeviceGeometry`] composition index and the plan's
+/// composition-resolution cache: the (potentially ~1000-option) padded
+/// enumeration runs at most once per distinct base composition, not once
+/// per height. Byte-identical to [`evaluate_height`] — see
+/// [`CompResolution`] for why the resolution is height-invariant.
+fn evaluate_height_cached(
+    req: &PrrRequirements,
+    device: &Device,
+    h: u32,
+    geometry: &DeviceGeometry,
+    scratch: &mut PlanScratch,
+) -> Candidate {
+    let single_dsp = device.dsp_column_count() == 1;
+    let outcome = match PrrOrganization::for_height(req, h, single_dsp) {
+        Err(OrganizationError::EmptyRequirements) => {
+            unreachable!("callers reject empty requirements")
+        }
+        Err(OrganizationError::SingleDspColumnNeedsRows { min_height }) => {
+            CandidateOutcome::DspRowsInsufficient { min_height }
+        }
+        Ok(org) => match resolve_composition(&org, device, geometry, scratch) {
+            CompResolution::Infeasible => CandidateOutcome::NoWindow { organization: org },
+            CompResolution::Exact => {
+                let window = geometry
+                    .find_window(device, &org.window_request())
+                    .expect("resolved exact composition has a window");
+                CandidateOutcome::Feasible {
+                    bitstream_bytes: bitstream_size_bytes(&org),
+                    organization: org,
+                    window,
+                    padded_cols: [0; 3],
+                }
+            }
+            CompResolution::Padded { pad } => {
+                let padded = PrrOrganization {
+                    clb_cols: org.clb_cols + pad[0],
+                    dsp_cols: org.dsp_cols + pad[1],
+                    bram_cols: org.bram_cols + pad[2],
+                    ..org
+                };
+                let window = geometry
+                    .find_window(device, &padded.window_request())
+                    .expect("resolved padded composition has a window");
+                CandidateOutcome::Feasible {
+                    bitstream_bytes: bitstream_size_bytes(&padded),
+                    organization: padded,
+                    window,
+                    padded_cols: pad,
+                }
+            }
+        },
+    };
+    Candidate { height: h, outcome }
+}
+
+/// Resolve how `org`'s base composition places on `device`, consulting the
+/// plan's resolution cache first. A cache miss costs one index probe
+/// (exact case) or one padded enumeration (fallback case); every later
+/// height with the same composition is a linear-map hit.
+fn resolve_composition(
+    org: &PrrOrganization,
+    device: &Device,
+    geometry: &DeviceGeometry,
+    scratch: &mut PlanScratch,
+) -> CompResolution {
+    let key = (org.clb_cols, org.dsp_cols, org.bram_cols);
+    if let Some((_, r)) = scratch.resolutions.iter().find(|(k, _)| *k == key) {
+        return *r;
+    }
+    let resolution = if geometry
+        .leftmost_start(org.clb_cols, org.dsp_cols, org.bram_cols)
+        .is_some()
+    {
+        CompResolution::Exact
+    } else {
+        scratch.padded_resolutions += 1;
+        match find_padded_composition(org, device, geometry) {
+            Some(pad) => CompResolution::Padded { pad },
+            None => CompResolution::Infeasible,
+        }
+    };
+    scratch.resolutions.push((key, resolution));
+    resolution
+}
+
+/// The padded-fallback search of [`find_padded_window`], answered from
+/// the composition index: since feasibility of each padding option is an
+/// O(1) probe, the sort-then-probe-in-order loop collapses to a single
+/// min-scan over the *feasible* options — `bitstream_size_bytes` is never
+/// evaluated for infeasible paddings and nothing is sorted. Picks the
+/// same winner: the seed sorts stably by `(bytes, pad_sum)` over
+/// generation order and takes the first feasible entry, which is exactly
+/// the generation-order-first minimum of `(bytes, pad_sum)` over feasible
+/// entries. Returns the winning pad counts, or None if no capped padding
+/// is feasible (re-checked uncapped in debug builds, like the seed path).
+fn find_padded_composition(
+    org: &PrrOrganization,
+    device: &Device,
+    geometry: &DeviceGeometry,
+) -> Option<[u32; 3]> {
+    let found = find_padded_composition_with_caps(
+        org,
+        device,
+        geometry,
+        MAX_PAD_DSP_COLS,
+        MAX_PAD_BRAM_COLS,
+    );
+    #[cfg(debug_assertions)]
+    if found.is_none() {
+        debug_assert!(
+            find_padded_composition_with_caps(org, device, geometry, u32::MAX, u32::MAX).is_none(),
+            "padding caps hid a feasible plan for {org:?} on {}",
+            device.name()
+        );
+    }
+    found
+}
+
+/// [`find_padded_composition`] with explicit DSP/BRAM padding caps.
+fn find_padded_composition_with_caps(
+    org: &PrrOrganization,
+    device: &Device,
+    geometry: &DeviceGeometry,
+    dsp_cap: u32,
+    bram_cap: u32,
+) -> Option<[u32; 3]> {
+    let counts = device.column_counts();
+    let max_clb = (counts.clb() as u32).saturating_sub(org.clb_cols);
+    let max_dsp = (counts.dsp() as u32)
+        .saturating_sub(org.dsp_cols)
+        .min(dsp_cap);
+    let max_bram = (counts.bram() as u32)
+        .saturating_sub(org.bram_cols)
+        .min(bram_cap);
+
+    let mut best: Option<(u64, u32, [u32; 3])> = None;
+    for ec in 0..=max_clb {
+        for ed in 0..=max_dsp {
+            for eb in 0..=max_bram {
+                if ec + ed + eb == 0 {
+                    continue;
+                }
+                if geometry
+                    .leftmost_start(org.clb_cols + ec, org.dsp_cols + ed, org.bram_cols + eb)
+                    .is_none()
+                {
+                    continue;
+                }
+                let padded = PrrOrganization {
+                    clb_cols: org.clb_cols + ec,
+                    dsp_cols: org.dsp_cols + ed,
+                    bram_cols: org.bram_cols + eb,
+                    ..*org
+                };
+                let key = (bitstream_size_bytes(&padded), ec + ed + eb);
+                // Strict < keeps the earliest generated option on ties,
+                // matching the seed's stable sort.
+                if best.is_none_or(|(bytes, pads, _)| key < (bytes, pads)) {
+                    best = Some((key.0, key.1, [ec, ed, eb]));
+                }
+            }
+        }
+    }
+    best.map(|(_, _, pad)| pad)
+}
+
+/// When no exact-composition window exists, absorb extra columns:
+/// enumerate small paddings of each kind, order them by the padded
+/// organization's predicted bitstream (the search objective), and take the
+/// cheapest one with a real window. The enumeration buffer lives in
+/// `scratch` so sweep workers stop allocating here after warm-up; the
 /// stable sort over identical insertion order keeps results byte-for-byte
-/// independent of scratch reuse.
+/// independent of scratch reuse. In debug builds, a capped enumeration
+/// that comes up empty is re-checked uncapped to prove the
+/// [`MAX_PAD_DSP_COLS`]/[`MAX_PAD_BRAM_COLS`] caps hid no feasible plan.
 fn find_padded_window(
     org: &PrrOrganization,
     device: &Device,
     finder: &dyn Fn(&WindowRequest) -> Option<Window>,
     scratch: &mut PlanScratch,
 ) -> Option<(PrrOrganization, Window, [u32; 3])> {
+    let found = find_padded_window_with_caps(
+        org,
+        device,
+        finder,
+        scratch,
+        MAX_PAD_DSP_COLS,
+        MAX_PAD_BRAM_COLS,
+    );
+    #[cfg(debug_assertions)]
+    if found.is_none() {
+        debug_assert!(
+            find_padded_window_with_caps(org, device, finder, scratch, u32::MAX, u32::MAX)
+                .is_none(),
+            "padding caps hid a feasible plan for {org:?} on {}",
+            device.name()
+        );
+    }
+    found
+}
+
+/// [`find_padded_window`] with explicit DSP/BRAM padding caps. The public
+/// planning paths pass [`MAX_PAD_DSP_COLS`]/[`MAX_PAD_BRAM_COLS`]; the
+/// uncapped variant (`u32::MAX`, clamped by device column counts) serves
+/// as the oracle proving the caps lose no feasible plan.
+fn find_padded_window_with_caps(
+    org: &PrrOrganization,
+    device: &Device,
+    finder: &dyn Fn(&WindowRequest) -> Option<Window>,
+    scratch: &mut PlanScratch,
+    dsp_cap: u32,
+    bram_cap: u32,
+) -> Option<(PrrOrganization, Window, [u32; 3])> {
     let counts = device.column_counts();
     let max_clb = (counts.clb() as u32).saturating_sub(org.clb_cols);
-    let max_dsp = (counts.dsp() as u32).saturating_sub(org.dsp_cols).min(4);
-    let max_bram = (counts.bram() as u32).saturating_sub(org.bram_cols).min(4);
+    let max_dsp = (counts.dsp() as u32)
+        .saturating_sub(org.dsp_cols)
+        .min(dsp_cap);
+    let max_bram = (counts.bram() as u32)
+        .saturating_sub(org.bram_cols)
+        .min(bram_cap);
 
     let options = &mut scratch.options;
     options.clear();
@@ -518,6 +818,125 @@ mod tests {
                 assert_eq!(direct, cached, "{prm:?} on {}", device.name());
             }
         }
+    }
+
+    /// A requirement grid heavy in BRAM/DSP so that many points have no
+    /// exact-composition window and exercise the padded fallback.
+    fn padding_grid(family: Family) -> Vec<PrrRequirements> {
+        let mut reqs = Vec::new();
+        for lut_ff in [0u64, 40, 600, 2600] {
+            for dsp in [0u64, 3, 9, 30] {
+                for bram in [0u64, 2, 6, 20] {
+                    let req = PrrRequirements::new(family, lut_ff, lut_ff, lut_ff, dsp, bram);
+                    if !req.is_empty() {
+                        reqs.push(req);
+                    }
+                }
+            }
+        }
+        reqs
+    }
+
+    /// The DSP/BRAM padding caps must not hide any feasible plan: on every
+    /// database device, every grid point either plans identically with
+    /// capped and uncapped padding, or fails on both.
+    #[test]
+    fn padding_caps_lose_no_feasible_plan() {
+        let mut scratch = PlanScratch::default();
+        let mut padded_points = 0u32;
+        for device in fabric::all_devices() {
+            let finder = |r: &fabric::WindowRequest| device.find_window(r);
+            for req in padding_grid(device.family()) {
+                let single_dsp = device.dsp_column_count() == 1;
+                for h in 1..=device.rows() {
+                    let Ok(org) = PrrOrganization::for_height(&req, h, single_dsp) else {
+                        continue;
+                    };
+                    if finder(&org.window_request()).is_some() {
+                        continue; // exact fit: padding never consulted
+                    }
+                    padded_points += 1;
+                    let capped = find_padded_window_with_caps(
+                        &org,
+                        &device,
+                        &finder,
+                        &mut scratch,
+                        MAX_PAD_DSP_COLS,
+                        MAX_PAD_BRAM_COLS,
+                    );
+                    let uncapped = find_padded_window_with_caps(
+                        &org,
+                        &device,
+                        &finder,
+                        &mut scratch,
+                        u32::MAX,
+                        u32::MAX,
+                    );
+                    assert_eq!(capped, uncapped, "{org:?} on {}", device.name());
+                }
+            }
+        }
+        assert!(padded_points > 100, "grid must exercise the padded path");
+    }
+
+    /// The height-factored cached path must agree with the per-height seed
+    /// path on requirement points that trigger the padded fallback (the
+    /// Table V points all fit exactly, so check the padding grid too).
+    #[test]
+    fn cached_planning_matches_direct_on_padding_grid() {
+        let mut scratch = PlanScratch::default();
+        for device in fabric::all_devices() {
+            let geo = fabric::DeviceGeometry::new(&device);
+            for req in padding_grid(device.family()) {
+                let direct = plan_prr_from_requirements(&req, &device);
+                let finder = |r: &fabric::WindowRequest| geo.find_window(&device, r);
+                scratch.resolutions.clear();
+                let mut candidates = Vec::new();
+                for h in 1..=device.rows() {
+                    candidates.push(evaluate_height_cached(&req, &device, h, &geo, &mut scratch));
+                }
+                let cached = select_best(&req, &device, candidates);
+                match (&direct, &cached) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{req:?} on {}", device.name()),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("feasibility disagreement for {req:?} on {}", device.name()),
+                }
+                // The via-finder baseline (seed loop over the geometry)
+                // must agree too.
+                let seed_cands: Vec<Candidate> = (1..=device.rows())
+                    .map(|h| evaluate_height_with(&req, &device, h, &finder, &mut scratch))
+                    .collect();
+                let direct_cands = candidates_for(&req, &device);
+                assert_eq!(seed_cands, direct_cands, "{req:?} on {}", device.name());
+            }
+        }
+    }
+
+    /// Padded-fallback resolutions are tallied once per distinct
+    /// composition, not once per height.
+    #[test]
+    fn padded_resolutions_are_counted_per_composition() {
+        let device = xc5vlx110t();
+        let geo = fabric::DeviceGeometry::new(&device);
+        let mut scratch = PlanScratch::default();
+        // 2 BRAM columns with minimal CLB: no exact window on the LX110T
+        // (BRAM columns are isolated), so every height resolves by padding.
+        let req = PrrRequirements::new(Family::Virtex5, 8, 8, 8, 0, 40);
+        let before = scratch.padded_resolution_count();
+        let candidates = candidates_for_cached(&req, &device, &geo, &mut scratch);
+        let resolved = scratch.padded_resolution_count() - before;
+        assert_eq!(candidates.len(), device.rows() as usize);
+        let distinct: std::collections::HashSet<(u32, u32, u32)> = (1..=device.rows())
+            .filter_map(|h| PrrOrganization::for_height(&req, h, true).ok())
+            .map(|o| (o.clb_cols, o.dsp_cols, o.bram_cols))
+            .collect();
+        assert!(resolved >= 1);
+        assert!(
+            resolved <= distinct.len() as u64,
+            "padded enumeration must run at most once per composition \
+             ({resolved} runs for {} distinct compositions)",
+            distinct.len()
+        );
     }
 
     /// The placed window's column mix must match the organization.

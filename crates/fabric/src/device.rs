@@ -147,8 +147,17 @@ impl Device {
     }
 
     /// Validate that the 1-based row span `[row, row + height)` fits.
+    ///
+    /// `row + height - 1` is computed with checked arithmetic: adversarial
+    /// inputs near `u32::MAX` report [`FabricError::RowOutOfRange`] instead
+    /// of overflowing (a span that wide cannot fit any device anyway).
     pub fn check_row_span(&self, row: u32, height: u32) -> Result<(), FabricError> {
-        if row == 0 || height == 0 || row + height - 1 > self.rows {
+        let fits = row >= 1
+            && height >= 1
+            && row
+                .checked_add(height - 1)
+                .is_some_and(|last| last <= self.rows);
+        if !fits {
             return Err(FabricError::RowOutOfRange {
                 row,
                 height,
@@ -365,6 +374,22 @@ mod tests {
         assert!(d.check_row_span(2, 4).is_err());
         assert!(d.check_row_span(0, 1).is_err());
         assert!(d.check_row_span(1, 0).is_err());
+    }
+
+    #[test]
+    fn row_span_check_rejects_overflowing_spans() {
+        let d = tiny();
+        // row + height - 1 would wrap in u32; must error, not panic/wrap.
+        assert_eq!(
+            d.check_row_span(u32::MAX, 2),
+            Err(FabricError::RowOutOfRange {
+                row: u32::MAX,
+                height: 2,
+                rows: 4,
+            })
+        );
+        assert!(d.check_row_span(2, u32::MAX).is_err());
+        assert!(d.check_row_span(u32::MAX, u32::MAX).is_err());
     }
 
     #[test]

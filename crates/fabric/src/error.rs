@@ -41,8 +41,10 @@ impl fmt::Display for FabricError {
             }
             FabricError::RowOutOfRange { row, height, rows } => write!(
                 f,
+                // Saturate: adversarial row/height near u32::MAX must not
+                // overflow while formatting the very error they triggered.
                 "row span [{row}, {}] out of range (device has {rows} rows)",
-                row + height - 1
+                row.saturating_add(height.saturating_sub(1))
             ),
         }
     }
@@ -68,5 +70,22 @@ mod tests {
         assert!(FabricError::UnknownDevice("xc9k".into())
             .to_string()
             .contains("xc9k"));
+    }
+
+    #[test]
+    fn row_out_of_range_display_saturates() {
+        let e = FabricError::RowOutOfRange {
+            row: u32::MAX,
+            height: u32::MAX,
+            rows: 8,
+        };
+        // Must not overflow while formatting; saturates at u32::MAX.
+        assert_eq!(
+            e.to_string(),
+            format!(
+                "row span [{0}, {0}] out of range (device has 8 rows)",
+                u32::MAX
+            )
+        );
     }
 }

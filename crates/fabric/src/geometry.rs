@@ -1,73 +1,123 @@
-//! Interned device geometry: O(1) window-feasibility checks plus a
-//! composition memo, shared across every height and PRM planned on one
-//! device.
+//! Composition-indexed device geometry: every window-feasibility probe is
+//! a lock-free O(1) hash lookup against an index built once per device.
 //!
 //! The Fig. 1 search probes the same device with many
 //! [`WindowRequest`]s: one per candidate height, and — when a height has
 //! no exact-composition window — hundreds more for padded organizations.
 //! [`Device::find_window`] answers each probe by rescanning the column
-//! list and tallying every candidate span (O(columns × width) per
-//! probe). [`DeviceGeometry`] derives, once per device:
+//! list and tallying every candidate span (O(columns × width) per probe);
+//! the previous geometry (frozen as
+//! [`reference::MemoGeometry`](crate::reference::MemoGeometry)) memoized
+//! those scans behind a `Mutex`, so cold probes still rescanned and every
+//! probe serialized through the lock.
 //!
-//! * **column-kind prefix sums** — the CLB/DSP/BRAM/blocked counts of any
-//!   span come from two prefix entries, so each candidate start column is
-//!   checked in O(1) instead of O(width); and
-//! * **a candidate-window memo** — the leftmost start column for a column
-//!   composition `(W_CLB, W_DSP, W_BRAM)` is height-independent (height
-//!   only bounds the row span), so one answer serves every height and
-//!   every PRM that requests that composition.
+//! [`DeviceGeometry`] instead *enumerates the entire answer space up
+//! front*. A window is a span of contiguous columns containing no IOB/CLK
+//! column, so every feasible window lives inside one of the maximal
+//! IOB/CLK-free **runs** of the column list. At construction we walk each
+//! run once per start column, extending the span one column at a time with
+//! O(1) count updates, and intern each achievable composition
+//! `(W_CLB, W_DSP, W_BRAM)` → leftmost start column into a hash table.
+//! Starts are visited in ascending order across and within runs, so
+//! first-insert-wins yields exactly the leftmost match that
+//! [`Device::find_window`] would find. Construction is O(Σ runᵢ²) — a few
+//! thousand span visits even on the widest database device — and the
+//! resulting table is immutable, so probes are lock-free and shared
+//! geometry scales linearly across sweep worker threads.
 //!
-//! The memo is behind a mutex and the hit counters are atomics, so one
-//! geometry can be shared by reference across worker threads of a
-//! parallel sweep. Results are exactly those of [`Device::find_window`]:
-//! same leftmost-first placement, same `None`s.
+//! A composition absent from the index has no window on the device, and
+//! the zero composition `(0, 0, 0)` is never indexed (spans have width
+//! ≥ 1) — both return `None`, exactly as the rescan does. Results are
+//! byte-identical to [`Device::find_window`]; the equivalence suite in
+//! `crates/fabric/tests/window_props.rs` checks all three implementations
+//! against each other on every database device and on random fabrics.
 
 use crate::device::Device;
-use crate::resource::ResourceKind;
 use crate::window::{Window, WindowRequest};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-kind span counts: `[CLB, DSP, BRAM, blocked]`, where "blocked"
-/// counts IOB/CLK columns (never allowed inside a PRR).
-type PrefixRow = [u32; 4];
+/// Packs a composition into one `u64` index key: 21 bits per count, far
+/// above any device's column count.
+fn comp_key(clb: u32, dsp: u32, bram: u32) -> u64 {
+    (u64::from(clb) << 42) | (u64::from(dsp) << 21) | u64::from(bram)
+}
 
-/// Precomputed window-search geometry for one [`Device`].
+/// Single-multiply hasher for the packed composition keys. The padded
+/// fallback probes the index hundreds of times per resolution, so probe
+/// latency matters: this replaces SipHash with a splitmix64 finalizer —
+/// a few ALU ops, well-mixed low bits for the table's bucket selection.
+#[derive(Default)]
+struct CompKeyHasher(u64);
+
+impl Hasher for CompKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("composition keys hash as u64");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut x = key;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+/// Precomputed window-search geometry for one [`Device`]: a read-only
+/// composition → leftmost-start index.
 #[derive(Debug)]
 pub struct DeviceGeometry {
-    /// `prefix[i]` = counts over `columns[..i]`; length `width + 1`.
-    prefix: Vec<PrefixRow>,
     rows: u32,
     width: usize,
-    /// `(W_CLB, W_DSP, W_BRAM)` → leftmost matching start column.
-    memo: Mutex<HashMap<(u32, u32, u32), Option<usize>>>,
-    queries: AtomicU64,
-    memo_hits: AtomicU64,
+    /// Packed `(W_CLB, W_DSP, W_BRAM)` → leftmost start column of a
+    /// matching span. Immutable after construction; absent ⇒ no window
+    /// exists.
+    index: HashMap<u64, u32, BuildHasherDefault<CompKeyHasher>>,
+    probes: AtomicU64,
 }
 
 impl DeviceGeometry {
-    /// Derive the geometry of `device` (one O(columns) pass).
+    /// Build the composition index of `device`.
+    ///
+    /// Segments the column list into maximal IOB/CLK-free runs, then for
+    /// each start column in each run extends the span rightward with O(1)
+    /// incremental counts, interning every composition on first sight
+    /// (ascending start order ⇒ the stored start is the leftmost).
     pub fn new(device: &Device) -> Self {
-        let mut prefix = Vec::with_capacity(device.width() + 1);
-        let mut acc: PrefixRow = [0; 4];
-        prefix.push(acc);
-        for &kind in device.columns() {
-            match kind {
-                ResourceKind::Clb => acc[0] += 1,
-                ResourceKind::Dsp => acc[1] += 1,
-                ResourceKind::Bram => acc[2] += 1,
-                ResourceKind::Iob | ResourceKind::Clk => acc[3] += 1,
+        let columns = device.columns();
+        let mut index: HashMap<u64, u32, BuildHasherDefault<CompKeyHasher>> = HashMap::default();
+        let mut run_start = 0usize;
+        while run_start < columns.len() {
+            if !columns[run_start].allowed_in_prr() {
+                run_start += 1;
+                continue;
             }
-            prefix.push(acc);
+            let mut run_end = run_start;
+            while run_end < columns.len() && columns[run_end].allowed_in_prr() {
+                run_end += 1;
+            }
+            for start in run_start..run_end {
+                let mut counts = [0u32; 3];
+                for &kind in &columns[start..run_end] {
+                    counts[kind.prr_count_slot()] += 1;
+                    index
+                        .entry(comp_key(counts[0], counts[1], counts[2]))
+                        .or_insert(start as u32);
+                }
+            }
+            run_start = run_end;
         }
         DeviceGeometry {
-            prefix,
             rows: device.rows(),
             width: device.width(),
-            memo: Mutex::new(HashMap::new()),
-            queries: AtomicU64::new(0),
-            memo_hits: AtomicU64::new(0),
+            index,
+            probes: AtomicU64::new(0),
         }
     }
 
@@ -81,47 +131,24 @@ impl DeviceGeometry {
         self.width
     }
 
-    fn span_counts(&self, start: usize, width: usize) -> PrefixRow {
-        let lo = self.prefix[start];
-        let hi = self.prefix[start + width];
-        [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2], hi[3] - lo[3]]
-    }
-
     /// Leftmost start column of a span containing exactly `clb`/`dsp`/
     /// `bram` columns of each kind and no IOB/CLK columns, or `None`.
-    /// Memoized: the answer is independent of the requested height.
+    /// Lock-free O(1): one probe of the read-only composition index.
+    /// The answer is independent of any requested height.
     pub fn leftmost_start(&self, clb: u32, dsp: u32, bram: u32) -> Option<usize> {
-        let key = (clb, dsp, bram);
-        {
-            let memo = self.memo.lock();
-            if let Some(&hit) = memo.get(&key) {
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
-            }
-        }
-        let width = (clb + dsp + bram) as usize;
-        let mut found = None;
-        if width >= 1 && width <= self.width {
-            for start in 0..=(self.width - width) {
-                let [c, d, b, blocked] = self.span_counts(start, width);
-                if blocked == 0 && c == clb && d == dsp && b == bram {
-                    found = Some(start);
-                    break;
-                }
-            }
-        }
-        self.memo.lock().insert(key, found);
-        found
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.index
+            .get(&comp_key(clb, dsp, bram))
+            .map(|&s| s as usize)
     }
 
     /// Leftmost window matching `req` on `device`, behaviorally identical
-    /// to [`Device::find_window`] but answered from the cached geometry.
+    /// to [`Device::find_window`] but answered from the composition index.
     ///
     /// `device` must be the device this geometry was derived from (checked
     /// in debug builds by column count).
     pub fn find_window(&self, device: &Device, req: &WindowRequest) -> Option<Window> {
         debug_assert_eq!(device.width(), self.width, "geometry/device mismatch");
-        self.queries.fetch_add(1, Ordering::Relaxed);
         if req.height < 1 || req.height > self.rows || req.width() < 1 {
             return None;
         }
@@ -136,14 +163,23 @@ impl DeviceGeometry {
         })
     }
 
-    /// Total `find_window` queries answered.
-    pub fn query_count(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+    /// Number of distinct achievable compositions interned for this device
+    /// (the index size; fixed at construction).
+    pub fn distinct_compositions(&self) -> u64 {
+        self.index.len() as u64
     }
 
-    /// Queries answered from the composition memo.
-    pub fn memo_hit_count(&self) -> u64 {
-        self.memo_hits.load(Ordering::Relaxed)
+    /// Total composition-index probes answered (via [`Self::leftmost_start`],
+    /// directly or through [`Self::find_window`]).
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Approximate resident size of the composition index in bytes
+    /// (allocated key/value slots; excludes the hash table's control
+    /// metadata, so treat it as a lower-bound estimate).
+    pub fn index_bytes(&self) -> usize {
+        self.index.capacity() * mem::size_of::<(u64, u32)>()
     }
 }
 
@@ -153,7 +189,8 @@ mod tests {
     use crate::column::ColumnSpec;
     use crate::database::all_devices;
     use crate::family::Family;
-    use ResourceKind::*;
+    use crate::reference::MemoGeometry;
+    use crate::resource::ResourceKind::*;
 
     fn tiny() -> Device {
         Device::from_spec(
@@ -178,16 +215,15 @@ mod tests {
     fn matches_device_find_window_on_tiny() {
         let d = tiny();
         let geo = DeviceGeometry::new(&d);
+        let memo = MemoGeometry::new(&d);
         for clb in 0..4 {
             for dsp in 0..2 {
                 for bram in 0..2 {
                     for h in 0..6 {
                         let req = WindowRequest::new(clb, dsp, bram, h);
-                        assert_eq!(
-                            geo.find_window(&d, &req),
-                            d.find_window(&req),
-                            "req {req:?}"
-                        );
+                        let expected = d.find_window(&req);
+                        assert_eq!(geo.find_window(&d, &req), expected, "req {req:?}");
+                        assert_eq!(memo.find_window(&d, &req), expected, "req {req:?}");
                     }
                 }
             }
@@ -215,16 +251,16 @@ mod tests {
     }
 
     #[test]
-    fn memo_hits_accumulate() {
+    fn probes_accumulate_and_index_is_populated() {
         let d = tiny();
         let geo = DeviceGeometry::new(&d);
-        let req = WindowRequest::new(2, 0, 1, 1);
-        // Different heights share one composition memo entry.
-        let w1 = geo.find_window(&d, &req);
+        assert!(geo.distinct_compositions() > 0);
+        assert!(geo.index_bytes() > 0);
+        let w1 = geo.find_window(&d, &WindowRequest::new(2, 0, 1, 1));
         let w4 = geo.find_window(&d, &WindowRequest::new(2, 0, 1, 4));
+        // Different heights share one composition entry: same start column.
         assert_eq!(w1.unwrap().start_col, w4.unwrap().start_col);
-        assert_eq!(geo.query_count(), 2);
-        assert_eq!(geo.memo_hit_count(), 1);
+        assert_eq!(geo.probe_count(), 2);
     }
 
     #[test]
@@ -237,5 +273,46 @@ mod tests {
         assert!(geo
             .find_window(&d, &WindowRequest::new(0, 0, 0, 1))
             .is_none());
+        // Height short-circuits never touch (and never count) a probe.
+        assert_eq!(geo.probe_count(), 0);
+    }
+
+    #[test]
+    fn index_enumerates_every_achievable_composition() {
+        // Brute-force every span of every database device: each clean span's
+        // composition must be indexed with the leftmost matching start, and
+        // nothing else may be indexed.
+        for d in all_devices() {
+            let geo = DeviceGeometry::new(&d);
+            let cols = d.columns();
+            let mut expected: HashMap<(u32, u32, u32), u32> = HashMap::new();
+            for start in 0..cols.len() {
+                for end in start + 1..=cols.len() {
+                    let span = &cols[start..end];
+                    if span.iter().any(|k| !k.allowed_in_prr()) {
+                        continue;
+                    }
+                    let mut c = [0u32; 3];
+                    for k in span {
+                        c[k.prr_count_slot()] += 1;
+                    }
+                    expected.entry((c[0], c[1], c[2])).or_insert(start as u32);
+                }
+            }
+            assert_eq!(
+                geo.distinct_compositions(),
+                expected.len() as u64,
+                "{}",
+                d.name()
+            );
+            for (&(clb, dsp, bram), &start) in &expected {
+                assert_eq!(
+                    geo.leftmost_start(clb, dsp, bram),
+                    Some(start as usize),
+                    "{} ({clb},{dsp},{bram})",
+                    d.name()
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! The seed window-search geometry, frozen verbatim as the equivalence
+//! oracle and benchmark baseline for [`crate::DeviceGeometry`].
+//!
+//! This is the exact pre-index implementation: column-kind prefix sums
+//! plus a **mutex-guarded** composition memo. A cold composition probe
+//! rescans every candidate start column (O(width²) per probe via the
+//! prefix sums), and every probe — hit or miss — serializes through the
+//! memo lock, which is what capped multi-thread sweep scaling. The live
+//! [`DeviceGeometry`](crate::DeviceGeometry) answers the same queries
+//! from a read-only composition index built once at construction;
+//! `crates/fabric/tests/window_props.rs` asserts the two (and the raw
+//! [`Device::find_window`] rescan) agree on every composition of every
+//! database device and on random synthetic fabrics, and
+//! `crates/bench/benches/window_index.rs` measures the speedup
+//! (`results/BENCH_window.json`).
+
+use crate::device::Device;
+use crate::resource::ResourceKind;
+use crate::window::{Window, WindowRequest};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-kind span counts: `[CLB, DSP, BRAM, blocked]`, where "blocked"
+/// counts IOB/CLK columns (never allowed inside a PRR).
+type PrefixRow = [u32; 4];
+
+/// The seed geometry: prefix sums plus a mutexed composition memo.
+#[derive(Debug)]
+pub struct MemoGeometry {
+    /// `prefix[i]` = counts over `columns[..i]`; length `width + 1`.
+    prefix: Vec<PrefixRow>,
+    rows: u32,
+    width: usize,
+    /// `(W_CLB, W_DSP, W_BRAM)` → leftmost matching start column.
+    memo: Mutex<HashMap<(u32, u32, u32), Option<usize>>>,
+    queries: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl MemoGeometry {
+    /// Derive the geometry of `device` (one O(columns) pass).
+    pub fn new(device: &Device) -> Self {
+        let mut prefix = Vec::with_capacity(device.width() + 1);
+        let mut acc: PrefixRow = [0; 4];
+        prefix.push(acc);
+        for &kind in device.columns() {
+            match kind {
+                ResourceKind::Clb => acc[0] += 1,
+                ResourceKind::Dsp => acc[1] += 1,
+                ResourceKind::Bram => acc[2] += 1,
+                ResourceKind::Iob | ResourceKind::Clk => acc[3] += 1,
+            }
+            prefix.push(acc);
+        }
+        MemoGeometry {
+            prefix,
+            rows: device.rows(),
+            width: device.width(),
+            memo: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn span_counts(&self, start: usize, width: usize) -> PrefixRow {
+        let lo = self.prefix[start];
+        let hi = self.prefix[start + width];
+        [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2], hi[3] - lo[3]]
+    }
+
+    /// Leftmost start column of a span containing exactly `clb`/`dsp`/
+    /// `bram` columns of each kind and no IOB/CLK columns, or `None`.
+    /// Memoized: the answer is independent of the requested height.
+    pub fn leftmost_start(&self, clb: u32, dsp: u32, bram: u32) -> Option<usize> {
+        let key = (clb, dsp, bram);
+        {
+            let memo = self.memo.lock();
+            if let Some(&hit) = memo.get(&key) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        let width = (clb + dsp + bram) as usize;
+        let mut found = None;
+        if width >= 1 && width <= self.width {
+            for start in 0..=(self.width - width) {
+                let [c, d, b, blocked] = self.span_counts(start, width);
+                if blocked == 0 && c == clb && d == dsp && b == bram {
+                    found = Some(start);
+                    break;
+                }
+            }
+        }
+        self.memo.lock().insert(key, found);
+        found
+    }
+
+    /// Leftmost window matching `req` on `device`, behaviorally identical
+    /// to [`Device::find_window`] but answered from the memoized scan.
+    ///
+    /// `device` must be the device this geometry was derived from (checked
+    /// in debug builds by column count).
+    pub fn find_window(&self, device: &Device, req: &WindowRequest) -> Option<Window> {
+        debug_assert_eq!(device.width(), self.width, "geometry/device mismatch");
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if req.height < 1 || req.height > self.rows || req.width() < 1 {
+            return None;
+        }
+        let start = self.leftmost_start(req.clb_cols, req.dsp_cols, req.bram_cols)?;
+        let width = req.width() as usize;
+        Some(Window {
+            start_col: start,
+            width: req.width(),
+            row: 1,
+            height: req.height,
+            columns: device.columns()[start..start + width].to_vec(),
+        })
+    }
+
+    /// Total `find_window` queries answered.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered from the composition memo.
+    pub fn memo_hit_count(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnSpec;
+    use crate::family::Family;
+    use ResourceKind::*;
+
+    fn tiny() -> Device {
+        Device::from_spec(
+            "tiny",
+            Family::Virtex5,
+            4,
+            &[
+                ColumnSpec::one(Iob),
+                ColumnSpec::run(Clb, 2),
+                ColumnSpec::one(Bram),
+                ColumnSpec::one(Clb),
+                ColumnSpec::one(Dsp),
+                ColumnSpec::run(Clb, 2),
+                ColumnSpec::one(Clk),
+                ColumnSpec::one(Clb),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_device_find_window_on_tiny() {
+        let d = tiny();
+        let geo = MemoGeometry::new(&d);
+        for clb in 0..4 {
+            for dsp in 0..2 {
+                for bram in 0..2 {
+                    for h in 0..6 {
+                        let req = WindowRequest::new(clb, dsp, bram, h);
+                        assert_eq!(
+                            geo.find_window(&d, &req),
+                            d.find_window(&req),
+                            "req {req:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_hits_accumulate() {
+        let d = tiny();
+        let geo = MemoGeometry::new(&d);
+        let req = WindowRequest::new(2, 0, 1, 1);
+        // Different heights share one composition memo entry.
+        let w1 = geo.find_window(&d, &req);
+        let w4 = geo.find_window(&d, &WindowRequest::new(2, 0, 1, 4));
+        assert_eq!(w1.unwrap().start_col, w4.unwrap().start_col);
+        assert_eq!(geo.query_count(), 2);
+        assert_eq!(geo.memo_hit_count(), 1);
+    }
+}

@@ -48,6 +48,23 @@ impl ResourceKind {
         )
     }
 
+    /// Index of this kind in a `[CLB, DSP, BRAM]` composition tally, as
+    /// used by the window-composition index in [`crate::DeviceGeometry`].
+    ///
+    /// Only PRR-allowed kinds have a slot; IOB/CLK columns never appear
+    /// inside a window span, so asking for their slot panics.
+    #[inline]
+    pub fn prr_count_slot(self) -> usize {
+        match self {
+            ResourceKind::Clb => 0,
+            ResourceKind::Dsp => 1,
+            ResourceKind::Bram => 2,
+            ResourceKind::Iob | ResourceKind::Clk => {
+                panic!("IOB/CLK columns are not counted in PRR compositions")
+            }
+        }
+    }
+
     /// Short uppercase mnemonic used in reports and table output.
     pub fn mnemonic(self) -> &'static str {
         match self {

@@ -1,7 +1,13 @@
 //! Property tests for the fabric window search (the physical-feasibility
-//! primitive under the Fig. 1 flow).
+//! primitive under the Fig. 1 flow), plus the exhaustive equivalence
+//! suite for the composition index: [`fabric::DeviceGeometry`] must
+//! agree — start column, window bytes, everything — with both the frozen
+//! seed implementation ([`fabric::reference::MemoGeometry`]) and the
+//! uncached linear scan ([`Device::find_window`]) on every achievable
+//! composition of every database device and on random synthetic fabrics.
 
-use fabric::{ColumnKind, Device, Family, ResourceKind, WindowRequest};
+use fabric::reference::MemoGeometry;
+use fabric::{ColumnKind, Device, DeviceGeometry, Family, ResourceKind, WindowRequest};
 use proptest::prelude::*;
 
 fn arb_columns() -> impl Strategy<Value = Vec<ColumnKind>> {
@@ -105,5 +111,81 @@ proptest! {
     fn windows_iterator_is_ordered(device in arb_device(), req in arb_request()) {
         let starts: Vec<usize> = device.windows(&req).map(|w| w.start_col).collect();
         prop_assert!(starts.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    /// Three-way equivalence on random synthetic fabrics: the composition
+    /// index, the frozen seed memo, and the uncached linear scan return
+    /// identical windows (or identically nothing) for arbitrary requests.
+    #[test]
+    fn index_memo_and_scan_agree(device in arb_device(), req in arb_request()) {
+        let index = DeviceGeometry::new(&device);
+        let memo = MemoGeometry::new(&device);
+        let direct = device.find_window(&req);
+        prop_assert_eq!(index.find_window(&device, &req), direct.clone());
+        prop_assert_eq!(memo.find_window(&device, &req), direct);
+    }
+}
+
+/// Every achievable composition of `device` (every contiguous IOB/CLK-free
+/// span), plus near-miss variants that have no exact window, as
+/// `(clb, dsp, bram)` triples.
+fn compositions_to_probe(device: &Device) -> Vec<(u32, u32, u32)> {
+    let cols = device.columns();
+    let mut comps = Vec::new();
+    for start in 0..cols.len() {
+        let mut c = (0u32, 0u32, 0u32);
+        for &kind in &cols[start..] {
+            match kind {
+                ResourceKind::Clb => c.0 += 1,
+                ResourceKind::Dsp => c.1 += 1,
+                ResourceKind::Bram => c.2 += 1,
+                _ => break,
+            }
+            comps.push(c);
+            // Near misses: one extra column of each kind beyond this
+            // span's exact composition exercises the None paths.
+            comps.push((c.0 + 1, c.1, c.2));
+            comps.push((c.0, c.1 + 1, c.2));
+            comps.push((c.0, c.1, c.2 + 1));
+        }
+    }
+    comps.sort_unstable();
+    comps.dedup();
+    comps
+}
+
+/// Exhaustive equivalence on the paper's device database: for every
+/// achievable (and near-miss) composition of every device, at every
+/// height from 1 through rows + 1, the composition index, the frozen
+/// seed memo, and the uncached scan agree exactly.
+#[test]
+fn index_matches_reference_on_every_database_composition() {
+    for device in fabric::all_devices() {
+        let index = DeviceGeometry::new(&device);
+        let memo = MemoGeometry::new(&device);
+        for (clb, dsp, bram) in compositions_to_probe(&device) {
+            assert_eq!(
+                index.leftmost_start(clb, dsp, bram),
+                memo.leftmost_start(clb, dsp, bram),
+                "{}: leftmost start diverges for ({clb},{dsp},{bram})",
+                device.name()
+            );
+            for height in 1..=device.rows() + 1 {
+                let req = WindowRequest::new(clb, dsp, bram, height);
+                let direct = device.find_window(&req);
+                assert_eq!(
+                    index.find_window(&device, &req),
+                    direct,
+                    "{}: index vs scan diverge for ({clb},{dsp},{bram}) h={height}",
+                    device.name()
+                );
+                assert_eq!(
+                    memo.find_window(&device, &req),
+                    direct,
+                    "{}: memo vs scan diverge for ({clb},{dsp},{bram}) h={height}",
+                    device.name()
+                );
+            }
+        }
     }
 }

@@ -14,10 +14,12 @@
 //! both report that pruning plus cheap candidate evaluation is what makes
 //! PR floorplanning tractable at device scale):
 //!
-//! * **cached geometry** — candidate windows are probed through one shared
-//!   [`fabric::DeviceGeometry`] (`prcost::search::candidates_for_cached`),
-//!   so every spec and every height reuses the same composition memo
-//!   instead of rescanning the device's column list;
+//! * **indexed geometry** — candidate windows are probed through one shared
+//!   [`fabric::DeviceGeometry`] composition index
+//!   (`prcost::search::candidates_for_cached`), so every spec and every
+//!   height is a lock-free O(1) lookup instead of a column-list rescan;
+//!   batch drivers pass their own index via
+//!   [`auto_floorplan_with_geometry`];
 //! * **dominance pruning** — a candidate organization whose bitstream,
 //!   column span and height are all covered by another candidate can be
 //!   substituted by it in any solution without raising the cost, so it is
@@ -200,8 +202,8 @@ fn prune_dominated(options: &mut Vec<Option_>) {
 fn spec_options(
     specs: &[PrrSpec],
     device: &Device,
+    geometry: &DeviceGeometry,
 ) -> Result<(Vec<usize>, Vec<Vec<Option_>>), AutoFloorplanError> {
-    let geometry = DeviceGeometry::new(device);
     let mut scratch = PlanScratch::default();
     let mut per_spec: Vec<(usize, Vec<Option_>)> = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
@@ -216,23 +218,22 @@ fn spec_options(
                 name: spec.name.clone(),
             });
         }
-        let mut options: Vec<Option_> =
-            candidates_for_cached(&req, device, &geometry, &mut scratch)
-                .into_iter()
-                .filter_map(|c| match c.outcome {
-                    CandidateOutcome::Feasible {
-                        organization,
-                        window,
-                        bitstream_bytes,
-                        ..
-                    } => Some(Option_ {
-                        organization,
-                        window,
-                        bitstream_bytes,
-                    }),
-                    _ => None,
-                })
-                .collect();
+        let mut options: Vec<Option_> = candidates_for_cached(&req, device, geometry, &mut scratch)
+            .into_iter()
+            .filter_map(|c| match c.outcome {
+                CandidateOutcome::Feasible {
+                    organization,
+                    window,
+                    bitstream_bytes,
+                    ..
+                } => Some(Option_ {
+                    organization,
+                    window,
+                    bitstream_bytes,
+                }),
+                _ => None,
+            })
+            .collect();
         options.sort_by_key(|o| o.bitstream_bytes);
         prune_dominated(&mut options);
         if options.is_empty() {
@@ -596,10 +597,27 @@ pub fn auto_floorplan(
     device: &Device,
     node_budget: u64,
 ) -> Result<AutoFloorplan, AutoFloorplanError> {
+    auto_floorplan_with_geometry(specs, device, &DeviceGeometry::new(device), node_budget)
+}
+
+/// [`auto_floorplan`] probing candidate windows through a caller-supplied
+/// composition index instead of deriving one per call.
+///
+/// Batch drivers (the parallel PR flow in [`crate::flow::run_flows`],
+/// repeated floorplans of the same device) build one
+/// [`DeviceGeometry`] and share it across every invocation and worker —
+/// probes are lock-free, so sharing scales. `geometry` must have been
+/// derived from `device`; results are identical to [`auto_floorplan`].
+pub fn auto_floorplan_with_geometry(
+    specs: &[PrrSpec],
+    device: &Device,
+    geometry: &DeviceGeometry,
+    node_budget: u64,
+) -> Result<AutoFloorplan, AutoFloorplanError> {
     if specs.is_empty() {
         return Err(AutoFloorplanError::Empty);
     }
-    let (order, options) = spec_options(specs, device)?;
+    let (order, options) = spec_options(specs, device, geometry)?;
     let (nodes, found) = search_parallel(device, &options, node_budget.max(1));
     assemble(specs, device, &order, &options, nodes, found)
 }
@@ -617,7 +635,8 @@ pub fn auto_floorplan_serial(
     if specs.is_empty() {
         return Err(AutoFloorplanError::Empty);
     }
-    let (order, options) = spec_options(specs, device)?;
+    let geometry = DeviceGeometry::new(device);
+    let (order, options) = spec_options(specs, device, &geometry)?;
     let (nodes, found) = search_serial(device, &options, node_budget.max(1));
     assemble(specs, device, &order, &options, nodes, found)
 }
@@ -939,7 +958,8 @@ mod tests {
         // the property is not vacuous.
         let device = xc5vlx110t();
         let specs = paper_specs(Family::Virtex5);
-        let (_, options) = spec_options(&specs, &device).unwrap();
+        let geometry = DeviceGeometry::new(&device);
+        let (_, options) = spec_options(&specs, &device, &geometry).unwrap();
         let pruned: usize = options.iter().map(Vec::len).sum();
         let unpruned: usize = specs
             .iter()

@@ -190,11 +190,29 @@ pub fn run_flow_from_report_with_scratch(
     synth_time: Duration,
     scratch: &mut PlaceScratch,
 ) -> Result<(FlowReport, PartialBitstream), FlowError> {
+    let t = Instant::now();
+    let plan = prcost::plan_prr(report, device).map_err(FlowError::Plan)?;
+    finish_flow(report, device, opts, synth_time, t, plan, scratch)
+}
+
+/// The flow from a computed PRR plan onward: floorplan rendering,
+/// optimization, place, route, timing and bitgen. `plan_started` marks
+/// when the planning step began, so the Floorplan stage time covers both
+/// the Fig. 1 search and the AREA_GROUP rendering regardless of which
+/// planning path produced `plan`.
+fn finish_flow(
+    report: &SynthReport,
+    device: &Device,
+    opts: &FlowOptions,
+    synth_time: Duration,
+    plan_started: Instant,
+    plan: PrrPlan,
+    scratch: &mut PlaceScratch,
+) -> Result<(FlowReport, PartialBitstream), FlowError> {
     let mut times = vec![(FlowStage::Synthesis, synth_time)];
 
     // Floorplan: model-predicted PRR rendered as an AREA_GROUP constraint.
-    let t = Instant::now();
-    let plan = prcost::plan_prr(report, device).map_err(FlowError::Plan)?;
+    let t = plan_started;
     let mut floorplan = Floorplan::new(device);
     floorplan.push(AreaGroup::new(
         format!("pblock_{}", report.module),
@@ -317,6 +335,14 @@ impl FlowJob {
 /// reused [`PlaceScratch`] per worker (the `map_with` idiom
 /// `simulate_batch` uses for `SimScratch`).
 ///
+/// The batch builds the device's composition index
+/// ([`fabric::DeviceGeometry`]) once and shares it read-only across all
+/// workers: every Floorplan stage plans through
+/// [`prcost::plan_prr_cached`] with a per-worker [`prcost::PlanScratch`],
+/// so window searches are lock-free O(1) probes and each distinct
+/// composition is resolved once per plan. Plans are byte-identical to the
+/// solo [`run_flow_from_report`] path.
+///
 /// Every completed flow's per-stage wall times are recorded into the
 /// process-global [`prcost::Metrics`] stage histograms under
 /// `flow:<stage>` labels, so flow sweeps get the same observability as
@@ -325,21 +351,30 @@ impl FlowJob {
 /// failure only fails its own slot. Jobs are pre-synthesized, so each
 /// report's `Synthesis` stage records zero.
 pub fn run_flows(jobs: &[FlowJob], device: &Device) -> Vec<Result<FlowReport, FlowError>> {
+    let geometry = fabric::DeviceGeometry::new(device);
     jobs.par_iter()
-        .map_with(PlaceScratch::new(), |scratch, job| {
-            let (report, _bitstream) = run_flow_from_report_with_scratch(
-                &job.report,
-                device,
-                &job.options,
-                Duration::ZERO,
-                scratch,
-            )?;
-            let metrics = Metrics::global();
-            for (stage, elapsed) in &report.stage_times {
-                metrics.record_stage(stage.metrics_label(), *elapsed);
-            }
-            Ok(report)
-        })
+        .map_with(
+            (PlaceScratch::new(), prcost::PlanScratch::default()),
+            |(scratch, plan_scratch), job| {
+                let t = Instant::now();
+                let plan = prcost::plan_prr_cached(&job.report, device, &geometry, plan_scratch)
+                    .map_err(FlowError::Plan)?;
+                let (report, _bitstream) = finish_flow(
+                    &job.report,
+                    device,
+                    &job.options,
+                    Duration::ZERO,
+                    t,
+                    plan,
+                    scratch,
+                )?;
+                let metrics = Metrics::global();
+                for (stage, elapsed) in &report.stage_times {
+                    metrics.record_stage(stage.metrics_label(), *elapsed);
+                }
+                Ok(report)
+            },
+        )
         .collect()
 }
 

@@ -236,15 +236,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
         |r: Option<f64>| r.map_or_else(|| "n/a".to_string(), |v| format!("{:.0}%", v * 100.0));
     println!(
         "cache hit rates: synth {} ({} runs), geometry {} ({} builds), \
-         window memo {} ({} queries), plan memo {} ({} plans)",
+         plan memo {} ({} plans)",
         pct(c.synth_hit_rate()),
         c.synth_calls,
         pct(c.geometry_hit_rate()),
         c.geometry_builds,
-        pct(c.window_memo_hit_rate()),
-        c.window_queries,
         pct(c.plan_hit_rate()),
         c.plans,
+    );
+    println!(
+        "window index: {} probes over {} interned compositions, \
+         {} padded fallbacks",
+        c.window_probes, c.distinct_compositions, c.padded_fallbacks,
     );
 
     if let Some(path) = flag(args, "--json") {
