@@ -44,7 +44,7 @@ pub use icap::IcapModel;
 pub use packet::{Command, ConfigRegister, Packet};
 pub use parser::{parse, ParseError, ParsedBitstream};
 pub use readback::{context_cost, ContextCost};
-pub use relocate::{compatible, relocate, RelocateError};
+pub use relocate::{compatible, relocate, relocate_batch, RelocateError};
 pub use writer::{
     digest_batch, emit_into, generate, generate_batch, generate_owned, BitstreamDigest,
     BitstreamSpec, PartialBitstream,

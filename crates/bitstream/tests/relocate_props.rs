@@ -1,0 +1,219 @@
+//! Property and negative-path suites for `bitstream::relocate` — the
+//! ground truth behind the defrag planner's "payload reused unchanged"
+//! assumption in `crates/layout`.
+//!
+//! The round-trip property (A→B→A is the byte-for-byte identity) and the
+//! CRC-untouched property (FAR rewriting never changes a CRC register
+//! write, because the CRC covers only payload and the payload never
+//! moves) together guarantee that relocating a running module is loss-
+//! free: the layout manager can move modules freely and the frames that
+//! land are exactly the frames that were read.
+
+use bitstream::{
+    generate, relocate, BitstreamSpec, ConfigRegister, FrameAddress, Packet, PartialBitstream,
+    RelocateError,
+};
+use fabric::database::all_devices;
+use fabric::{Device, Window};
+use prcost::search::plan_prr;
+use proptest::prelude::*;
+use synth::prm::GenericPrm;
+use synth::{PaperPrm, PrmGenerator};
+
+/// The one-word Type-1 FAR write header every frame address follows.
+fn far_header() -> u32 {
+    Packet::Type1Write {
+        register: ConfigRegister::Far,
+        word_count: 1,
+    }
+    .encode()
+}
+
+/// The one-word Type-1 CRC write header.
+fn crc_header() -> u32 {
+    Packet::Type1Write {
+        register: ConfigRegister::Crc,
+        word_count: 1,
+    }
+    .encode()
+}
+
+/// Plan and generate a partial bitstream for `report` on `device`, or
+/// `None` when the module does not fit.
+fn stream_for(
+    device: &Device,
+    name: &str,
+    report: &synth::SynthReport,
+) -> Option<(PartialBitstream, Window)> {
+    let plan = plan_prr(report, device).ok()?;
+    let spec = BitstreamSpec::from_plan(device.name(), name, plan.organization, &plan.window);
+    Some((generate(&spec).unwrap(), plan.window))
+}
+
+/// Source window as the relocator reconstructs it from the spec.
+fn source_window(bs: &PartialBitstream) -> Window {
+    Window {
+        start_col: bs.spec.start_col as usize,
+        width: bs.spec.columns.len() as u32,
+        row: bs.spec.start_row,
+        height: bs.spec.organization.height,
+        columns: bs.spec.columns.clone(),
+    }
+}
+
+/// Assert the two loss-free-relocation invariants between an original
+/// stream and its relocated form: every differing word is the payload of
+/// a FAR write, and every CRC register write is untouched.
+fn assert_only_fars_moved(original: &[u32], moved: &[u32]) {
+    assert_eq!(original.len(), moved.len());
+    let far = far_header();
+    let crc = crc_header();
+    for i in 0..original.len() {
+        if original[i] != moved[i] {
+            assert!(i > 0 && original[i - 1] == far, "non-FAR word {i} changed");
+        }
+        if i > 0 && original[i - 1] == crc {
+            assert_eq!(original[i], moved[i], "CRC word {i} rewritten");
+        }
+    }
+}
+
+proptest! {
+    /// relocate(A→B) then relocate(B→A) is the identity on the packet
+    /// stream, for paper PRMs and random generic PRMs over every database
+    /// device and every in-bounds vertical shift.
+    #[test]
+    fn round_trip_is_identity(
+        dev_idx in 0usize..4,
+        module in prop_oneof![
+            Just(None),
+            (0u64..1u64 << 32, 64u32..2048).prop_map(Some),
+        ],
+        prm_idx in 0usize..3,
+        shift in 1u32..8,
+    ) {
+        let devices = all_devices();
+        let device = &devices[dev_idx % devices.len()];
+        let (name, report) = match module {
+            None => {
+                let prm = PaperPrm::ALL[prm_idx];
+                (prm.module_name().to_string(), prm.synth_report(device.family()))
+            }
+            Some((seed, scale)) => {
+                let prm = GenericPrm::random(seed, scale);
+                (prm.name.clone(), prm.synthesize(device.family()))
+            }
+        };
+        let Some((bs, window)) = stream_for(device, &name, &report) else {
+            return Ok(()); // module does not fit this device
+        };
+        let mut target = window.clone();
+        target.row += shift;
+        if device.check_row_span(target.row, target.height).is_err() {
+            return Ok(()); // shift exceeds the device; nothing to test
+        }
+
+        let there = relocate(&bs, device, &target).unwrap();
+        assert_only_fars_moved(&bs.words, &there.words);
+
+        let back = relocate(&there, device, &source_window(&bs)).unwrap();
+        prop_assert_eq!(&back.words, &bs.words, "A→B→A must be the identity");
+        prop_assert_eq!(back.spec.start_col, bs.spec.start_col);
+        prop_assert_eq!(back.spec.start_row, bs.spec.start_row);
+    }
+}
+
+/// Horizontal relocation round-trips wherever the device offers a second
+/// window with the identical column-kind sequence. At least one paper
+/// PRM on one database device must offer such a target, so the
+/// horizontal path is genuinely exercised.
+#[test]
+fn horizontal_round_trip_where_compatible_window_exists() {
+    let mut exercised = 0usize;
+    for device in all_devices() {
+        for prm in PaperPrm::ALL {
+            let report = prm.synth_report(device.family());
+            let Some((bs, window)) = stream_for(&device, prm.module_name(), &report) else {
+                continue;
+            };
+            let width = window.columns.len();
+            for start in 0..device.width().saturating_sub(width - 1) {
+                if start == window.start_col
+                    || device.columns()[start..start + width] != window.columns[..]
+                {
+                    continue;
+                }
+                let mut target = window.clone();
+                target.start_col = start;
+                let there = relocate(&bs, &device, &target).unwrap();
+                assert_only_fars_moved(&bs.words, &there.words);
+                let back = relocate(&there, &device, &source_window(&bs)).unwrap();
+                assert_eq!(back.words, bs.words, "horizontal A→B→A is the identity");
+                exercised += 1;
+                break; // one alternate start per (device, prm) is enough
+            }
+        }
+    }
+    assert!(exercised > 0, "no device offered a horizontal target");
+}
+
+/// A stream whose FAR addresses a frame outside its recorded PRR is
+/// rejected with the offending address, not silently shifted.
+#[test]
+fn foreign_frame_address_is_reported() {
+    let device = fabric::database::xc5vlx110t();
+    let report = PaperPrm::Mips.synth_report(device.family());
+    let (mut bs, window) = stream_for(&device, "mips_r3000", &report).unwrap();
+
+    // Corrupt the first FAR payload: point it past the relocator's
+    // column-spill margin (end_col + 16) so it cannot be mistaken for an
+    // in-window minor overflow.
+    let far = far_header();
+    let i = bs.words.iter().position(|&w| w == far).unwrap();
+    let foreign = FrameAddress::config(window.row, (window.end_col() + 16 + 3) as u32, 0);
+    bs.words[i + 1] = foreign.encode();
+
+    let mut target = window.clone();
+    target.row += 1;
+    assert_eq!(
+        relocate(&bs, &device, &target),
+        Err(RelocateError::ForeignFrameAddress { far: foreign })
+    );
+}
+
+/// A FAR below the window's row span is foreign too.
+#[test]
+fn foreign_row_is_reported() {
+    let device = fabric::database::xc5vlx110t();
+    let report = PaperPrm::Mips.synth_report(device.family());
+    let (mut bs, window) = stream_for(&device, "mips_r3000", &report).unwrap();
+
+    let far = far_header();
+    let i = bs.words.iter().position(|&w| w == far).unwrap();
+    let foreign = FrameAddress::config(window.top_row() + 1, window.start_col as u32, 0);
+    bs.words[i + 1] = foreign.encode();
+
+    let mut target = window.clone();
+    target.row += 1;
+    assert_eq!(
+        relocate(&bs, &device, &target),
+        Err(RelocateError::ForeignFrameAddress { far: foreign })
+    );
+}
+
+/// A target window that runs past the right device edge is rejected with
+/// `OutOfBounds` (column direction; the row direction is covered by the
+/// in-crate unit tests).
+#[test]
+fn target_past_right_device_edge_is_rejected() {
+    let device = fabric::database::xc5vlx110t();
+    let report = PaperPrm::Mips.synth_report(device.family());
+    let (bs, window) = stream_for(&device, "mips_r3000", &report).unwrap();
+
+    let mut target = window.clone();
+    target.start_col = device.width() - 1; // end_col lands past the edge
+    assert_eq!(
+        relocate(&bs, &device, &target),
+        Err(RelocateError::OutOfBounds)
+    );
+}

@@ -114,6 +114,12 @@ pub struct Metrics {
     /// Plans that failed (no placement, mismatched family, ...).
     pub plans_infeasible: Counter,
     stages: Mutex<BTreeMap<&'static str, StageStats>>,
+    /// Labeled counter families (`"layout:allocs"`, `"flow:jobs"`, ...):
+    /// open-ended observability for subsystems whose counters are not
+    /// known to this crate at compile time. Keys are `family:name`
+    /// strings; unknown families must be tolerated by every snapshot
+    /// consumer (see the schema-stability test).
+    labeled: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -147,8 +153,44 @@ impl Metrics {
         out
     }
 
-    /// Consistent point-in-time copy of all counters and stages.
+    /// Add `n` to the labeled counter `label` (created on first use).
+    ///
+    /// Labels follow the `family:name` convention (`"layout:allocs"`).
+    /// Labeled counters trade the fixed counters' lock-free atomics for
+    /// an open namespace; bump them per logical event, not per inner-loop
+    /// iteration.
+    pub fn add_labeled(&self, label: &str, n: u64) {
+        let mut map = self.labeled.lock();
+        match map.get_mut(label) {
+            Some(v) => *v += n,
+            None => {
+                map.insert(label.to_string(), n);
+            }
+        }
+    }
+
+    /// Add one to the labeled counter `label`.
+    pub fn incr_labeled(&self, label: &str) {
+        self.add_labeled(label, 1);
+    }
+
+    /// Current value of the labeled counter `label` (zero if never hit).
+    pub fn labeled(&self, label: &str) -> u64 {
+        self.labeled.lock().get(label).copied().unwrap_or(0)
+    }
+
+    /// Consistent point-in-time copy of all counters, labeled counters
+    /// and stages.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let labeled = self
+            .labeled
+            .lock()
+            .iter()
+            .map(|(name, &value)| LabeledCounter {
+                name: name.clone(),
+                value,
+            })
+            .collect();
         let stages = self
             .stages
             .lock()
@@ -183,6 +225,7 @@ impl Metrics {
                 plans_infeasible: self.plans_infeasible.get(),
             },
             stages,
+            labeled,
         }
     }
 }
@@ -266,13 +309,50 @@ pub struct StageSnapshot {
     pub p99_ns: u64,
 }
 
+/// One labeled counter value (`family:name` key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledCounter {
+    /// Counter label, `family:name` (`"layout:allocs"`).
+    pub name: String,
+    /// Point-in-time value.
+    pub value: u64,
+}
+
 /// A complete exportable metrics snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Counter values.
     pub counters: CounterSnapshot,
     /// Per-stage wall-clock statistics, sorted by stage name.
     pub stages: Vec<StageSnapshot>,
+    /// Labeled counter families, sorted by label. New families may appear
+    /// in any release; consumers must ignore labels they don't know.
+    pub labeled: Vec<LabeledCounter>,
+}
+
+/// `labeled` is serialized after the original fields and is optional on
+/// the way back in: snapshots written before the field existed (and
+/// snapshots from future producers that drop it) still deserialize, with
+/// `labeled` empty. This is the schema-stability contract the layout
+/// counters ride on — adding a counter family never breaks a consumer.
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("counters".to_string(), self.counters.to_value()),
+            ("stages".to_string(), self.stages.to_value()),
+            ("labeled".to_string(), self.labeled.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(MetricsSnapshot {
+            counters: serde::__field(v, "counters")?,
+            stages: serde::__field(v, "stages")?,
+            labeled: serde::__field(v, "labeled").unwrap_or_default(),
+        })
+    }
 }
 
 impl MetricsSnapshot {
@@ -283,6 +363,28 @@ impl MetricsSnapshot {
             .find(|s| s.name == stage)
             .map(|s| Duration::from_nanos(s.total_ns))
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// Value of the labeled counter `name` (zero if absent).
+    pub fn labeled_value(&self, name: &str) -> u64 {
+        self.labeled
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// All labeled counters of one family (`prefix` up to the `:`), in
+    /// label order.
+    pub fn labeled_family<'s>(
+        &'s self,
+        family: &'s str,
+    ) -> impl Iterator<Item = &'s LabeledCounter> {
+        self.labeled.iter().filter(move |c| {
+            c.name
+                .strip_prefix(family)
+                .is_some_and(|r| r.starts_with(':'))
+        })
     }
 }
 
@@ -364,9 +466,68 @@ mod tests {
         let m = Metrics::new();
         m.synth_calls.add(2);
         m.record_stage("synth", Duration::from_nanos(1234));
+        m.add_labeled("layout:allocs", 7);
         let snap = m.snapshot();
         let v = snap.to_value();
         let back = MetricsSnapshot::from_value(&v).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn labeled_counters_accumulate_and_snapshot_sorted() {
+        let m = Metrics::new();
+        m.incr_labeled("layout:releases");
+        m.add_labeled("layout:allocs", 3);
+        m.incr_labeled("layout:allocs");
+        m.incr_labeled("flow:jobs");
+        assert_eq!(m.labeled("layout:allocs"), 4);
+        assert_eq!(m.labeled("layout:missing"), 0);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.labeled.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["flow:jobs", "layout:allocs", "layout:releases"]);
+        assert_eq!(snap.labeled_value("layout:allocs"), 4);
+        assert_eq!(snap.labeled_value("unknown:x"), 0);
+        let layout: Vec<&str> = snap
+            .labeled_family("layout")
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(layout, vec!["layout:allocs", "layout:releases"]);
+    }
+
+    /// Schema stability both directions: snapshots written before the
+    /// `labeled` family existed still parse (field defaults to empty), and
+    /// snapshots carrying label families a consumer has never heard of
+    /// parse without error — consumers select by label, never by position.
+    #[test]
+    fn snapshot_schema_is_stable_across_label_families() {
+        let m = Metrics::new();
+        m.plans.add(5);
+        let snap = m.snapshot();
+
+        // Pre-`labeled` producer: strip the field entirely.
+        let serde::Value::Object(mut entries) = snap.to_value() else {
+            panic!("snapshot serializes as an object");
+        };
+        entries.retain(|(k, _)| k != "labeled");
+        let old = MetricsSnapshot::from_value(&serde::Value::Object(entries)).unwrap();
+        assert_eq!(old.counters.plans, 5);
+        assert!(old.labeled.is_empty());
+
+        // Future producer: unknown label families and extra top-level
+        // fields must both be tolerated.
+        let m2 = Metrics::new();
+        m2.add_labeled("hologram:emitters", 9);
+        let serde::Value::Object(mut entries) = m2.snapshot().to_value() else {
+            panic!("snapshot serializes as an object");
+        };
+        entries.push(("future_field".to_string(), serde::Value::UInt(1)));
+        let new = MetricsSnapshot::from_value(&serde::Value::Object(entries)).unwrap();
+        assert_eq!(new.labeled_value("hologram:emitters"), 9);
+        assert_eq!(new.labeled_value("layout:allocs"), 0);
+
+        // And the JSON text form round-trips the same way.
+        let text = serde_json::to_string_pretty(&m2.snapshot()).unwrap();
+        let parsed: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.labeled_value("hologram:emitters"), 9);
     }
 }

@@ -167,6 +167,34 @@ impl Device {
         Ok(())
     }
 
+    /// Maximal runs of contiguous PRR-eligible columns (no IOB/CLK),
+    /// yielded left to right as `start..end` column ranges.
+    ///
+    /// Every feasible window's column span lies inside exactly one of
+    /// these runs — IOB/CLK columns are not supported inside PRRs
+    /// (§III.A) — so the runs are the backbone of both the composition
+    /// index ([`crate::DeviceGeometry`]) and runtime free-space tracking
+    /// (the `layout` crate seeds its per-row free lists from them; the
+    /// forbidden columns between runs are never free, which is what makes
+    /// adjacency-merging on release safe).
+    pub fn prr_free_runs(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let columns = &self.columns;
+        let mut pos = 0usize;
+        std::iter::from_fn(move || {
+            while pos < columns.len() && !columns[pos].allowed_in_prr() {
+                pos += 1;
+            }
+            if pos >= columns.len() {
+                return None;
+            }
+            let start = pos;
+            while pos < columns.len() && columns[pos].allowed_in_prr() {
+                pos += 1;
+            }
+            Some(start..pos)
+        })
+    }
+
     /// All leftmost-first windows matching `req` (see [`WindowRequest`]).
     ///
     /// A window is a run of contiguous columns containing exactly the
@@ -390,6 +418,36 @@ mod tests {
         );
         assert!(d.check_row_span(2, u32::MAX).is_err());
         assert!(d.check_row_span(u32::MAX, u32::MAX).is_err());
+    }
+
+    #[test]
+    fn prr_free_runs_are_maximal_and_cover_all_allowed_columns() {
+        let d = tiny();
+        // Layout: 0 Iob, 1-2 Clb, 3 Bram, 4 Clb, 5 Dsp, 6-7 Clb, 8 Clk, 9 Clb.
+        let runs: Vec<_> = d.prr_free_runs().collect();
+        assert_eq!(runs, vec![1..8, 9..10]);
+        for d in crate::database::all_devices() {
+            let runs: Vec<_> = d.prr_free_runs().collect();
+            // Disjoint, ordered, separated by at least one forbidden
+            // column (maximality), non-empty, and bounded by forbidden
+            // columns or the device edge on both sides.
+            for w in runs.windows(2) {
+                assert!(w[0].end < w[1].start, "{}: runs must not touch", d.name());
+            }
+            let mut covered = vec![false; d.width()];
+            for r in &runs {
+                assert!(!r.is_empty());
+                assert!(r.start == 0 || !d.columns()[r.start - 1].allowed_in_prr());
+                assert!(r.end == d.width() || !d.columns()[r.end].allowed_in_prr());
+                for c in r.clone() {
+                    assert!(d.columns()[c].allowed_in_prr());
+                    covered[c] = true;
+                }
+            }
+            for (c, &kind) in d.columns().iter().enumerate() {
+                assert_eq!(covered[c], kind.allowed_in_prr(), "{} col {c}", d.name());
+            }
+        }
     }
 
     #[test]

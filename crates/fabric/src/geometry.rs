@@ -85,33 +85,23 @@ pub struct DeviceGeometry {
 impl DeviceGeometry {
     /// Build the composition index of `device`.
     ///
-    /// Segments the column list into maximal IOB/CLK-free runs, then for
-    /// each start column in each run extends the span rightward with O(1)
-    /// incremental counts, interning every composition on first sight
-    /// (ascending start order ⇒ the stored start is the leftmost).
+    /// Walks the maximal IOB/CLK-free runs ([`Device::prr_free_runs`]),
+    /// then for each start column in each run extends the span rightward
+    /// with O(1) incremental counts, interning every composition on first
+    /// sight (ascending start order ⇒ the stored start is the leftmost).
     pub fn new(device: &Device) -> Self {
         let columns = device.columns();
         let mut index: HashMap<u64, u32, BuildHasherDefault<CompKeyHasher>> = HashMap::default();
-        let mut run_start = 0usize;
-        while run_start < columns.len() {
-            if !columns[run_start].allowed_in_prr() {
-                run_start += 1;
-                continue;
-            }
-            let mut run_end = run_start;
-            while run_end < columns.len() && columns[run_end].allowed_in_prr() {
-                run_end += 1;
-            }
-            for start in run_start..run_end {
+        for run in device.prr_free_runs() {
+            for start in run.clone() {
                 let mut counts = [0u32; 3];
-                for &kind in &columns[start..run_end] {
+                for &kind in &columns[start..run.end] {
                     counts[kind.prr_count_slot()] += 1;
                     index
                         .entry(comp_key(counts[0], counts[1], counts[2]))
                         .or_insert(start as u32);
                 }
             }
-            run_start = run_end;
         }
         DeviceGeometry {
             rows: device.rows(),

@@ -1,0 +1,502 @@
+//! Runtime free-space tracking over the device grid.
+//!
+//! [`FreeSpace`] maintains, per fabric row, the sorted list of maximal
+//! free column runs, updated incrementally in O(affected runs) on every
+//! allocate/release. Placement queries are answered against a
+//! *composition index* built with the same run-extension walk as
+//! [`fabric::DeviceGeometry`]: at construction we visit every span of
+//! every maximal IOB/CLK-free run ([`Device::prr_free_runs`]) and record,
+//! for each achievable composition `(W_CLB, W_DSP, W_BRAM)`, the full
+//! ascending list of start columns realising it. A query then probes one
+//! hash bucket and tests only the geometrically possible starts instead
+//! of rescanning the column list.
+//!
+//! Placement policy is **leftmost, then bottom**: candidate start
+//! columns are tried in ascending order, and within a start column base
+//! rows ascend. [`NaiveFreeSpace`] reimplements the same policy by brute
+//! force over an occupancy grid and is the equivalence oracle (and the
+//! bench baseline) for every query and metric.
+//!
+//! Forbidden (IOB/CLK) columns are never part of any free run, so two
+//! adjacent free runs in a row can only be separated by occupied eligible
+//! cells — merging runs that touch on release is always safe.
+
+use fabric::{ColumnKind, Device, Window, WindowRequest};
+use std::collections::{BTreeMap, HashMap};
+
+/// Packs a composition into one `u64` index key (21 bits per count),
+/// mirroring the key used by `fabric::DeviceGeometry`.
+fn comp_key(clb: u32, dsp: u32, bram: u32) -> u64 {
+    (u64::from(clb) << 42) | (u64::from(dsp) << 21) | u64::from(bram)
+}
+
+/// Incrementally maintained free-space map of one device.
+#[derive(Debug, Clone)]
+pub struct FreeSpace {
+    rows: u32,
+    columns: Vec<ColumnKind>,
+    /// Per fabric row (index `row - 1`): sorted, disjoint, maximal free
+    /// column runs `[start, end)`. Only PRR-eligible columns ever appear.
+    free: Vec<Vec<(usize, usize)>>,
+    /// Composition → ascending start columns of spans realising it on the
+    /// empty device (the fixed geometry; occupancy is tested per query).
+    candidates: HashMap<u64, Vec<u32>>,
+    /// Free eligible cells, total and per resource kind slot.
+    free_cells: u64,
+    free_by_kind: [u64; 3],
+}
+
+impl FreeSpace {
+    /// An all-free map of `device`.
+    pub fn new(device: &Device) -> Self {
+        let columns = device.columns().to_vec();
+        let mut candidates: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut row_runs = Vec::new();
+        let mut free_by_kind = [0u64; 3];
+        for run in device.prr_free_runs() {
+            for start in run.clone() {
+                let mut counts = [0u32; 3];
+                for &kind in &columns[start..run.end] {
+                    counts[kind.prr_count_slot()] += 1;
+                    candidates
+                        .entry(comp_key(counts[0], counts[1], counts[2]))
+                        .or_default()
+                        .push(start as u32);
+                }
+            }
+            for &kind in &columns[run.clone()] {
+                free_by_kind[kind.prr_count_slot()] += u64::from(device.rows());
+            }
+            row_runs.push((run.start, run.end));
+        }
+        let free_cells = free_by_kind.iter().sum();
+        FreeSpace {
+            rows: device.rows(),
+            columns,
+            free: vec![row_runs; device.rows() as usize],
+            candidates,
+            free_cells,
+            free_by_kind,
+        }
+    }
+
+    /// Fabric rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Device width in columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the composition exists anywhere on the (empty) device.
+    pub fn is_achievable(&self, clb: u32, dsp: u32, bram: u32) -> bool {
+        self.candidates.contains_key(&comp_key(clb, dsp, bram))
+    }
+
+    /// Ascending start columns whose span realises the composition on the
+    /// empty device (occupancy not considered).
+    pub fn candidate_starts(&self, clb: u32, dsp: u32, bram: u32) -> &[u32] {
+        self.candidates
+            .get(&comp_key(clb, dsp, bram))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether every cell of the rectangle is currently free.
+    pub fn is_free(&self, start_col: usize, width: usize, row: u32, height: u32) -> bool {
+        if width == 0 || height == 0 || row < 1 || row + height - 1 > self.rows {
+            return false;
+        }
+        let end = start_col + width;
+        (row..row + height).all(|r| {
+            let runs = &self.free[(r - 1) as usize];
+            let i = runs.partition_point(|&(s, _)| s <= start_col);
+            i > 0 && runs[i - 1].1 >= end
+        })
+    }
+
+    /// First free window satisfying `req` under the leftmost-then-bottom
+    /// policy, or `None`. One composition-index probe plus occupancy
+    /// checks on the candidate starts only.
+    pub fn find_window(&self, req: &WindowRequest) -> Option<Window> {
+        let width = req.width() as usize;
+        if width == 0 || req.height < 1 || req.height > self.rows {
+            return None;
+        }
+        for &start in self.candidate_starts(req.clb_cols, req.dsp_cols, req.bram_cols) {
+            let start = start as usize;
+            for row in 1..=self.rows - req.height + 1 {
+                if self.is_free(start, width, row, req.height) {
+                    return Some(Window {
+                        start_col: start,
+                        width: req.width(),
+                        row,
+                        height: req.height,
+                        columns: self.columns[start..start + width].to_vec(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark the window's cells occupied. The window must be fully free.
+    pub fn allocate(&mut self, w: &Window) {
+        assert!(
+            self.is_free(w.start_col, w.width as usize, w.row, w.height),
+            "allocate of a non-free window"
+        );
+        let (start, end) = (w.start_col, w.end_col());
+        for r in w.row..w.row + w.height {
+            let runs = &mut self.free[(r - 1) as usize];
+            let i = runs.partition_point(|&(s, _)| s <= start) - 1;
+            let (s, e) = runs[i];
+            let mut repl = Vec::with_capacity(2);
+            if s < start {
+                repl.push((s, start));
+            }
+            if end < e {
+                repl.push((end, e));
+            }
+            runs.splice(i..=i, repl);
+        }
+        let h = u64::from(w.height);
+        for &kind in &self.columns[start..end] {
+            self.free_by_kind[kind.prr_count_slot()] -= h;
+        }
+        self.free_cells -= (end - start) as u64 * h;
+    }
+
+    /// Return the window's cells to the free map, merging with adjacent
+    /// runs (always safe: forbidden columns are never free, so touching
+    /// runs are contiguous eligible cells).
+    pub fn release(&mut self, w: &Window) {
+        for r in w.row..w.row + w.height {
+            let (mut start, mut end) = (w.start_col, w.end_col());
+            let runs = &mut self.free[(r - 1) as usize];
+            let mut i = runs.partition_point(|&(s, _)| s < start);
+            debug_assert!(i == 0 || runs[i - 1].1 <= start, "double free (left)");
+            debug_assert!(i == runs.len() || end <= runs[i].0, "double free (right)");
+            if i < runs.len() && runs[i].0 == end {
+                end = runs[i].1;
+                runs.remove(i);
+            }
+            if i > 0 && runs[i - 1].1 == start {
+                start = runs[i - 1].0;
+                i -= 1;
+                runs.remove(i);
+            }
+            runs.insert(i, (start, end));
+        }
+        let h = u64::from(w.height);
+        for &kind in &self.columns[w.start_col..w.end_col()] {
+            self.free_by_kind[kind.prr_count_slot()] += h;
+        }
+        self.free_cells += u64::from(w.width) * h;
+    }
+
+    /// Free eligible cells in total.
+    pub fn total_free_cells(&self) -> u64 {
+        self.free_cells
+    }
+
+    /// Free eligible cells per resource kind `(CLB, DSP, BRAM)`.
+    pub fn free_cells_by_kind(&self) -> [u64; 3] {
+        self.free_by_kind
+    }
+
+    /// Area (in cells) of the largest all-free rectangle: histogram-of-
+    /// heights largest-rectangle sweep, O(rows × width).
+    pub fn largest_free_rect(&self) -> u64 {
+        let width = self.columns.len();
+        let mut heights = vec![0u64; width];
+        let mut best = 0u64;
+        for runs in &self.free {
+            let mut cursor = 0usize;
+            for &(s, e) in runs {
+                for h in &mut heights[cursor..s] {
+                    *h = 0;
+                }
+                for h in &mut heights[s..e] {
+                    *h += 1;
+                }
+                cursor = e;
+            }
+            for h in &mut heights[cursor..] {
+                *h = 0;
+            }
+            best = best.max(largest_rect_in_histogram(&heights));
+        }
+        best
+    }
+
+    /// External-fragmentation index: `1 − largest free rectangle / total
+    /// free cells`; `0` on an empty free map (nothing to fragment).
+    pub fn fragmentation_index(&self) -> f64 {
+        if self.free_cells == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_rect() as f64 / self.free_cells as f64
+    }
+
+    /// Histogram of free-run widths over all rows (width → run count):
+    /// the per-resource shape of the free space, small-run-heavy
+    /// distributions being the signature of external fragmentation.
+    pub fn run_width_histogram(&self) -> BTreeMap<usize, u64> {
+        let mut hist = BTreeMap::new();
+        for runs in &self.free {
+            for &(s, e) in runs {
+                *hist.entry(e - s).or_insert(0u64) += 1;
+            }
+        }
+        hist
+    }
+}
+
+/// Classic stack-based largest rectangle under a histogram.
+fn largest_rect_in_histogram(heights: &[u64]) -> u64 {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut best = 0u64;
+    for i in 0..=heights.len() {
+        let h = if i < heights.len() { heights[i] } else { 0 };
+        while let Some(&top) = stack.last() {
+            if heights[top] <= h {
+                break;
+            }
+            stack.pop();
+            let left = stack.last().map_or(0, |&j| j + 1);
+            best = best.max(heights[top] * (i - left) as u64);
+        }
+        stack.push(i);
+    }
+    best
+}
+
+/// Brute-force oracle for [`FreeSpace`]: an occupancy grid with the same
+/// API and the same leftmost-then-bottom policy, used by the equivalence
+/// property suite and as the bench baseline.
+#[derive(Debug, Clone)]
+pub struct NaiveFreeSpace {
+    rows: u32,
+    columns: Vec<ColumnKind>,
+    /// `occupied[row - 1][col]`; forbidden columns are permanently true.
+    occupied: Vec<Vec<bool>>,
+}
+
+impl NaiveFreeSpace {
+    /// An all-free map of `device`.
+    pub fn new(device: &Device) -> Self {
+        let columns = device.columns().to_vec();
+        let row: Vec<bool> = columns.iter().map(|k| !k.allowed_in_prr()).collect();
+        NaiveFreeSpace {
+            rows: device.rows(),
+            columns,
+            occupied: vec![row; device.rows() as usize],
+        }
+    }
+
+    /// Whether every cell of the rectangle is free (and eligible).
+    pub fn is_free(&self, start_col: usize, width: usize, row: u32, height: u32) -> bool {
+        if width == 0 || height == 0 || row < 1 || row + height - 1 > self.rows {
+            return false;
+        }
+        if start_col + width > self.columns.len() {
+            return false;
+        }
+        (row..row + height).all(|r| {
+            self.occupied[(r - 1) as usize][start_col..start_col + width]
+                .iter()
+                .all(|&o| !o)
+        })
+    }
+
+    /// Linear-scan first fit under the same leftmost-then-bottom policy.
+    pub fn find_window(&self, req: &WindowRequest) -> Option<Window> {
+        let width = req.width() as usize;
+        if width == 0 || width > self.columns.len() || req.height < 1 || req.height > self.rows {
+            return None;
+        }
+        for start in 0..=self.columns.len() - width {
+            let mut counts = [0u32; 3];
+            let span = &self.columns[start..start + width];
+            if span.iter().any(|k| !k.allowed_in_prr()) {
+                continue;
+            }
+            for &k in span {
+                counts[k.prr_count_slot()] += 1;
+            }
+            if counts != [req.clb_cols, req.dsp_cols, req.bram_cols] {
+                continue;
+            }
+            for row in 1..=self.rows - req.height + 1 {
+                if self.is_free(start, width, row, req.height) {
+                    return Some(Window {
+                        start_col: start,
+                        width: req.width(),
+                        row,
+                        height: req.height,
+                        columns: span.to_vec(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark the window's cells occupied.
+    pub fn allocate(&mut self, w: &Window) {
+        for r in w.row..w.row + w.height {
+            for c in w.start_col..w.end_col() {
+                assert!(
+                    !self.occupied[(r - 1) as usize][c],
+                    "allocate of occupied cell"
+                );
+                self.occupied[(r - 1) as usize][c] = true;
+            }
+        }
+    }
+
+    /// Mark the window's cells free again.
+    pub fn release(&mut self, w: &Window) {
+        for r in w.row..w.row + w.height {
+            for c in w.start_col..w.end_col() {
+                self.occupied[(r - 1) as usize][c] = false;
+            }
+        }
+    }
+
+    /// Free eligible cells in total.
+    pub fn total_free_cells(&self) -> u64 {
+        self.occupied.iter().flatten().filter(|&&o| !o).count() as u64
+    }
+
+    /// Free eligible cells per resource kind `(CLB, DSP, BRAM)`.
+    pub fn free_cells_by_kind(&self) -> [u64; 3] {
+        let mut by_kind = [0u64; 3];
+        for row in &self.occupied {
+            for (c, &o) in row.iter().enumerate() {
+                if !o {
+                    by_kind[self.columns[c].prr_count_slot()] += 1;
+                }
+            }
+        }
+        by_kind
+    }
+
+    /// Largest all-free rectangle by row-pair enumeration, O(rows² × width).
+    pub fn largest_free_rect(&self) -> u64 {
+        let rows = self.rows as usize;
+        let width = self.columns.len();
+        let mut best = 0u64;
+        for top in 0..rows {
+            let mut free_depth = vec![true; width];
+            for bottom in top..rows {
+                for (f, &occ) in free_depth.iter_mut().zip(&self.occupied[bottom]) {
+                    *f &= !occ;
+                }
+                let h = (bottom - top + 1) as u64;
+                let mut run = 0u64;
+                for &f in &free_depth {
+                    if f {
+                        run += 1;
+                        best = best.max(run * h);
+                    } else {
+                        run = 0;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// External-fragmentation index, same definition as [`FreeSpace`].
+    pub fn fragmentation_index(&self) -> f64 {
+        let total = self.total_free_cells();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_rect() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Device, Family, ResourceKind::*};
+
+    fn strip(width: u32) -> Device {
+        Device::new("strip", Family::Virtex5, 1, vec![Clb; width as usize]).unwrap()
+    }
+
+    fn win(start: usize, width: usize, row: u32, height: u32) -> Window {
+        Window {
+            start_col: start,
+            width: width as u32,
+            row,
+            height,
+            columns: vec![Clb; width],
+        }
+    }
+
+    #[test]
+    fn fresh_map_is_all_free_and_unfragmented() {
+        let d = fabric::database::xc5vlx110t();
+        let fs = FreeSpace::new(&d);
+        let naive = NaiveFreeSpace::new(&d);
+        assert_eq!(fs.total_free_cells(), naive.total_free_cells());
+        assert_eq!(fs.free_cells_by_kind(), naive.free_cells_by_kind());
+        assert_eq!(fs.largest_free_rect(), naive.largest_free_rect());
+        assert_eq!(fs.fragmentation_index(), naive.fragmentation_index());
+    }
+
+    #[test]
+    fn carve_and_merge_round_trip() {
+        let d = strip(8);
+        let mut fs = FreeSpace::new(&d);
+        let a = win(0, 3, 1, 1);
+        let b = win(3, 2, 1, 1);
+        let c = win(5, 3, 1, 1);
+        fs.allocate(&a);
+        fs.allocate(&b);
+        fs.allocate(&c);
+        assert_eq!(fs.total_free_cells(), 0);
+        fs.release(&a);
+        fs.release(&c);
+        // Two runs split by b; releasing b merges everything back.
+        assert_eq!(fs.run_width_histogram(), BTreeMap::from([(3, 2)]));
+        assert_eq!(fs.largest_free_rect(), 3);
+        assert!(fs.fragmentation_index() > 0.4);
+        fs.release(&b);
+        assert_eq!(fs.run_width_histogram(), BTreeMap::from([(8, 1)]));
+        assert_eq!(fs.fragmentation_index(), 0.0);
+    }
+
+    #[test]
+    fn find_window_is_leftmost_then_bottom() {
+        let d = Device::new("sq", Family::Virtex5, 3, vec![Clb; 6]).unwrap();
+        let mut fs = FreeSpace::new(&d);
+        // Occupy the bottom-left 2×2 corner: a 2-wide 1-tall request must
+        // land at column 0 row 3 (leftmost start wins over lower row).
+        fs.allocate(&Window {
+            start_col: 0,
+            width: 2,
+            row: 1,
+            height: 2,
+            columns: vec![Clb; 2],
+        });
+        let w = fs.find_window(&WindowRequest::new(2, 0, 0, 1)).unwrap();
+        assert_eq!((w.start_col, w.row), (0, 3));
+    }
+
+    #[test]
+    fn fragmentation_blocks_wide_requests() {
+        let d = strip(8);
+        let mut fs = FreeSpace::new(&d);
+        fs.allocate(&win(3, 2, 1, 1));
+        // 6 cells free but the widest span is 3.
+        assert_eq!(fs.total_free_cells(), 6);
+        assert!(fs.find_window(&WindowRequest::new(4, 0, 0, 1)).is_none());
+        assert!(fs.find_window(&WindowRequest::new(3, 0, 0, 1)).is_some());
+    }
+}

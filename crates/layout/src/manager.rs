@@ -1,0 +1,239 @@
+//! The online layout manager: allocation bookkeeping over [`FreeSpace`]
+//! with fragmentation-aware failure classification and `layout:*`
+//! observability wired into [`prcost::Metrics`].
+
+use crate::free::FreeSpace;
+use bitstream::IcapModel;
+use fabric::{Device, Window, WindowRequest};
+use prcost::{bitstream_size_bytes, Metrics, PrrOrganization};
+use std::collections::BTreeMap;
+
+/// One live PRR placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Manager-assigned id, unique over the manager's lifetime.
+    pub id: u64,
+    /// Module configured in the region (shares partial bitstreams with
+    /// equally named modules).
+    pub module: String,
+    /// The Eq. 2–6 organization the region was sized for.
+    pub organization: PrrOrganization,
+    /// The placed window.
+    pub window: Window,
+    /// Eq. 18 predicted partial-bitstream bytes for the organization —
+    /// what one ICAP write (placement or relocation) costs.
+    pub bitstream_bytes: u64,
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The device cannot host the organization even when empty, or the
+    /// free cells remaining are insufficient.
+    Capacity,
+    /// Total free resources suffice but no contiguous window fits —
+    /// external fragmentation; defragmentation may recover it.
+    Fragmentation,
+}
+
+/// Online layout manager for one device.
+#[derive(Debug)]
+pub struct LayoutManager {
+    device: Device,
+    free: FreeSpace,
+    allocations: BTreeMap<u64, Allocation>,
+    next_id: u64,
+    icap: IcapModel,
+    max_moves: usize,
+}
+
+impl LayoutManager {
+    /// A manager over an empty `device`; `icap` prices relocations.
+    pub fn new(device: &Device, icap: IcapModel) -> Self {
+        LayoutManager {
+            device: device.clone(),
+            free: FreeSpace::new(device),
+            allocations: BTreeMap::new(),
+            next_id: 0,
+            icap,
+            max_moves: 4,
+        }
+    }
+
+    /// Cap on relocations per defrag plan (default 4).
+    pub fn set_max_moves(&mut self, max_moves: usize) {
+        self.max_moves = max_moves;
+    }
+
+    pub(crate) fn max_moves(&self) -> usize {
+        self.max_moves
+    }
+
+    /// The managed device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The ICAP port model used to price relocations.
+    pub fn icap(&self) -> &IcapModel {
+        &self.icap
+    }
+
+    /// The live free-space map.
+    pub fn free_space(&self) -> &FreeSpace {
+        &self.free
+    }
+
+    /// Live allocations in id order.
+    pub fn allocations(&self) -> impl Iterator<Item = &Allocation> {
+        self.allocations.values()
+    }
+
+    pub(crate) fn allocation_map(&self) -> &BTreeMap<u64, Allocation> {
+        &self.allocations
+    }
+
+    /// One live allocation by id.
+    pub fn allocation(&self, id: u64) -> Option<&Allocation> {
+        self.allocations.get(&id)
+    }
+
+    /// Current external-fragmentation index of the free space.
+    pub fn fragmentation_index(&self) -> f64 {
+        self.free.fragmentation_index()
+    }
+
+    /// Place `module` with organization `org` (leftmost-then-bottom first
+    /// fit), or classify the failure. Wires `layout:allocs` /
+    /// `layout:alloc_fail_capacity` / `layout:alloc_fail_fragmentation`
+    /// counters into the global metrics.
+    pub fn allocate(&mut self, module: &str, org: &PrrOrganization) -> Result<u64, AllocError> {
+        let req = WindowRequest::new(org.clb_cols, org.dsp_cols, org.bram_cols, org.height);
+        match self.free.find_window(&req) {
+            Some(window) => {
+                Metrics::global().incr_labeled("layout:allocs");
+                Ok(self.place(module, org, window))
+            }
+            None => {
+                let err = self.classify_failure(org);
+                Metrics::global().incr_labeled(match err {
+                    AllocError::Capacity => "layout:alloc_fail_capacity",
+                    AllocError::Fragmentation => "layout:alloc_fail_fragmentation",
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Record a placement into `window` (assumed free and matching `org`).
+    pub(crate) fn place(&mut self, module: &str, org: &PrrOrganization, window: Window) -> u64 {
+        self.free.allocate(&window);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                id,
+                module: module.to_string(),
+                organization: *org,
+                window,
+                bitstream_bytes: bitstream_size_bytes(org),
+            },
+        );
+        id
+    }
+
+    /// Move one live allocation to `target` (free-space bookkeeping only;
+    /// the ICAP charge is the caller's to account).
+    pub(crate) fn move_allocation(&mut self, id: u64, target: Window) {
+        let alloc = self.allocations.get_mut(&id).expect("live allocation");
+        self.free.release(&alloc.window);
+        self.free.allocate(&target);
+        alloc.window = target;
+    }
+
+    /// Free the allocation and return it.
+    pub fn release(&mut self, id: u64) -> Option<Allocation> {
+        let alloc = self.allocations.remove(&id)?;
+        self.free.release(&alloc.window);
+        Metrics::global().incr_labeled("layout:releases");
+        Some(alloc)
+    }
+
+    /// Fragmentation iff the empty device could host the organization and
+    /// every resource kind still has enough free cells — the window is
+    /// blocked purely by the free space's *shape*.
+    fn classify_failure(&self, org: &PrrOrganization) -> AllocError {
+        if org.height > self.free.rows()
+            || !self
+                .free
+                .is_achievable(org.clb_cols, org.dsp_cols, org.bram_cols)
+        {
+            return AllocError::Capacity;
+        }
+        let h = u64::from(org.height);
+        let need = [
+            u64::from(org.clb_cols) * h,
+            u64::from(org.dsp_cols) * h,
+            u64::from(org.bram_cols) * h,
+        ];
+        let have = self.free.free_cells_by_kind();
+        if need.iter().zip(&have).all(|(n, a)| n <= a) {
+            AllocError::Fragmentation
+        } else {
+            AllocError::Capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Family, ResourceKind::*};
+
+    fn strip(width: u32) -> Device {
+        Device::new("strip", Family::Virtex5, 1, vec![Clb; width as usize]).unwrap()
+    }
+
+    fn clb_org(cols: u32) -> PrrOrganization {
+        PrrOrganization {
+            family: Family::Virtex5,
+            height: 1,
+            clb_cols: cols,
+            dsp_cols: 0,
+            bram_cols: 0,
+        }
+    }
+
+    #[test]
+    fn failure_classification_separates_capacity_from_fragmentation() {
+        let d = strip(8);
+        let mut m = LayoutManager::new(&d, IcapModel::V5_DMA);
+        let a = m.allocate("a", &clb_org(3)).unwrap();
+        m.allocate("b", &clb_org(2)).unwrap();
+        let c = m.allocate("c", &clb_org(3)).unwrap();
+        // Full device: 4 columns is a capacity failure (only 0 free).
+        assert_eq!(m.allocate("d", &clb_org(4)), Err(AllocError::Capacity));
+        m.release(a);
+        m.release(c);
+        // 6 cells free in runs of 3+3: enough cells, no window — that is
+        // fragmentation, and a 9-column ask is still capacity.
+        assert_eq!(m.allocate("d", &clb_org(4)), Err(AllocError::Fragmentation));
+        assert_eq!(m.allocate("e", &clb_org(9)), Err(AllocError::Capacity));
+        assert!(m.fragmentation_index() > 0.0);
+    }
+
+    #[test]
+    fn allocations_track_bitstream_bytes() {
+        let d = strip(8);
+        let mut m = LayoutManager::new(&d, IcapModel::V5_DMA);
+        let org = clb_org(2);
+        let id = m.allocate("m", &org).unwrap();
+        assert_eq!(
+            m.allocation(id).unwrap().bitstream_bytes,
+            bitstream_size_bytes(&org)
+        );
+        assert_eq!(m.release(id).unwrap().module, "m");
+        assert!(m.release(id).is_none());
+    }
+}

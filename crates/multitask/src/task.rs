@@ -129,6 +129,48 @@ impl Workload {
         Workload::new(tasks)
     }
 
+    /// Generate a fragmentation-inducing dynamic workload: like
+    /// [`Workload::generate`], but each pool module's scale is drawn from
+    /// a Pareto(α = 1.2) distribution anchored at `base_scale` — many
+    /// small modules interleaved with a few much larger ones, the mix
+    /// that leaves the fabric checkerboarded once mid-sized tenants
+    /// depart. Scales are capped at `32 × base_scale` so the tail stays
+    /// on-device. Arrivals and lifetimes are exponential with the given
+    /// means. Fully deterministic in `seed`.
+    pub fn generate_heavy_tailed(
+        seed: u64,
+        family: Family,
+        n: u32,
+        modules: u32,
+        base_scale: u32,
+        mean_interarrival_ns: u64,
+        mean_exec_ns: u64,
+    ) -> Self {
+        let modules = modules.max(1);
+        let base = base_scale.max(16);
+        // Separate RNG stream for module sizes, so the arrival/lifetime
+        // sequence matches `generate` semantics for a given seed count.
+        let mut size_rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let pool: Vec<SynthReport> = (0..modules)
+            .map(|m| {
+                let scale =
+                    (size_rng.pareto(f64::from(base), 1.2) as u32).min(base.saturating_mul(32));
+                GenericPrm::random(seed.wrapping_add(u64::from(m) * 7919), scale).synthesize(family)
+            })
+            .collect();
+
+        let mut rng = Rng(seed | 1);
+        let mut t = 0u64;
+        let mut tasks = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            let report = &pool[rng.below(u64::from(modules)) as usize];
+            t += rng.exp(mean_interarrival_ns);
+            let exec = rng.exp(mean_exec_ns).max(1);
+            tasks.push(HwTask::from_report(id, report, t, exec));
+        }
+        Workload::new(tasks)
+    }
+
     /// Largest per-kind requirement over all tasks (what a single shared
     /// PRR must provide).
     pub fn max_needs(&self) -> Resources {
@@ -168,6 +210,14 @@ impl Rng {
         let u = ((self.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
         (-(u.ln()) * mean as f64) as u64
     }
+
+    /// Pareto(α)-distributed sample ≥ `min` via inverse transform: the
+    /// heavy tail (infinite variance for α ≤ 2) is what makes mixed
+    /// module populations fragment the fabric.
+    fn pareto(&mut self, min: f64, alpha: f64) -> f64 {
+        let u = ((self.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        min / u.powf(1.0 / alpha)
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +241,32 @@ mod tests {
         let w = Workload::generate(3, Family::Virtex5, 200, 5, 600, 1000, 1000);
         assert!(w.module_count() <= 5);
         assert!(w.module_count() >= 2, "several modules should appear");
+    }
+
+    #[test]
+    fn heavy_tailed_generator_is_deterministic_and_sorted() {
+        let a = Workload::generate_heavy_tailed(21, Family::Virtex5, 150, 12, 300, 8_000, 40_000);
+        let b = Workload::generate_heavy_tailed(21, Family::Virtex5, 150, 12, 300, 8_000, 40_000);
+        assert_eq!(a, b);
+        assert!(a
+            .tasks
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert_eq!(a.tasks.len(), 150);
+    }
+
+    #[test]
+    fn heavy_tailed_sizes_spread_wider_than_uniform_pool() {
+        // The Pareto pool must mix small and large tenants: the largest
+        // CLB footprint dwarfs the smallest, unlike `generate`'s
+        // fixed-scale pool.
+        let w = Workload::generate_heavy_tailed(7, Family::Virtex5, 400, 24, 200, 5_000, 30_000);
+        let mut clbs: Vec<u64> = w.tasks.iter().map(|t| t.needs.clb()).collect();
+        clbs.sort_unstable();
+        clbs.dedup();
+        let (min, max) = (clbs[0], *clbs.last().unwrap());
+        assert!(clbs.len() >= 4, "distinct footprints: {clbs:?}");
+        assert!(max >= 3 * min.max(1), "tail too light: min {min} max {max}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! prfpga dump <bitstream.bin>
 //! prfpga floorplan <device> --prms fir,mips,sdram
 //! prfpga sweep [--json <file>] [--metrics <file>]
+//! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--json <file>]
 //! ```
 
 use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -23,9 +24,10 @@ fn main() -> ExitCode {
         Some("floorplan") => cmd_floorplan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("defrag") => cmd_defrag(&args[1..]),
         _ => {
             eprintln!(
-                "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep> ...\n\
+                "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep|defrag> ...\n\
                  \n\
                  devices                                    list the device database\n\
                  plan <device> --syr <file>                 plan a PRR from an XST report\n\
@@ -35,7 +37,10 @@ fn main() -> ExitCode {
                  floorplan <device> --prms a,b,c            jointly place one PRR per PRM\n\
                  simulate <device> --trace FILE [--prrs N]  replay a task trace\n\
                           [--clb C --dsp D --bram B --height H] [--preemptive]\n\
-                 sweep [--json FILE] [--metrics FILE]       evaluate every PRM on every device"
+                 sweep [--json FILE] [--metrics FILE]       evaluate every PRM on every device\n\
+                 defrag [--device NAME] [--seed S] [--tasks N] [--modules M] [--scale K]\n\
+                        [--policy never|threshold|always] [--threshold R] [--json FILE]\n\
+                                                            dynamic layout sim, defrag vs baseline"
             );
             return ExitCode::from(2);
         }
@@ -257,6 +262,100 @@ fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
     if let Some(path) = flag(args, "--metrics") {
         std::fs::write(path, serde_json::to_string_pretty(&run.metrics)?)?;
         println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_defrag(args: &[String]) -> Result<(), AnyError> {
+    use prfpga::layout::{simulate_layout, DefragPolicy, LayoutConfig, LayoutReport};
+
+    let device = fabric::device_by_name(flag(args, "--device").unwrap_or("xc5vlx110t"))?;
+    let num = |name: &str, default: u64| -> u64 {
+        flag(args, name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seed = num("--seed", 12);
+    let tasks = num("--tasks", 200) as u32;
+    let modules = num("--modules", 16) as u32;
+    let scale = num("--scale", 1500) as u32;
+    let ratio: f64 = flag(args, "--threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let policy = match flag(args, "--policy").unwrap_or("always") {
+        "never" => DefragPolicy::Never,
+        "threshold" => DefragPolicy::Threshold(ratio),
+        "always" => DefragPolicy::Always,
+        other => return Err(format!("unknown policy `{other}` (never|threshold|always)").into()),
+    };
+
+    let workload = Workload::generate_heavy_tailed(
+        seed,
+        device.family(),
+        tasks,
+        modules,
+        scale,
+        num("--interarrival", 40_000),
+        num("--exec", 400_000),
+    );
+    let run = |policy| {
+        simulate_layout(
+            &device,
+            &workload,
+            &LayoutConfig {
+                policy,
+                ..LayoutConfig::default()
+            },
+        )
+    };
+    let baseline = run(DefragPolicy::Never);
+    let report = run(policy);
+
+    println!(
+        "{} tasks (heavy-tailed, seed {seed}) on {}: {policy:?} vs Never",
+        workload.tasks.len(),
+        device.name()
+    );
+    let row = |label: &str, r: &LayoutReport| {
+        println!(
+            "{label:<10} admitted {:>4}  rej(frag) {:>4}  rej(cap) {:>4}  \
+             relocations {:>3} ({:.3} ms, {} B)  makespan {:.3} ms  frag peak {:.2}",
+            r.admitted,
+            r.rejected_fragmentation,
+            r.rejected_capacity,
+            r.relocations,
+            r.relocation_ns as f64 / 1e6,
+            r.relocated_bytes,
+            r.makespan_ns as f64 / 1e6,
+            r.peak_fragmentation,
+        );
+    };
+    row("never", &baseline);
+    row("chosen", &report);
+    let gained = report.admitted as i64 - baseline.admitted as i64;
+    println!(
+        "defrag admitted {gained:+} tasks for {} relocations ({} defrag-enabled admissions)",
+        report.relocations, report.defrag_admissions
+    );
+
+    if let Some(path) = flag(args, "--json") {
+        #[derive(serde::Serialize)]
+        struct DefragRun {
+            device: String,
+            seed: u64,
+            tasks: u32,
+            baseline: LayoutReport,
+            report: LayoutReport,
+        }
+        let out = DefragRun {
+            device: device.name().to_string(),
+            seed,
+            tasks,
+            baseline,
+            report,
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&out)?)?;
+        println!("wrote defrag comparison to {path}");
     }
     Ok(())
 }

@@ -30,6 +30,8 @@
 //! * [`bitstream`] — partial bitstream writer/parser and the ICAP model.
 //! * [`parflow`] — the simulated PR design flow the models replace.
 //! * [`multitask`] — hardware-multitasking discrete-event simulation.
+//! * [`layout`] — online layout manager: free-space tracking,
+//!   fragmentation metrics, ICAP-costed defragmentation.
 //! * [`baselines`] — prior-work cost models and naive sizing strategies.
 
 #![forbid(unsafe_code)]
@@ -38,6 +40,7 @@
 pub use baselines;
 pub use bitstream;
 pub use fabric;
+pub use layout;
 pub use multitask;
 pub use parflow;
 pub use prcost;
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use baselines::{ClausModel, FarmModel, NaiveStrategy, PapadimitriouModel};
     pub use bitstream::{IcapModel, PartialBitstream};
     pub use fabric::{self, Device, DeviceGeometry, Family, ResourceKind, Resources};
+    pub use layout::{simulate_layout, DefragPolicy, LayoutConfig, LayoutManager};
     pub use multitask::{simulate, PrSystem, Workload};
     pub use parflow::flow::{run_flow, run_paper_flow, FlowOptions};
     pub use prcost::{
