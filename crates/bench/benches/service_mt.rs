@@ -1,0 +1,416 @@
+//! Criterion bench: warm-memo plan throughput and latency for the
+//! sharded concurrent engine and the async planning service, against the
+//! frozen seed engine (`prcost::engine::reference::ReferenceEngine`,
+//! three coarse `RwLock<HashMap>`s, a `String`+`Vec` key allocated per
+//! lookup, and a full `PrrPlan`+`SearchTrace` clone on every hit).
+//!
+//! Three measurements:
+//!
+//! * *Warm hit* (criterion): a single thread replaying memoized points
+//!   through both engines — the per-lookup cost the sharding/interning
+//!   rework targets.
+//! * *Worker scaling* (artifact): 1/4/8/16 `std::thread::scope` workers
+//!   replaying a mixed feasible/infeasible warm workload, per-op latency
+//!   sampled with `Instant`; throughput plus p50/p99 per engine per
+//!   worker count.
+//! * *Service end-to-end* (artifact): the same workload submitted through
+//!   [`PlanService`] at 1/4/8/16 workers, latency taken from the
+//!   engine's own `service` stage histogram (submit → ticket resolved).
+//!
+//! The bench binary installs a counting `#[global_allocator]` and asserts
+//! the engine's documented contract that a warm [`Engine::plan_arc`] hit
+//! performs **zero heap allocation** (streamed layout-hash intern lookup,
+//! packed-key shard probe, `Arc` clone). The artifact lands in
+//! `results/BENCH_service.json`.
+
+use criterion::{criterion_group, Criterion};
+use fabric::Device;
+use prcost::engine::reference::ReferenceEngine;
+use prcost::{Engine, PlanScratch, PlanService, PrrRequirements, ServiceConfig};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+use synth::{PrmGenerator, SynthReport};
+
+/// Counts every heap allocation made through the global allocator so the
+/// warm-hit path can be asserted allocation-free.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The mixed warm workload: the six PRM generators plus synthetic
+/// feasible and infeasible reports, on both paper devices. Every point
+/// is planned once to warm the memo, then replayed as pure hits.
+fn workload() -> Vec<(SynthReport, Device)> {
+    let devices = [
+        fabric::database::xc5vlx110t(),
+        fabric::database::xc6vlx75t(),
+    ];
+    let generators: Vec<Box<dyn PrmGenerator>> = vec![
+        Box::new(FirFilter::paper()),
+        Box::new(MipsCore::paper()),
+        Box::new(SdramController::paper()),
+        Box::new(Uart::standard()),
+        Box::new(AesEngine::standard()),
+        Box::new(FftCore::standard()),
+    ];
+    let mut points = Vec::new();
+    for device in &devices {
+        for generator in &generators {
+            points.push((generator.synthesize(device.family()), device.clone()));
+        }
+        // Padded-fallback points: BRAM/DSP mixes with no exact window.
+        for (dsps, brams) in [(0u64, 24u64), (16, 16), (24, 48)] {
+            points.push((
+                SynthReport {
+                    module: format!("padded_d{dsps}_b{brams}"),
+                    family: device.family(),
+                    lut_ff_pairs: 96,
+                    luts: 72,
+                    ffs: 72,
+                    dsps,
+                    brams,
+                },
+                device.clone(),
+            ));
+        }
+        // Infeasible points: requirements no window on the part satisfies,
+        // memoized as `Err` and replayed as hits like any other plan.
+        for scale in [1u64, 2] {
+            points.push((
+                SynthReport {
+                    module: format!("oversize_x{scale}"),
+                    family: device.family(),
+                    lut_ff_pairs: 400_000 * scale,
+                    luts: 300_000 * scale,
+                    ffs: 300_000 * scale,
+                    dsps: 4_000 * scale,
+                    brams: 4_000 * scale,
+                },
+                device.clone(),
+            ));
+        }
+    }
+    points
+}
+
+fn warm_sharded(points: &[(SynthReport, Device)]) -> Engine {
+    let engine = Engine::new();
+    let mut scratch = PlanScratch::default();
+    for (report, device) in points {
+        black_box(engine.plan_arc(report, device, &mut scratch));
+    }
+    engine
+}
+
+fn warm_reference(points: &[(SynthReport, Device)]) -> ReferenceEngine {
+    let engine = ReferenceEngine::new();
+    for (report, device) in points {
+        black_box(engine.plan(report, device).ok());
+    }
+    engine
+}
+
+fn bench_warm_hits(c: &mut Criterion) {
+    let points = workload();
+    let sharded = warm_sharded(&points);
+    let reference = warm_reference(&points);
+
+    let mut g = c.benchmark_group("service");
+    g.bench_function("warm_hit_reference", |b| {
+        b.iter(|| {
+            for (report, device) in &points {
+                black_box(reference.plan(report, device).ok());
+            }
+        })
+    });
+    g.bench_function("warm_hit_sharded", |b| {
+        let mut scratch = PlanScratch::default();
+        b.iter(|| {
+            for (report, device) in &points {
+                black_box(sharded.plan_arc(report, device, &mut scratch));
+            }
+        })
+    });
+    g.finish();
+}
+
+#[derive(Serialize)]
+struct EngineSide {
+    plans_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    workers: usize,
+    ops: usize,
+    reference: EngineSide,
+    sharded: EngineSide,
+    sharded_over_reference: f64,
+}
+
+#[derive(Serialize)]
+struct ServiceRow {
+    workers: usize,
+    ops: usize,
+    plans_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct ServiceBenchArtifact {
+    devices: Vec<String>,
+    distinct_points: usize,
+    /// Warm `plan_arc` hits replayed under the counting allocator.
+    alloc_check_hits: u64,
+    /// Heap allocations observed during those hits — asserted zero.
+    alloc_check_allocations: u64,
+    scaling: Vec<ScalingRow>,
+    service: Vec<ServiceRow>,
+    /// Headline figure: warm-hit throughput ratio at 16 workers.
+    speedup_at_16_workers: f64,
+}
+
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Every `LATENCY_SAMPLE`-th replay op is individually timed for the
+/// percentile figures; the rest run back to back so the throughput number
+/// is not dominated by clock reads (`Instant::now` costs a measurable
+/// fraction of a warm hit on this scale).
+const LATENCY_SAMPLE: usize = 8;
+
+/// Replay `ops` warm points across `workers` threads against one engine.
+/// Returns throughput and sampled latency percentiles.
+fn replay<E: Sync>(
+    points: &[(SynthReport, Device)],
+    ops: usize,
+    workers: usize,
+    plan_one: &(dyn Fn(&E, &SynthReport, &Device, &mut PlanScratch) + Sync),
+    engine: &E,
+) -> EngineSide {
+    let indices: Vec<usize> = (0..ops).map(|i| i % points.len()).collect();
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = indices
+            .chunks(ops.div_ceil(workers))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = PlanScratch::default();
+                    let mut lat = Vec::with_capacity(chunk.len() / LATENCY_SAMPLE + 1);
+                    for (n, &i) in chunk.iter().enumerate() {
+                        let (report, device) = &points[i];
+                        if n % LATENCY_SAMPLE == 0 {
+                            let t = Instant::now();
+                            plan_one(engine, report, device, &mut scratch);
+                            lat.push(t.elapsed().as_secs_f64() * 1e6);
+                        } else {
+                            plan_one(engine, report, device, &mut scratch);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    EngineSide {
+        plans_per_sec: ops as f64 / elapsed,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+/// Run `ops` warm submissions through a fresh [`PlanService`] with
+/// `workers` planner threads; latency comes from the engine's `service`
+/// stage histogram (submit → ticket resolution, recorded by the worker).
+fn service_row(points: &[(SynthReport, Device)], ops: usize, workers: usize) -> ServiceRow {
+    let engine = Arc::new(warm_sharded(points));
+    let mut service = PlanService::with_engine(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers,
+            queue_capacity: 256,
+            batch_size: 32,
+        },
+    );
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let (report, device) = &points[i % points.len()];
+        let tenant = if i % 3 == 0 { "alice" } else { "bob" };
+        tickets.push(
+            service
+                .submit(tenant, PrrRequirements::from_report(report), device)
+                .expect("service accepts before shutdown"),
+        );
+    }
+    for ticket in &tickets {
+        black_box(ticket.wait());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    service.shutdown();
+    let snapshot = engine.snapshot();
+    let stage = snapshot
+        .stages
+        .iter()
+        .find(|s| s.name == "service")
+        .expect("service stage recorded");
+    ServiceRow {
+        workers,
+        ops,
+        plans_per_sec: ops as f64 / elapsed,
+        p50_us: stage.p50_ns as f64 / 1e3,
+        p99_us: stage.p99_ns as f64 / 1e3,
+    }
+}
+
+fn emit_artifact() {
+    let points = workload();
+    let sharded = warm_sharded(&points);
+    let reference = warm_reference(&points);
+
+    // Zero-allocation warm-hit check: every point is memoized, so each
+    // `plan_arc` is an intern lookup + shard probe + `Arc` clone. The
+    // scratch is preallocated and untouched on the hit path.
+    let mut scratch = PlanScratch::default();
+    let check_rounds = 2_000u64;
+    for (report, device) in &points {
+        black_box(sharded.plan_arc(report, device, &mut scratch));
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..check_rounds {
+        for (report, device) in &points {
+            black_box(sharded.plan_arc(report, device, &mut scratch));
+        }
+    }
+    let alloc_check_allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    let alloc_check_hits = check_rounds * points.len() as u64;
+    assert_eq!(
+        alloc_check_allocations, 0,
+        "warm plan_arc hits must not allocate ({alloc_check_allocations} allocations \
+         over {alloc_check_hits} hits)"
+    );
+
+    let ops = 40_000usize;
+    let plan_sharded =
+        |engine: &Engine, report: &SynthReport, device: &Device, scratch: &mut PlanScratch| {
+            black_box(engine.plan_arc(report, device, scratch));
+        };
+    let plan_reference =
+        |engine: &ReferenceEngine, report: &SynthReport, device: &Device, _: &mut PlanScratch| {
+            black_box(engine.plan(report, device).ok());
+        };
+
+    let mut scaling = Vec::new();
+    for workers in [1usize, 4, 8, 16] {
+        let reference_side = replay(&points, ops, workers, &plan_reference, &reference);
+        let sharded_side = replay(&points, ops, workers, &plan_sharded, &sharded);
+        scaling.push(ScalingRow {
+            workers,
+            ops,
+            sharded_over_reference: sharded_side.plans_per_sec / reference_side.plans_per_sec,
+            reference: reference_side,
+            sharded: sharded_side,
+        });
+    }
+
+    let service: Vec<ServiceRow> = [1usize, 4, 8, 16]
+        .iter()
+        .map(|&workers| service_row(&points, 8_000, workers))
+        .collect();
+
+    let speedup_at_16_workers = scaling
+        .iter()
+        .find(|row| row.workers == 16)
+        .expect("16-worker row present")
+        .sharded_over_reference;
+
+    let artifact = ServiceBenchArtifact {
+        devices: vec![
+            fabric::database::xc5vlx110t().name().to_string(),
+            fabric::database::xc6vlx75t().name().to_string(),
+        ],
+        distinct_points: points.len(),
+        alloc_check_hits,
+        alloc_check_allocations,
+        scaling,
+        service,
+        speedup_at_16_workers,
+    };
+
+    println!(
+        "warm-hit zero-alloc check: {} hits, {} allocations",
+        artifact.alloc_check_hits, artifact.alloc_check_allocations
+    );
+    for row in &artifact.scaling {
+        println!(
+            "replay x{:2}: reference {:9.0} pps (p99 {:7.2} us) | sharded {:9.0} pps \
+             (p99 {:7.2} us) | {:5.1}x",
+            row.workers,
+            row.reference.plans_per_sec,
+            row.reference.p99_us,
+            row.sharded.plans_per_sec,
+            row.sharded.p99_us,
+            row.sharded_over_reference,
+        );
+    }
+    for row in &artifact.service {
+        println!(
+            "service x{:2}: {:9.0} pps, p50 {:7.2} us, p99 {:7.2} us",
+            row.workers, row.plans_per_sec, row.p50_us, row.p99_us
+        );
+    }
+    assert!(
+        artifact.speedup_at_16_workers >= 4.0,
+        "sharded warm-hit throughput at 16 workers must be >= 4x the RwLock baseline \
+         (measured {:.2}x)",
+        artifact.speedup_at_16_workers
+    );
+    bench::write_json("BENCH_service", &artifact);
+}
+
+criterion_group!(benches, bench_warm_hits);
+
+// A custom main instead of criterion_main! so the artifact emitter runs
+// after the criterion group.
+fn main() {
+    benches();
+    emit_artifact();
+}

@@ -3,9 +3,13 @@
 use crate::search::SearchTrace;
 use core::fmt;
 use fabric::Family;
+use serde::{Deserialize, Serialize};
 
 /// Errors from PRR planning.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so memoized `Err` plans survive engine-snapshot
+/// persist/reload byte-for-byte alongside the `Ok` ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CostError {
     /// The synthesis report targets a different family than the device.
     FamilyMismatch {

@@ -50,10 +50,12 @@ pub mod prr;
 pub mod report;
 pub mod requirements;
 pub mod search;
+pub mod service;
+pub mod shard;
 pub mod timing;
 
 pub use bits::{bitstream_size_bytes, BitstreamBreakdown};
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot, SnapshotError};
 pub use error::CostError;
 pub use full::{full_bitstream_size_bytes, FullBitstreamBreakdown};
 pub use metrics::{Metrics, MetricsSnapshot};
@@ -61,4 +63,9 @@ pub use multi::plan_shared_prr;
 pub use prr::{PrrOrganization, Utilization};
 pub use report::datasheet;
 pub use requirements::PrrRequirements;
-pub use search::{plan_prr, plan_prr_cached, Candidate, PlanScratch, PrrPlan, SearchTrace};
+pub use search::{
+    plan_prr, plan_prr_cached, plan_requirements_cached, Candidate, PlanScratch, PrrPlan,
+    SearchTrace,
+};
+pub use service::{PlanService, ServiceConfig};
+pub use shard::{DeviceId, PlanKey, Sharded};

@@ -109,6 +109,11 @@ pub struct Metrics {
     pub plans: Counter,
     /// Plans answered from the engine's whole-plan memo.
     pub plan_cache_hits: Counter,
+    /// Plans actually computed and inserted into the memo (memo misses
+    /// that won the insertion race). The engine's accounting invariant is
+    /// `plan_builds + plan_cache_hits == plans`: every plan either built
+    /// its memo entry or was served by someone else's.
+    pub plan_builds: Counter,
     /// Plans that found a feasible PRR.
     pub plans_feasible: Counter,
     /// Plans that failed (no placement, mismatched family, ...).
@@ -179,8 +184,28 @@ impl Metrics {
         self.labeled.lock().get(label).copied().unwrap_or(0)
     }
 
-    /// Consistent point-in-time copy of all counters, labeled counters
-    /// and stages.
+    /// Copy of all counters, labeled counters and stages.
+    ///
+    /// A snapshot taken while workers are bumping counters is **not** an
+    /// atomic cut of the registry — the counters are independent relaxed
+    /// atomics, and no lock synchronizes them. (An earlier revision
+    /// claimed a "consistent point-in-time copy"; that was never true.)
+    /// What a concurrent snapshot *does* guarantee is that the engine's
+    /// accounting inequalities hold in the copy:
+    ///
+    /// * `plans_feasible + plans_infeasible <= plans`
+    /// * `plan_builds + plan_cache_hits <= plans`
+    ///
+    /// This works because the engine bumps each total **before** its
+    /// parts (a plan increments `plans`, then later exactly one of the
+    /// outcome and one of the build/hit counters), while the snapshot
+    /// reads the parts **before** the totals: any part-increment visible
+    /// to the early read had its total-increment ordered before it, so
+    /// the later total read sees at least as many. The gaps, if any, are
+    /// exactly the plans in flight between the two reads; on a quiescent
+    /// registry both inequalities are equalities. Each `BTreeMap` behind
+    /// a mutex (stages, labeled counters) is internally consistent — it
+    /// is copied under its lock.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let labeled = self
             .labeled
@@ -207,6 +232,13 @@ impl Metrics {
                 p99_ns: s.quantile_ns(0.99),
             })
             .collect();
+        // Parts strictly before totals (see the doc comment): outcome and
+        // build/hit splits first, `plans` last.
+        let plans_feasible = self.plans_feasible.get();
+        let plans_infeasible = self.plans_infeasible.get();
+        let plan_cache_hits = self.plan_cache_hits.get();
+        let plan_builds = self.plan_builds.get();
+        let plans = self.plans.get();
         MetricsSnapshot {
             counters: CounterSnapshot {
                 synth_calls: self.synth_calls.get(),
@@ -219,10 +251,11 @@ impl Metrics {
                 window_probes: 0,
                 distinct_compositions: 0,
                 padded_fallbacks: self.padded_fallbacks.get(),
-                plans: self.plans.get(),
-                plan_cache_hits: self.plan_cache_hits.get(),
-                plans_feasible: self.plans_feasible.get(),
-                plans_infeasible: self.plans_infeasible.get(),
+                plans,
+                plan_cache_hits,
+                plan_builds,
+                plans_feasible,
+                plans_infeasible,
             },
             stages,
             labeled,
@@ -253,6 +286,9 @@ pub struct CounterSnapshot {
     pub plans: u64,
     /// Plans answered from the whole-plan memo.
     pub plan_cache_hits: u64,
+    /// Plans computed and inserted into the memo (`plan_builds +
+    /// plan_cache_hits == plans` on a quiescent engine).
+    pub plan_builds: u64,
     /// Plans with a feasible PRR.
     pub plans_feasible: u64,
     /// Plans that failed.
@@ -439,6 +475,7 @@ mod tests {
             padded_fallbacks: 2,
             plans: 4,
             plan_cache_hits: 1,
+            plan_builds: 3,
             plans_feasible: 3,
             plans_infeasible: 1,
         };
@@ -455,6 +492,7 @@ mod tests {
             padded_fallbacks: 0,
             plans: 0,
             plan_cache_hits: 0,
+            plan_builds: 0,
             plans_feasible: 0,
             plans_infeasible: 0,
         };

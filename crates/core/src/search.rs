@@ -15,8 +15,10 @@ use crate::error::CostError;
 use crate::metrics::Metrics;
 use crate::prr::{OrganizationError, PrrOrganization, Utilization};
 use crate::requirements::PrrRequirements;
+use crate::shard::{DeviceEntry, DeviceId, EngineToken};
 use fabric::{Device, DeviceGeometry, Window, WindowRequest};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use synth::SynthReport;
 
 /// Cap on the extra DSP columns the padded-window fallback will absorb
@@ -78,7 +80,18 @@ pub struct PlanScratch {
     /// Cumulative count of padded-fallback enumerations resolved through
     /// this scratch (never reset; callers read deltas).
     padded_resolutions: u64,
+    /// Recently resolved device interns, tagged with the owning engine's
+    /// token (see [`EngineToken`]): a repeat plan against the same engine
+    /// and device skips the layout hash and the interner's shared read
+    /// lock entirely — one structural comparison against the entry's own
+    /// device copy. Bounded; purely an accelerator, never authoritative.
+    device_cache: Vec<(EngineToken, DeviceId, Arc<DeviceEntry>)>,
 }
+
+/// Entries kept in [`PlanScratch`]'s device-resolution cache. Sweeps
+/// touch a handful of devices per worker; the cache is scanned linearly
+/// so it must stay small.
+const DEVICE_CACHE_CAP: usize = 8;
 
 impl PlanScratch {
     /// Cumulative number of padded-fallback resolutions (full padding
@@ -86,6 +99,34 @@ impl PlanScratch {
     /// engine folds per-plan deltas into its metrics registry.
     pub fn padded_resolution_count(&self) -> u64 {
         self.padded_resolutions
+    }
+
+    /// The cached intern of `device` under the engine identified by
+    /// `token`, if present. Structural equality against the interned copy
+    /// keeps a stale or colliding entry from ever resolving wrong.
+    pub(crate) fn cached_device(
+        &self,
+        token: EngineToken,
+        device: &Device,
+    ) -> Option<(DeviceId, Arc<DeviceEntry>)> {
+        self.device_cache
+            .iter()
+            .find(|(t, _, entry)| *t == token && entry.device == *device)
+            .map(|(_, id, entry)| (*id, Arc::clone(entry)))
+    }
+
+    /// Remember that `device` interned to `(id, entry)` under the engine
+    /// identified by `token`, evicting the oldest entry at capacity.
+    pub(crate) fn cache_device(
+        &mut self,
+        token: EngineToken,
+        id: DeviceId,
+        entry: &Arc<DeviceEntry>,
+    ) {
+        if self.device_cache.len() >= DEVICE_CACHE_CAP {
+            self.device_cache.remove(0);
+        }
+        self.device_cache.push((token, id, Arc::clone(entry)));
     }
 }
 
@@ -225,13 +266,32 @@ pub fn plan_prr_cached(
     geometry: &DeviceGeometry,
     scratch: &mut PlanScratch,
 ) -> Result<PrrPlan, CostError> {
-    if report.family != device.family() {
-        return Err(CostError::FamilyMismatch {
-            report: report.family,
-            device: device.family(),
-        });
-    }
-    let req = PrrRequirements::from_report(report);
+    plan_requirements_cached(
+        &PrrRequirements::from_report(report),
+        device,
+        geometry,
+        scratch,
+    )
+}
+
+/// [`plan_prr_cached`] from explicit requirements, skipping the synthesis
+/// report entirely.
+///
+/// This is the planning primitive under the memoizing engine and the
+/// async planning service: both key their memos on `(requirements,
+/// device)` — a plan is a pure function of exactly these inputs — so on a
+/// miss they plan from the requirements they already hold instead of
+/// reconstituting a report. Behaviorally identical to
+/// [`plan_prr_from_requirements`] (the family and emptiness rejections
+/// happen in the same order), with window probes answered from
+/// `geometry`'s composition index and the padded fallback height-factored
+/// through `scratch`.
+pub fn plan_requirements_cached(
+    req: &PrrRequirements,
+    device: &Device,
+    geometry: &DeviceGeometry,
+    scratch: &mut PlanScratch,
+) -> Result<PrrPlan, CostError> {
     if req.family != device.family() {
         return Err(CostError::FamilyMismatch {
             report: req.family,
@@ -244,9 +304,9 @@ pub fn plan_prr_cached(
     scratch.resolutions.clear();
     let mut candidates = Vec::with_capacity(device.rows() as usize);
     for h in 1..=device.rows() {
-        candidates.push(evaluate_height_cached(&req, device, h, geometry, scratch));
+        candidates.push(evaluate_height_cached(req, device, h, geometry, scratch));
     }
-    select_best(&req, device, candidates)
+    select_best(req, device, candidates)
 }
 
 /// The seed per-height planning loop, driven through an arbitrary window

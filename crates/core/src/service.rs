@@ -1,0 +1,573 @@
+//! Asynchronous planning service over the sharded [`Engine`].
+//!
+//! Hardware-multitasking schedulers don't plan in batch: tasks arrive
+//! online, from several tenants, and the scheduler wants each PRR plan
+//! without stalling its own loop. [`PlanService`] wraps one shared
+//! [`Engine`] behind a submit/await front-end:
+//!
+//! * **Bounded admission queue with backpressure** — [`PlanService::submit`]
+//!   enqueues a request and returns a [`PlanTicket`] immediately; when the
+//!   queue is at capacity it blocks until a worker drains space (and
+//!   [`PlanService::try_submit`] refuses instead, for callers that would
+//!   rather shed load than wait).
+//! * **Batched admission** — each worker drains up to
+//!   [`ServiceConfig::batch_size`] jobs per queue-lock acquisition, so the
+//!   queue lock is touched once per batch rather than once per job, and
+//!   per-tenant metrics are flushed once per batch rather than once per
+//!   plan.
+//! * **Tickets, sync or async** — a [`PlanTicket`] is both a blocking
+//!   handle ([`PlanTicket::wait`]) and a [`Future`], so the service drops
+//!   into an async executor unchanged; no runtime is required (or used)
+//!   here. Results are the engine's memoized
+//!   `Arc<Result<PrrPlan, CostError>>` — byte-identical to calling
+//!   [`plan_prr`](crate::plan_prr) directly, allocation-free on memo hits.
+//! * **Per-tenant labeled metrics** — every completed plan is tallied
+//!   under `tenant:<name>` in the engine's registry, alongside
+//!   service-level counters (`service:submitted`, `service:completed`,
+//!   `service:batches`) and a `"service"` latency stage whose snapshot
+//!   carries submit→completion p50/p90/p99.
+//!
+//! Shutdown is graceful: [`PlanService::shutdown`] (or drop) stops
+//! admission, lets the workers drain every queued job, and joins them —
+//! no ticket is ever abandoned unresolved.
+
+use crate::engine::Engine;
+use crate::error::CostError;
+use crate::requirements::PrrRequirements;
+use crate::search::{PlanScratch, PrrPlan};
+use crate::shard::DeviceEntry;
+use fabric::Device;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of a [`PlanService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue (min 1).
+    pub workers: usize,
+    /// Admission-queue capacity; full ⇒ `submit` blocks, `try_submit`
+    /// refuses (min 1).
+    pub queue_capacity: usize,
+    /// Maximum jobs one worker claims per queue-lock acquisition (min 1).
+    pub batch_size: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service has been shut down; no further admissions.
+    Closed,
+    /// The queue is at capacity (only from [`PlanService::try_submit`]).
+    QueueFull,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "planning service is shut down"),
+            SubmitError::QueueFull => write!(f, "planning queue is at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A planning result shared out of the engine's memo.
+pub type PlanResult = Arc<Result<PrrPlan, CostError>>;
+
+/// Pending / resolved state shared between a ticket and the worker that
+/// completes it.
+#[derive(Debug, Default)]
+struct TicketState {
+    result: Option<PlanResult>,
+    waker: Option<Waker>,
+}
+
+#[derive(Debug, Default)]
+struct TicketShared {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketShared {
+    fn complete(&self, result: PlanResult) {
+        let waker = {
+            let mut state = self.state.lock().expect("ticket lock poisoned");
+            state.result = Some(result);
+            state.waker.take()
+        };
+        self.done.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Handle to one submitted plan request: block on it with
+/// [`PlanTicket::wait`], poll it ([`PlanTicket::try_result`]), or `.await`
+/// it — the ticket is a [`Future`] resolving to the shared [`PlanResult`].
+#[derive(Debug)]
+pub struct PlanTicket {
+    shared: Arc<TicketShared>,
+}
+
+impl PlanTicket {
+    /// Block until the plan completes.
+    pub fn wait(&self) -> PlanResult {
+        let mut state = self.shared.state.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = &state.result {
+                return Arc::clone(result);
+            }
+            state = self.shared.done.wait(state).expect("ticket lock poisoned");
+        }
+    }
+
+    /// The result if already available (never blocks).
+    pub fn try_result(&self) -> Option<PlanResult> {
+        self.shared
+            .state
+            .lock()
+            .expect("ticket lock poisoned")
+            .result
+            .clone()
+    }
+}
+
+impl Future for PlanTicket {
+    type Output = PlanResult;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state.lock().expect("ticket lock poisoned");
+        if let Some(result) = &state.result {
+            Poll::Ready(Arc::clone(result))
+        } else {
+            // Latest-poll-wins: a ticket lives in one task at a time.
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// One queued planning job. The device is resolved to its interned entry
+/// at submission, so workers never re-hash layouts under the queue lock.
+#[derive(Debug)]
+struct Job {
+    tenant: Arc<str>,
+    requirements: PrrRequirements,
+    entry: Arc<DeviceEntry>,
+    submitted: Instant,
+    ticket: Arc<TicketShared>,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    engine: Arc<Engine>,
+    config: ServiceConfig,
+    queue: Mutex<Queue>,
+    /// Signals workers: jobs available (or shutdown).
+    jobs_ready: Condvar,
+    /// Signals blocked submitters: queue has space (or shutdown).
+    space_ready: Condvar,
+}
+
+/// The asynchronous planning service (see the module docs).
+#[derive(Debug)]
+pub struct PlanService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PlanService {
+    /// Start a service on a fresh engine.
+    pub fn new(config: ServiceConfig) -> Self {
+        PlanService::with_engine(Arc::new(Engine::new()), config)
+    }
+
+    /// Start a service over an existing engine — e.g. one restored via
+    /// [`Engine::import_state`], so a warm memo survives process restarts.
+    pub fn with_engine(engine: Arc<Engine>, config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            batch_size: config.batch_size.max(1),
+        };
+        let inner = Arc::new(ServiceInner {
+            engine,
+            config,
+            queue: Mutex::new(Queue::default()),
+            jobs_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("plan-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn plan worker")
+            })
+            .collect();
+        PlanService { inner, workers }
+    }
+
+    /// The shared engine (memo state, metrics, snapshot export).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Submit a plan request for `tenant`, blocking while the queue is at
+    /// capacity (bounded-queue backpressure). Returns the ticket, or
+    /// [`SubmitError::Closed`] after shutdown.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        requirements: PrrRequirements,
+        device: &Device,
+    ) -> Result<PlanTicket, SubmitError> {
+        self.admit(tenant, requirements, device, true)
+    }
+
+    /// [`PlanService::submit`] that refuses with [`SubmitError::QueueFull`]
+    /// instead of blocking when the queue is at capacity.
+    pub fn try_submit(
+        &self,
+        tenant: &str,
+        requirements: PrrRequirements,
+        device: &Device,
+    ) -> Result<PlanTicket, SubmitError> {
+        self.admit(tenant, requirements, device, false)
+    }
+
+    fn admit(
+        &self,
+        tenant: &str,
+        requirements: PrrRequirements,
+        device: &Device,
+        block: bool,
+    ) -> Result<PlanTicket, SubmitError> {
+        // Intern outside the queue lock: warm devices cost a hash + read
+        // lock here and nothing in the workers.
+        let (_, entry) = self.inner.engine.intern_device(device);
+        let job = Job {
+            tenant: Arc::from(tenant),
+            requirements,
+            entry,
+            submitted: Instant::now(),
+            ticket: Arc::new(TicketShared::default()),
+        };
+        let ticket = PlanTicket {
+            shared: Arc::clone(&job.ticket),
+        };
+        let mut queue = self.inner.queue.lock().expect("service queue poisoned");
+        loop {
+            if queue.closed {
+                return Err(SubmitError::Closed);
+            }
+            if queue.jobs.len() < self.inner.config.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(SubmitError::QueueFull);
+            }
+            queue = self
+                .inner
+                .space_ready
+                .wait(queue)
+                .expect("service queue poisoned");
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.inner
+            .engine
+            .metrics()
+            .incr_labeled("service:submitted");
+        self.inner.jobs_ready.notify_one();
+        Ok(ticket)
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Stop admission, drain every queued job, and join the workers.
+    /// Every ticket issued before shutdown resolves; later submissions
+    /// are refused with [`SubmitError::Closed`]. Idempotent, and also run
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("service queue poisoned");
+            queue.closed = true;
+        }
+        self.inner.jobs_ready.notify_all();
+        self.inner.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Worker: claim up to `batch_size` jobs per lock acquisition, plan them
+/// against the shared engine, resolve tickets, and flush per-tenant
+/// counters once per batch.
+fn worker_loop(inner: &ServiceInner) {
+    let mut scratch = PlanScratch::default();
+    let mut batch: Vec<Job> = Vec::with_capacity(inner.config.batch_size);
+    let mut tenant_counts: BTreeMap<Arc<str>, u64> = BTreeMap::new();
+    loop {
+        {
+            let mut queue = inner.queue.lock().expect("service queue poisoned");
+            loop {
+                if !queue.jobs.is_empty() {
+                    break;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = inner
+                    .jobs_ready
+                    .wait(queue)
+                    .expect("service queue poisoned");
+            }
+            let take = queue.jobs.len().min(inner.config.batch_size);
+            batch.extend(queue.jobs.drain(..take));
+        }
+        // Freed `take` slots: wake every blocked submitter (they re-check
+        // capacity themselves) and, if jobs remain, another worker.
+        inner.space_ready.notify_all();
+        inner.jobs_ready.notify_one();
+
+        let metrics = inner.engine.metrics();
+        for job in batch.drain(..) {
+            let result =
+                inner
+                    .engine
+                    .plan_requirements(&job.requirements, &job.entry.device, &mut scratch);
+            metrics.record_stage("service", job.submitted.elapsed());
+            *tenant_counts.entry(Arc::clone(&job.tenant)).or_insert(0) += 1;
+            job.ticket.complete(result);
+        }
+        let completed: u64 = tenant_counts.values().sum();
+        for (tenant, count) in &tenant_counts {
+            metrics.add_labeled(&format!("tenant:{tenant}"), *count);
+        }
+        tenant_counts.clear();
+        metrics.add_labeled("service:completed", completed);
+        metrics.incr_labeled("service:batches");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::plan_prr_from_requirements;
+    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use fabric::Family;
+    use std::task::Wake;
+
+    fn reqs(family: Family, n: u64) -> PrrRequirements {
+        PrrRequirements::new(family, 40 * n + 8, 30 * n, 30 * n, n % 5, n % 3)
+    }
+
+    #[test]
+    fn service_results_match_direct_planning() {
+        let mut service = PlanService::new(ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            batch_size: 8,
+        });
+        let v5 = xc5vlx110t();
+        let tickets: Vec<(PrrRequirements, PlanTicket)> = (0..40)
+            .map(|n| {
+                let r = reqs(Family::Virtex5, n);
+                let t = service.submit("alice", r, &v5).unwrap();
+                (r, t)
+            })
+            .collect();
+        for (r, ticket) in tickets {
+            let via_service = ticket.wait();
+            let direct = plan_prr_from_requirements(&r, &v5);
+            assert_eq!(*via_service, direct, "{r:?}");
+        }
+        let snap = service.engine().snapshot();
+        assert_eq!(snap.labeled_value("tenant:alice"), 40);
+        assert_eq!(snap.labeled_value("service:submitted"), 40);
+        assert_eq!(snap.labeled_value("service:completed"), 40);
+        assert!(snap
+            .stages
+            .iter()
+            .any(|s| s.name == "service" && s.count == 40));
+        service.shutdown();
+    }
+
+    #[test]
+    fn tenants_are_tallied_separately() {
+        let service = PlanService::new(ServiceConfig::default());
+        let v6 = xc6vlx75t();
+        let mut tickets = Vec::new();
+        for n in 0..6 {
+            tickets.push(
+                service
+                    .submit("alice", reqs(Family::Virtex6, n), &v6)
+                    .unwrap(),
+            );
+        }
+        for n in 0..3 {
+            tickets.push(
+                service
+                    .submit("bob", reqs(Family::Virtex6, n), &v6)
+                    .unwrap(),
+            );
+        }
+        for t in tickets {
+            t.wait();
+        }
+        let snap = service.engine().snapshot();
+        assert_eq!(snap.labeled_value("tenant:alice"), 6);
+        assert_eq!(snap.labeled_value("tenant:bob"), 3);
+        // Bob's three points repeat Alice's: served from the shared memo.
+        assert_eq!(snap.counters.plan_cache_hits, 3);
+        assert_eq!(snap.counters.plan_builds, 6);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full() {
+        // One worker, tiny queue: stuff it faster than it drains.
+        let mut service = PlanService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            batch_size: 1,
+        });
+        let v5 = xc5vlx110t();
+        let mut admitted = Vec::new();
+        let mut refused = 0u32;
+        for n in 0..200 {
+            match service.try_submit("t", reqs(Family::Virtex5, n % 7), &v5) {
+                Ok(t) => admitted.push(t),
+                Err(SubmitError::QueueFull) => refused += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        for t in &admitted {
+            t.wait();
+        }
+        // Everything admitted completed; the rest was refused, not lost.
+        assert_eq!(
+            service
+                .engine()
+                .snapshot()
+                .labeled_value("service:completed"),
+            admitted.len() as u64
+        );
+        // With a 2-deep queue and 200 rapid submissions, some must have
+        // been refused (the blocking path is covered by the stress suite).
+        assert!(refused > 0, "queue never filled");
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_all_pending_tickets_and_closes_admission() {
+        let mut service = PlanService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            batch_size: 4,
+        });
+        let v5 = xc5vlx110t();
+        let tickets: Vec<PlanTicket> = (0..64)
+            .map(|n| service.submit("t", reqs(Family::Virtex5, n), &v5).unwrap())
+            .collect();
+        let engine = Arc::clone(service.engine());
+        service.shutdown();
+        for t in &tickets {
+            assert!(t.try_result().is_some(), "shutdown drained every job");
+        }
+        assert_eq!(engine.snapshot().labeled_value("service:completed"), 64);
+    }
+
+    struct Unparker(std::thread::Thread);
+
+    impl Wake for Unparker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Minimal park-based executor: enough to prove the ticket is a real
+    /// `Future` that wakes its task on completion. `Unpin` keeps this
+    /// inside the crate's `forbid(unsafe_code)` (tickets are trivially
+    /// `Unpin`: their only field is an `Arc`).
+    fn block_on<F: Future + Unpin>(mut future: F) -> F::Output {
+        let waker = Waker::from(Arc::new(Unparker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match Pin::new(&mut future).poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    #[test]
+    fn tickets_are_awaitable_futures() {
+        let mut service = PlanService::new(ServiceConfig::default());
+        let v5 = xc5vlx110t();
+        let r = reqs(Family::Virtex5, 3);
+        let ticket = service.submit("async", r, &v5).unwrap();
+        let via_await = block_on(ticket);
+        assert_eq!(*via_await, plan_prr_from_requirements(&r, &v5));
+        service.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let mut service = PlanService::new(ServiceConfig::default());
+        let v5 = xc5vlx110t();
+        service.submit("t", reqs(Family::Virtex5, 1), &v5).unwrap();
+        service.shutdown();
+        assert!(matches!(
+            service.submit("t", reqs(Family::Virtex5, 2), &v5),
+            Err(SubmitError::Closed)
+        ));
+        assert!(matches!(
+            service.try_submit("t", reqs(Family::Virtex5, 2), &v5),
+            Err(SubmitError::Closed)
+        ));
+    }
+}

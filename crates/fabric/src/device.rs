@@ -7,6 +7,16 @@ use crate::resource::{ResourceKind, Resources};
 use crate::window::{Window, WindowRequest};
 use serde::{Deserialize, Serialize};
 
+/// The splitmix64 finalizer: a fast, well-mixed 64→64-bit hash used
+/// throughout the workspace for packed-key hashing and shard selection
+/// (the same mixer the composition index's probe hasher uses).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// One FPGA part: a family, a number of fabric rows, and an ordered list of
 /// full-height resource columns (the Virtex-5+ two-dimensional PR layout).
 ///
@@ -165,6 +175,38 @@ impl Device {
             });
         }
         Ok(())
+    }
+
+    /// Order-sensitive 64-bit hash of the device's identity — name, row
+    /// count, and the full column layout — computed by streaming the
+    /// fields through a splitmix64 chain without allocating.
+    ///
+    /// Two devices compare equal iff they agree on exactly these fields,
+    /// so equal devices always hash equal; the converse holds up to
+    /// 64-bit collisions, which is why callers that intern devices by
+    /// this hash (the planning engine) verify full equality behind it.
+    /// [`crate::DeviceGeometry`] records its source device's layout hash
+    /// at construction so downstream code can cheaply detect a
+    /// geometry/device mix-up.
+    pub fn layout_hash(&self) -> u64 {
+        let mut h = splitmix64(0x6465_7669_6365_6864 ^ self.rows as u64);
+        // Name bytes, 8 at a time (length folded in so "ab"+"c" differs
+        // from "a"+"bc" even though chunks would align).
+        h = splitmix64(h ^ self.name.len() as u64);
+        for chunk in self.name.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(word));
+        }
+        h = splitmix64(h ^ self.columns.len() as u64);
+        for chunk in self.columns.chunks(8) {
+            let mut word = [0u8; 8];
+            for (i, &kind) in chunk.iter().enumerate() {
+                word[i] = kind as u8;
+            }
+            h = splitmix64(h ^ u64::from_le_bytes(word));
+        }
+        h
     }
 
     /// Maximal runs of contiguous PRR-eligible columns (no IOB/CLK),

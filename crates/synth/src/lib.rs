@@ -34,5 +34,5 @@ pub mod xst;
 
 pub use calibration::{paper_post_par_report, paper_synth_report};
 pub use netlist::{Cell, CellKind, Net, Netlist};
-pub use prm::{PaperPrm, PrmGenerator};
+pub use prm::{GenericPrm, PaperPrm, PrmGenerator};
 pub use report::{ReportError, SynthReport};

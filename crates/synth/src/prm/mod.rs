@@ -40,6 +40,50 @@ pub trait PrmGenerator {
     /// Abstract operator counts for `family`.
     fn op_counts(&self, family: Family) -> OpCounts;
 
+    /// A 64-bit identity for this generator *configuration*, used as a
+    /// cache key by the memoizing planning engine.
+    ///
+    /// Two generators with equal fingerprints are assumed to synthesize
+    /// identical reports for every family; keying on the name alone is
+    /// not enough (two differently-parameterized generators can share a
+    /// name — e.g. two `GenericPrm`s both called `"dsp_core"` — and would
+    /// silently serve each other's cached reports). The default
+    /// implementation therefore hashes the name *and* the per-family
+    /// operator counts, which fully determine [`PrmGenerator::synthesize`]
+    /// through the default `mapping` path. Override only for generators
+    /// whose `synthesize` depends on state beyond `name`/`op_counts`.
+    fn fingerprint(&self) -> u64 {
+        use fabric::splitmix64;
+        let mut h = splitmix64(0x7072_6d5f_6669_6e67); // "prm_fing"
+        let name = self.name();
+        h = splitmix64(h ^ name.len() as u64);
+        for chunk in name.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(word));
+        }
+        for family in Family::ALL {
+            let ops = self.op_counts(family);
+            for field in [
+                u64::from(ops.mults),
+                u64::from(ops.mult_width),
+                u64::from(ops.symmetric_mults),
+                u64::from(ops.adders),
+                u64::from(ops.add_width),
+                ops.register_bits,
+                ops.mem_bits,
+                u64::from(ops.fsm_states),
+                u64::from(ops.muxes),
+                u64::from(ops.mux_width),
+                u64::from(ops.mux_inputs),
+                ops.misc_luts,
+            ] {
+                h = splitmix64(h ^ field);
+            }
+        }
+        h
+    }
+
     /// Synthesize to a resource report for `family`.
     fn synthesize(&self, family: Family) -> SynthReport {
         map(&self.name(), &self.op_counts(family), family)

@@ -25,6 +25,8 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("defrag") => cmd_defrag(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-service") => cmd_bench_service(&args[1..]),
         _ => {
             eprintln!(
                 "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep|defrag> ...\n\
@@ -40,7 +42,13 @@ fn main() -> ExitCode {
                  sweep [--json FILE] [--metrics FILE]       evaluate every PRM on every device\n\
                  defrag [--device NAME] [--seed S] [--tasks N] [--modules M] [--scale K]\n\
                         [--policy never|threshold|always] [--threshold R] [--json FILE]\n\
-                                                            dynamic layout sim, defrag vs baseline"
+                                                            dynamic layout sim, defrag vs baseline\n\
+                 serve [--workers N] [--requests R] [--tenants T] [--modules M] [--seed S]\n\
+                       [--scale K] [--state FILE] [--metrics FILE]\n\
+                                                            run a request stream through the async\n\
+                                                            planning service (snapshot warm starts)\n\
+                 bench-service [--requests R]               warm-memo replay: sharded engine vs the\n\
+                                                            frozen RwLock baseline"
             );
             return ExitCode::from(2);
         }
@@ -427,5 +435,196 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
             r.mean_wait_ns() as f64 / 1e3,
         );
     }
+    Ok(())
+}
+
+/// Run a synthetic multi-tenant request stream through the async
+/// planning service. With `--state FILE`, the engine warm-starts from a
+/// persisted memo snapshot (if the file exists) and persists its final
+/// state back — a second run answers everything from the reloaded memo.
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    use prcost::{PlanService, ServiceConfig};
+    use std::sync::Arc;
+    use synth::GenericPrm;
+
+    let num = |name: &str, default: u64| -> Result<u64, AnyError> {
+        flag(args, name)
+            .map(str::parse::<u64>)
+            .transpose()
+            .map_err(|e| format!("bad {name}: {e}").into())
+            .map(|v| v.unwrap_or(default))
+    };
+    let workers = num("--workers", 4)? as usize;
+    let requests = num("--requests", 5_000)? as usize;
+    let tenants = num("--tenants", 3)?.max(1) as usize;
+    let modules = num("--modules", 12)?.max(1);
+    let seed = num("--seed", 7)?;
+    let scale = num("--scale", 1_200)? as u32;
+    let state_path = flag(args, "--state");
+
+    let engine = match state_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path)?;
+            let snapshot: prcost::EngineSnapshot = serde_json::from_str(&text)?;
+            let engine = Engine::import_state(&snapshot)?;
+            println!(
+                "warm start: restored {} memoized plans from {path}",
+                engine.plan_memo_len()
+            );
+            engine
+        }
+        _ => Engine::new(),
+    };
+    let engine = Arc::new(engine);
+    let mut service = PlanService::with_engine(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let devices = fabric::all_devices();
+    let tenant_names: Vec<String> = (0..tenants).map(|t| format!("tenant{t}")).collect();
+    let start = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let device = &devices[i % devices.len()];
+        let module = seed + (i as u64 % modules);
+        let report = GenericPrm::random(module, scale).synthesize(device.family());
+        let ticket = service.submit(
+            &tenant_names[i % tenants],
+            PrrRequirements::from_report(&report),
+            device,
+        )?;
+        tickets.push(ticket);
+    }
+    let mut feasible = 0usize;
+    for ticket in &tickets {
+        if ticket.wait().is_ok() {
+            feasible += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    service.shutdown();
+
+    let snapshot = engine.snapshot();
+    let c = &snapshot.counters;
+    println!(
+        "{requests} requests ({feasible} feasible) through {workers} workers in {elapsed:.1?} \
+         — {:.0} plans/s",
+        requests as f64 / elapsed.as_secs_f64()
+    );
+    let pct =
+        |r: Option<f64>| r.map_or_else(|| "n/a".to_string(), |v| format!("{:.0}%", v * 100.0));
+    println!(
+        "plan memo: {} hit rate over {} plans ({} built); geometry {} over {} devices",
+        pct(c.plan_hit_rate()),
+        c.plans,
+        c.plan_builds,
+        pct(c.geometry_hit_rate()),
+        c.geometry_builds,
+    );
+    if let Some(stage) = snapshot.stages.iter().find(|s| s.name == "service") {
+        println!(
+            "service latency (submit -> resolved): p50 {:.1} us, p90 {:.1} us, p99 {:.1} us",
+            stage.p50_ns as f64 / 1e3,
+            stage.p90_ns as f64 / 1e3,
+            stage.p99_ns as f64 / 1e3,
+        );
+    }
+    for tenant in &tenant_names {
+        println!(
+            "  {tenant}: {} plans",
+            snapshot.labeled_value(&format!("tenant:{tenant}"))
+        );
+    }
+
+    if let Some(path) = state_path {
+        let exported = engine.export_state();
+        std::fs::write(path, serde_json::to_string_pretty(&exported)?)?;
+        println!(
+            "persisted {} memoized plans to {path}",
+            engine.plan_memo_len()
+        );
+    }
+    if let Some(path) = flag(args, "--metrics") {
+        std::fs::write(path, serde_json::to_string_pretty(&snapshot)?)?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// Quick in-process check of the warm-memo replay speedup: the sharded
+/// engine against the frozen seed `engine::reference` baseline, on the
+/// paper PRM x device grid. The full table (worker scaling, p99,
+/// zero-alloc assertion) lives in `benches/service_mt.rs`.
+fn cmd_bench_service(args: &[String]) -> Result<(), AnyError> {
+    use prcost::engine::reference::ReferenceEngine;
+
+    let requests: usize = flag(args, "--requests")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --requests: {e}"))?
+        .unwrap_or(200_000);
+
+    use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+    let generators: Vec<Box<dyn PrmGenerator>> = vec![
+        Box::new(FirFilter::paper()),
+        Box::new(MipsCore::paper()),
+        Box::new(SdramController::paper()),
+        Box::new(Uart::standard()),
+        Box::new(AesEngine::standard()),
+        Box::new(FftCore::standard()),
+    ];
+    let devices = fabric::all_devices();
+    let points: Vec<(SynthReport, Device)> = devices
+        .iter()
+        .flat_map(|d| {
+            generators
+                .iter()
+                .map(|g| (g.synthesize(d.family()), d.clone()))
+        })
+        .collect();
+
+    let sharded = Engine::new();
+    let reference = ReferenceEngine::new();
+    let mut scratch = PlanScratch::default();
+    for (report, device) in &points {
+        let _ = sharded.plan_with_scratch(report, device, &mut scratch);
+        let _ = reference.plan(report, device);
+    }
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        let start = std::time::Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    let reference_s = time(&mut || {
+        for i in 0..requests {
+            let (report, device) = &points[i % points.len()];
+            let _ = std::hint::black_box(reference.plan(report, device));
+        }
+    });
+    let sharded_s = time(&mut || {
+        for i in 0..requests {
+            let (report, device) = &points[i % points.len()];
+            std::hint::black_box(sharded.plan_arc(report, device, &mut scratch));
+        }
+    });
+    println!(
+        "warm replay, {} hits over {} points:",
+        requests,
+        points.len()
+    );
+    println!(
+        "  reference (RwLock + owned keys): {:>10.0} plans/s",
+        requests as f64 / reference_s
+    );
+    println!(
+        "  sharded (interned + packed key): {:>10.0} plans/s  ({:.1}x)",
+        requests as f64 / sharded_s,
+        reference_s / sharded_s
+    );
     Ok(())
 }

@@ -121,11 +121,13 @@ fn metrics_are_consistent_across_threads() {
     );
     assert_eq!(c.plans, total);
     assert_eq!(c.plans_feasible + c.plans_infeasible, c.plans);
-    // Only plans that miss the whole-plan memo reach the geometry cache.
     assert_eq!(
-        c.geometry_builds + c.geometry_cache_hits,
-        c.plans - c.plan_cache_hits
+        c.plan_builds + c.plan_cache_hits,
+        c.plans,
+        "every plan either built its memo entry or hit one"
     );
+    // Every plan resolves its device through the interner exactly once.
+    assert_eq!(c.geometry_builds + c.geometry_cache_hits, c.plans);
     assert!(c.geometry_builds <= devices.len() as u64);
     // Each distinct (generator, family) synthesizes at most once.
     assert!(

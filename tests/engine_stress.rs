@@ -1,0 +1,240 @@
+//! Multi-thread stress suite for the sharded planning engine: 16 worker
+//! threads driving a mixed hit / miss / infeasible workload, with the
+//! cache-accounting invariants checked exactly afterwards, a serial
+//! oracle pass proving every concurrent answer equals direct planning,
+//! and a concurrent snapshot reader exercising the documented
+//! [`prcost::Metrics::snapshot`] ordering guarantee (parts never exceed
+//! totals, even mid-flight).
+
+use prfpga::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+use synth::GenericPrm;
+
+const THREADS: usize = 16;
+const ROUNDS: usize = 12;
+
+/// The stress workload: for each device, the six PRM generators
+/// (feasible, heavily repeated → hits), per-thread-unique generic PRMs
+/// (cold misses), and oversized reports no window satisfies (memoized
+/// `Err` plans, replayed as hits like any other point).
+fn stress_points(devices: &[Device]) -> Vec<(SynthReport, Device)> {
+    let generators: Vec<Box<dyn PrmGenerator>> = vec![
+        Box::new(FirFilter::paper()),
+        Box::new(MipsCore::paper()),
+        Box::new(SdramController::paper()),
+        Box::new(Uart::standard()),
+        Box::new(AesEngine::standard()),
+        Box::new(FftCore::standard()),
+    ];
+    let mut points = Vec::new();
+    for device in devices {
+        for generator in &generators {
+            points.push((generator.synthesize(device.family()), device.clone()));
+        }
+        for seed in 0..4u64 {
+            points.push((
+                GenericPrm::random(seed, 800).synthesize(device.family()),
+                device.clone(),
+            ));
+        }
+        points.push((
+            SynthReport {
+                module: "oversize".into(),
+                family: device.family(),
+                lut_ff_pairs: 500_000,
+                luts: 400_000,
+                ffs: 400_000,
+                dsps: 5_000,
+                brams: 5_000,
+            },
+            device.clone(),
+        ));
+    }
+    points
+}
+
+/// 16 threads replay the mixed workload in thread-dependent order and
+/// round-robin phase; when they finish, every counter pair must add up
+/// *exactly* — each plan either built its memo entry or hit one, each
+/// plan resolved its device exactly once, and the memo holds exactly one
+/// entry per distinct point (first-writer-wins; racing losers count as
+/// hits, never as double builds).
+#[test]
+fn sixteen_threads_mixed_workload_accounts_exactly() {
+    let devices = fabric::all_devices();
+    let points = stress_points(&devices);
+    let engine = Engine::new();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let points = &points;
+            scope.spawn(move || {
+                let mut scratch = PlanScratch::default();
+                for round in 0..ROUNDS {
+                    for i in 0..points.len() {
+                        // Offset per thread and per round so threads race
+                        // on different points at any instant.
+                        let (report, device) = &points[(i + t * 7 + round * 3) % points.len()];
+                        let _ = engine.plan_with_scratch(report, device, &mut scratch);
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * ROUNDS * points.len()) as u64;
+    let c = engine.snapshot().counters;
+    assert_eq!(c.plans, total, "every plan call counted");
+    assert_eq!(
+        c.plan_builds + c.plan_cache_hits,
+        c.plans,
+        "every plan either built its memo entry or hit one"
+    );
+    assert_eq!(
+        c.geometry_builds + c.geometry_cache_hits,
+        c.plans,
+        "every plan resolved its device exactly once"
+    );
+    assert_eq!(c.plans_feasible + c.plans_infeasible, c.plans);
+    assert_eq!(
+        c.plan_builds,
+        points.len() as u64,
+        "each distinct point built exactly once (first-writer-wins)"
+    );
+    assert_eq!(engine.plan_memo_len(), points.len());
+    assert_eq!(c.geometry_builds, devices.len() as u64);
+    assert!(c.plans_infeasible >= (THREADS * ROUNDS * devices.len()) as u64);
+}
+
+/// Every answer produced under 16-thread contention equals the serial
+/// oracle: a fresh single-threaded `plan_prr` per point, compared in full
+/// (organization, window, bitstream bytes, search trace) — and `Err`
+/// points agree on the error value.
+#[test]
+fn concurrent_plans_equal_serial_oracle() {
+    let devices = fabric::all_devices();
+    let points = stress_points(&devices);
+    let engine = Engine::new();
+
+    let results: Vec<Vec<Result<PrrPlan, prcost::CostError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = &engine;
+                let points = &points;
+                scope.spawn(move || {
+                    let mut scratch = PlanScratch::default();
+                    (0..points.len())
+                        .map(|i| {
+                            let (report, device) = &points[(i + t * 5) % points.len()];
+                            engine.plan_with_scratch(report, device, &mut scratch)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stress worker panicked"))
+            .collect()
+    });
+
+    let oracle: Vec<Result<PrrPlan, prcost::CostError>> = points
+        .iter()
+        .map(|(report, device)| plan_prr(report, device))
+        .collect();
+    for (t, thread_results) in results.iter().enumerate() {
+        for (i, got) in thread_results.iter().enumerate() {
+            let expect = &oracle[(i + t * 5) % points.len()];
+            assert_eq!(got, expect, "thread {t} point {i} diverged from oracle");
+        }
+    }
+}
+
+/// Bugfix regression (metrics snapshot consistency): a snapshot taken
+/// *while* 16 threads plan must never show a part exceeding its total —
+/// the engine bumps totals before parts and the snapshot reads parts
+/// before totals, so `feasible + infeasible <= plans`,
+/// `builds + hits <= lookups` hold in every mid-flight snapshot even
+/// though the snapshot is not a point-in-time copy.
+#[test]
+fn snapshot_invariants_hold_under_concurrent_load() {
+    let devices = fabric::all_devices();
+    let points = stress_points(&devices);
+    let engine = Arc::new(Engine::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let points = &points;
+            scope.spawn(move || {
+                let mut scratch = PlanScratch::default();
+                for round in 0..ROUNDS {
+                    for i in 0..points.len() {
+                        let (report, device) = &points[(i + t * 11 + round) % points.len()];
+                        let _ = engine.plan_with_scratch(report, device, &mut scratch);
+                    }
+                }
+            });
+        }
+
+        // The snapshotter races the planners for the whole run.
+        let snap_engine = Arc::clone(&engine);
+        let snap_done = Arc::clone(&done);
+        let snapshotter = scope.spawn(move || {
+            let mut taken = 0u64;
+            while !snap_done.load(Ordering::Relaxed) {
+                let c = snap_engine.snapshot().counters;
+                assert!(
+                    c.plans_feasible + c.plans_infeasible <= c.plans,
+                    "outcome parts exceeded plans: {} + {} > {}",
+                    c.plans_feasible,
+                    c.plans_infeasible,
+                    c.plans
+                );
+                assert!(
+                    c.plan_builds + c.plan_cache_hits <= c.plans,
+                    "plan-memo parts exceeded plans: {} + {} > {}",
+                    c.plan_builds,
+                    c.plan_cache_hits,
+                    c.plans
+                );
+                assert!(
+                    c.geometry_builds + c.geometry_cache_hits <= c.plans,
+                    "geometry parts exceeded plans: {} + {} > {}",
+                    c.geometry_builds,
+                    c.geometry_cache_hits,
+                    c.plans
+                );
+                assert!(c.synth_cache_hits <= c.synth_calls + c.synth_cache_hits);
+                taken += 1;
+            }
+            taken
+        });
+
+        // `scope` joins the planner threads when this closure returns;
+        // signal the snapshotter from a watcher thread that observes the
+        // planners' collective completion through the counters instead.
+        let watch_engine = Arc::clone(&engine);
+        let watch_done = Arc::clone(&done);
+        let total = (THREADS * ROUNDS * points.len()) as u64;
+        scope.spawn(move || {
+            while watch_engine.snapshot().counters.plans < total {
+                std::thread::yield_now();
+            }
+            watch_done.store(true, Ordering::Relaxed);
+        });
+
+        let taken = snapshotter.join().expect("snapshotter panicked");
+        assert!(taken > 0, "snapshotter never ran");
+    });
+
+    // After the race, the exact invariants hold again.
+    let c = engine.snapshot().counters;
+    assert_eq!(c.plans_feasible + c.plans_infeasible, c.plans);
+    assert_eq!(c.plan_builds + c.plan_cache_hits, c.plans);
+    assert_eq!(c.geometry_builds + c.geometry_cache_hits, c.plans);
+}

@@ -1,0 +1,128 @@
+//! Property tests for the async planning service and engine snapshot
+//! persistence: plans served through [`PlanService`] under concurrent
+//! mixed-tenant load must be byte-identical to direct `plan_prr` —
+//! including memoized `Err` plans — and an engine's exported memo state
+//! must survive a JSON persist → reload round trip unchanged.
+
+use prcost::{PlanService, ServiceConfig};
+use prfpga::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use synth::prm::{AesEngine, FftCore, FirFilter, MipsCore, SdramController, Uart};
+use synth::GenericPrm;
+
+/// Generator mix: six feasible PRM architectures plus two oversized
+/// generics whose requirements exceed every device (their plans memoize
+/// as `Err` and must round-trip and replay exactly like `Ok` plans).
+fn generator(index: usize) -> Box<dyn PrmGenerator> {
+    match index % 8 {
+        0 => Box::new(FirFilter::paper()),
+        1 => Box::new(MipsCore::paper()),
+        2 => Box::new(SdramController::paper()),
+        3 => Box::new(Uart::standard()),
+        4 => Box::new(AesEngine::standard()),
+        5 => Box::new(FftCore::standard()),
+        6 => Box::new(GenericPrm::random(997, 400_000)),
+        _ => Box::new(GenericPrm::random(499, 900_000)),
+    }
+}
+
+const TENANTS: [&str; 3] = ["alice", "bob", "carol"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Submissions from interleaved tenants, answered by concurrent
+    /// service workers, resolve to exactly the plan `plan_prr` computes
+    /// serially for the same (report, device) point — full structural
+    /// equality on `Ok` (organization, window, bitstream size, trace)
+    /// and on the `Err` value for infeasible points — and the service
+    /// accounts every submission per tenant and in total.
+    #[test]
+    fn service_results_are_byte_identical_to_direct_planning(
+        picks in proptest::collection::vec((0usize..8, 0usize..13), 1..32),
+        workers in 1usize..5,
+    ) {
+        let devices = fabric::all_devices();
+        let engine = Arc::new(Engine::new());
+        let mut service = PlanService::with_engine(
+            Arc::clone(&engine),
+            ServiceConfig { workers, queue_capacity: 64, batch_size: 8 },
+        );
+
+        let mut expected = Vec::new();
+        let mut tickets = Vec::new();
+        for (n, &(g, d)) in picks.iter().enumerate() {
+            let device = &devices[d % devices.len()];
+            let report = generator(g).synthesize(device.family());
+            let tenant = TENANTS[n % TENANTS.len()];
+            let ticket = service
+                .submit(tenant, PrrRequirements::from_report(&report), device)
+                .expect("service accepts before shutdown");
+            tickets.push(ticket);
+            expected.push(plan_prr(&report, device));
+        }
+
+        for (ticket, expect) in tickets.iter().zip(&expected) {
+            let got = ticket.wait();
+            prop_assert_eq!(&*got, expect);
+        }
+        service.shutdown();
+
+        let snapshot = engine.snapshot();
+        let total: u64 = TENANTS
+            .iter()
+            .map(|t| snapshot.labeled_value(&format!("tenant:{t}")))
+            .sum();
+        prop_assert_eq!(total, picks.len() as u64);
+        prop_assert_eq!(
+            snapshot.labeled_value("service:completed"),
+            picks.len() as u64
+        );
+        prop_assert_eq!(
+            snapshot.labeled_value("service:submitted"),
+            picks.len() as u64
+        );
+    }
+
+    /// Persist → reload round trip: an engine's exported memo state —
+    /// devices, synthesis reports, and whole plans, `Ok` and `Err` alike —
+    /// survives JSON serialization exactly; the restored engine re-exports
+    /// the identical snapshot, answers every original point from its memo
+    /// without a single rebuild, and its answers equal the originals.
+    #[test]
+    fn snapshot_persist_reload_round_trips(
+        picks in proptest::collection::vec((0usize..8, 0usize..13), 1..20),
+    ) {
+        let devices = fabric::all_devices();
+        let engine = Engine::new();
+        let mut points = Vec::new();
+        for &(g, d) in &picks {
+            let device = &devices[d % devices.len()];
+            let gen = generator(g);
+            let report = engine.synthesize(gen.as_ref(), device.family());
+            let result = engine.plan(&report, device);
+            points.push((report, device.clone(), result));
+        }
+
+        let exported = engine.export_state();
+        let json = serde_json::to_string(&exported).expect("snapshot serializes");
+        let decoded: prcost::EngineSnapshot =
+            serde_json::from_str(&json).expect("snapshot deserializes");
+        let restored = Engine::import_state(&decoded).expect("snapshot imports");
+
+        // Byte-identical re-export (same devices, same sorted records).
+        let reexported = restored.export_state();
+        let rejson = serde_json::to_string(&reexported).expect("re-export serializes");
+        prop_assert_eq!(&json, &rejson);
+
+        // Every original point replays from the restored memo.
+        for (report, device, expect) in &points {
+            let got = restored.plan(report, device);
+            prop_assert_eq!(&got, expect);
+        }
+        let c = restored.snapshot().counters;
+        prop_assert_eq!(c.plan_builds, 0, "restored engine never re-plans");
+        prop_assert_eq!(c.plan_cache_hits, points.len() as u64);
+    }
+}
