@@ -1,0 +1,51 @@
+//! End-to-end streaming pipeline benchmark.
+//!
+//! Drives `prfpga::pipeline::run_pipeline` — synthesis (warm engine
+//! memo) → PRR planning → placement → arena bitstream emission →
+//! hardware-multitasking simulation — at 10⁶ tasks (override with
+//! `PRFPGA_PIPELINE_TASKS`) under bounded memory, and writes the
+//! whole-system regression artifact `results/BENCH_pipeline.json`:
+//! tasks/sec, peak-RSS proxy, and per-stage log₂-ns histograms. The same
+//! run is available interactively as `prfpga bench-pipeline`.
+//!
+//! Not a criterion bench: one pipeline run *is* the measurement (the
+//! steady-state throughput of millions of streamed tasks), so repeating
+//! it under a sampling harness would only add minutes without adding
+//! information.
+
+use prfpga::pipeline::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let tasks = std::env::var("PRFPGA_PIPELINE_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000u64);
+    let cfg = PipelineConfig {
+        tasks,
+        ..PipelineConfig::default()
+    };
+    let report = run_pipeline(&cfg).expect("pipeline run failed");
+
+    println!(
+        "{} tasks on {} ({} workers): {:.0} ms — {:.0} tasks/s, \
+         peak RSS {:.1} MiB, plan memo {:.0}%",
+        report.tasks,
+        report.device,
+        report.workers,
+        report.elapsed_ms,
+        report.tasks_per_sec,
+        report.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        report.plan_hit_rate.unwrap_or(0.0) * 100.0,
+    );
+    for s in &report.stages {
+        println!(
+            "  {:<20} {:>7} chunks, total {:>9.1} ms, p50 {:>8.1} us, p99 {:>8.1} us",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.p50_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+        );
+    }
+    bench::write_json("BENCH_pipeline", &report);
+}

@@ -46,6 +46,6 @@ pub use parser::{parse, ParseError, ParsedBitstream};
 pub use readback::{context_cost, ContextCost};
 pub use relocate::{compatible, relocate, relocate_batch, RelocateError};
 pub use writer::{
-    digest_batch, emit_into, generate, generate_batch, generate_owned, BitstreamDigest,
-    BitstreamSpec, PartialBitstream,
+    digest_batch, emit_into, emit_into_with, emitted_words, generate, generate_arc, generate_batch,
+    generate_owned, generate_with, BitstreamDigest, BitstreamSpec, EmitScratch, PartialBitstream,
 };

@@ -145,10 +145,13 @@ pub fn relocate(
         }
     }
 
-    let mut spec = bs.spec.clone();
+    let mut spec = (*bs.spec).clone();
     spec.start_col = target.start_col as u32;
     spec.start_row = target.row;
-    Ok(PartialBitstream { spec, words })
+    Ok(PartialBitstream {
+        spec: std::sync::Arc::new(spec),
+        words,
+    })
 }
 
 /// Whether two windows claim at least one common fabric cell.

@@ -1,4 +1,17 @@
 //! Partial bitstream generation (the bitgen substitute).
+//!
+//! Emission is arena-style: [`emitted_words`] predicts the exact output
+//! length so every stream is written into a single exact-size
+//! allocation (no per-word `Vec` growth), invariant header packets and
+//! string hashes are derived once per `(organization, device, module)`
+//! triple through an [`EmitScratch`] template memo, the frame payload is
+//! a counter-based (loop-carry-free, vectorizable) splitmix64 fill, and
+//! the in-stream CRC runs through the folded kernel. Batch entry points
+//! additionally keep a small rendered-stream cache per worker, so a
+//! batch that emits the same placed module repeatedly — the steady state
+//! of a hardware-multitasking system — degenerates to one `memcpy` per
+//! repeat. The PR 2 push-based emitter is frozen in [`reference`] and
+//! property-tested byte-identical.
 
 use crate::crc::Crc32;
 use crate::far::FrameAddress;
@@ -9,6 +22,7 @@ use core::fmt;
 use fabric::{ResourceKind, Window};
 use prcost::PrrOrganization;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything needed to emit one PRM's partial bitstream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,8 +98,11 @@ impl std::error::Error for GenError {}
 /// 32-bit word aligned bitstream").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialBitstream {
-    /// The spec this bitstream was generated from.
-    pub spec: BitstreamSpec,
+    /// The spec this bitstream was generated from, shared rather than
+    /// deep-cloned: relocation and batch pipelines hold many bitstreams
+    /// of the same module, and the columns `Vec` + device/module
+    /// `String`s dominate the non-word footprint.
+    pub spec: Arc<BitstreamSpec>,
     /// Configuration words, in transmission order.
     pub words: Vec<u32>,
 }
@@ -115,6 +132,16 @@ impl PartialBitstream {
     }
 }
 
+/// `IW` on every supported family (asserted when templates are built).
+const INITIAL_WORDS: usize = 16;
+/// `FW` on every supported family.
+const FINAL_WORDS: usize = 14;
+/// `FAR_FDRI` on every supported family.
+const HEADER_WORDS: usize = 5;
+/// The splitmix64 increment; frame payload word `i` of a block is
+/// `mix(seed ^ FAR + (i + 1) * GAMMA)`.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// FNV-1a hash for deterministic idcode/payload seeding.
 fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -133,82 +160,334 @@ fn t1(register: ConfigRegister, word_count: u32) -> u32 {
     .encode()
 }
 
-/// Emit the initial-word block. Exactly `IW` (=16) words: dummies,
-/// bus-width sync, device sync, CRC reset, IDCODE check, WCFG command.
-fn push_initial(words: &mut Vec<u32>, idcode: u32) {
-    words.extend_from_slice(&[
+/// The splitmix64 output mix, truncated to a configuration word.
+#[inline(always)]
+fn splitmix32(state: u64) -> u32 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) as u32
+}
+
+/// Fill `out` with the deterministic frame payload for `seed`.
+///
+/// Word `i` is `splitmix32(seed + (i + 1) * GAMMA)` — exactly the
+/// sequence the reference emitter's serial `state += GAMMA` walk
+/// produces, but in counter form: each word depends only on `(seed, i)`,
+/// so the loop has no carried dependency and the 4-way unrolled body
+/// autovectorizes.
+fn fill_payload(seed: u64, out: &mut [u32]) {
+    let mut chunks = out.chunks_exact_mut(4);
+    let mut base = seed;
+    for q in chunks.by_ref() {
+        q[0] = splitmix32(base.wrapping_add(GAMMA));
+        q[1] = splitmix32(base.wrapping_add(GAMMA.wrapping_mul(2)));
+        q[2] = splitmix32(base.wrapping_add(GAMMA.wrapping_mul(3)));
+        q[3] = splitmix32(base.wrapping_add(GAMMA.wrapping_mul(4)));
+        base = base.wrapping_add(GAMMA.wrapping_mul(4));
+    }
+    for (i, w) in chunks.into_remainder().iter_mut().enumerate() {
+        *w = splitmix32(base.wrapping_add(GAMMA.wrapping_mul(i as u64 + 1)));
+    }
+}
+
+/// Exact number of configuration words [`generate`] emits for `spec`.
+///
+/// Pure arithmetic over the organization and its family's
+/// [`fabric::FrameGeometry`] — the same quantities Eq. 18 multiplies by
+/// `Bytes_word`, so `emitted_words(spec) * bytes_word` equals
+/// `prcost::bitstream_size_bytes(&spec.organization)`. Emission paths
+/// use it for one-shot exact-size allocations.
+pub fn emitted_words(spec: &BitstreamSpec) -> usize {
+    let org = &spec.organization;
+    let geom = &org.family.params().frames;
+    let config_frames =
+        org.clb_cols * geom.cf_clb + org.dsp_cols * geom.cf_dsp + org.bram_cols * geom.cf_bram + 1;
+    let config_block = geom.far_fdri + config_frames * geom.fr_size;
+    let bram_block = if org.bram_cols > 0 {
+        geom.far_fdri + (org.bram_cols * geom.df_bram + 1) * geom.fr_size
+    } else {
+        0
+    };
+    (geom.iw + geom.fw + org.height * (config_block + bram_block)) as usize
+}
+
+/// Check the window's column mix against the organization.
+fn validate_columns(spec: &BitstreamSpec) -> Result<(), GenError> {
+    let org = &spec.organization;
+    let (mut clb, mut dsp, mut bram) = (0u32, 0u32, 0u32);
+    for &kind in &spec.columns {
+        match kind {
+            ResourceKind::Clb => clb += 1,
+            ResourceKind::Dsp => dsp += 1,
+            ResourceKind::Bram => bram += 1,
+            other => return Err(GenError::ForbiddenColumn(other)),
+        }
+    }
+    let expected = (org.clb_cols, org.dsp_cols, org.bram_cols);
+    if (clb, dsp, bram) != expected {
+        return Err(GenError::CompositionMismatch {
+            expected,
+            found: (clb, dsp, bram),
+        });
+    }
+    Ok(())
+}
+
+/// Everything about emission that is invariant across placements of one
+/// `(organization, device, module)` triple: pre-encoded header packets,
+/// the string hashes, per-block payload widths, and the total stream
+/// length. Only the FAR values (and hence the block payloads and CRC)
+/// depend on the placement, and those are derived per call.
+#[derive(Debug, Clone)]
+struct EmitTemplate {
+    initial: [u32; INITIAL_WORDS],
+    /// Final block with a zero CRC placeholder at index 1.
+    fin: [u32; FINAL_WORDS],
+    far_hdr: u32,
+    fdri_hdr: u32,
+    type2_config: u32,
+    type2_bram: u32,
+    noop: u32,
+    /// `fnv1a(module)` — payload seed.
+    seed: u64,
+    /// Payload words per configuration FDRI block.
+    config_payload: u32,
+    /// Payload words per BRAM FDRI block (0 when the PRR has no BRAM).
+    bram_payload: u32,
+    height: u32,
+    total_words: usize,
+}
+
+fn build_template(spec: &BitstreamSpec) -> EmitTemplate {
+    let org = &spec.organization;
+    let geom = &org.family.params().frames;
+    debug_assert_eq!(geom.iw as usize, INITIAL_WORDS);
+    debug_assert_eq!(geom.fw as usize, FINAL_WORDS);
+    debug_assert_eq!(geom.far_fdri as usize, HEADER_WORDS);
+
+    let seed = fnv1a(&spec.module);
+    let idcode = (fnv1a(&spec.device) as u32) | 1; // LSB always set, as on real parts
+    let noop = Packet::Noop.encode();
+
+    // Frames per PRR row: every column's configuration frames + 1 pad.
+    let config_frames =
+        org.clb_cols * geom.cf_clb + org.dsp_cols * geom.cf_dsp + org.bram_cols * geom.cf_bram + 1;
+    let bram_frames = if org.bram_cols > 0 {
+        org.bram_cols * geom.df_bram + 1
+    } else {
+        0
+    };
+    let config_payload = config_frames * geom.fr_size;
+    let bram_payload = bram_frames * geom.fr_size;
+
+    let initial = [
         DUMMY_WORD,
         DUMMY_WORD,
         BUS_WIDTH_SYNC,
         BUS_WIDTH_DETECT,
         DUMMY_WORD,
         SYNC_WORD,
-        Packet::Noop.encode(),
+        noop,
         t1(ConfigRegister::Cmd, 1),
         Command::Rcrc as u32,
-        Packet::Noop.encode(),
-        Packet::Noop.encode(),
+        noop,
+        noop,
         t1(ConfigRegister::Idcode, 1),
         idcode,
         t1(ConfigRegister::Cmd, 1),
         Command::Wcfg as u32,
-        Packet::Noop.encode(),
-    ]);
-}
-
-/// Emit one FAR + FDRI block: exactly `FAR_FDRI` (=5) header words followed
-/// by `payload_words` words of frame data.
-fn push_frame_block(
-    words: &mut Vec<u32>,
-    crc: &mut Crc32,
-    far: FrameAddress,
-    payload_words: u32,
-    seed: u64,
-) {
-    words.push(t1(ConfigRegister::Far, 1));
-    words.push(far.encode());
-    words.push(t1(ConfigRegister::Fdri, 0));
-    words.push(
-        Packet::Type2Write {
-            word_count: payload_words,
-        }
-        .encode(),
-    );
-    words.push(Packet::Noop.encode());
-    let payload_start = words.len();
-    words.reserve(payload_words as usize);
-    let mut state = seed ^ u64::from(far.encode());
-    for _ in 0..payload_words {
-        // splitmix64 step — deterministic frame contents per (module, FAR).
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        words.push((z ^ (z >> 31)) as u32);
-    }
-    // Batch-checksum the payload through the slice-by-8 fast path.
-    crc.push_words(&words[payload_start..]);
-}
-
-/// Emit the final-word block. Exactly `FW` (=14) words: CRC check, LFRM,
-/// START, DESYNC.
-fn push_final(words: &mut Vec<u32>, crc_value: u32) {
-    words.extend_from_slice(&[
+        noop,
+    ];
+    let fin = [
         t1(ConfigRegister::Crc, 1),
-        crc_value,
-        Packet::Noop.encode(),
+        0, // patched with the stream CRC at emit time
+        noop,
         t1(ConfigRegister::Cmd, 1),
         Command::Lfrm as u32,
-        Packet::Noop.encode(),
+        noop,
         t1(ConfigRegister::Cmd, 1),
         Command::Start as u32,
-        Packet::Noop.encode(),
+        noop,
         t1(ConfigRegister::Cmd, 1),
         Command::Desync as u32,
-        Packet::Noop.encode(),
-        Packet::Noop.encode(),
-        Packet::Noop.encode(),
+        noop,
+        noop,
+        noop,
+    ];
+
+    EmitTemplate {
+        initial,
+        fin,
+        far_hdr: t1(ConfigRegister::Far, 1),
+        fdri_hdr: t1(ConfigRegister::Fdri, 0),
+        type2_config: Packet::Type2Write {
+            word_count: config_payload,
+        }
+        .encode(),
+        type2_bram: Packet::Type2Write {
+            word_count: bram_payload,
+        }
+        .encode(),
+        noop,
+        seed,
+        config_payload,
+        bram_payload,
+        height: org.height,
+        total_words: emitted_words(spec),
+    }
+}
+
+/// Write one FAR + FDRI block at `pos`; returns the position past it.
+#[inline]
+fn emit_frame_block(
+    tpl: &EmitTemplate,
+    out: &mut [u32],
+    crc: &mut Crc32,
+    pos: usize,
+    far: u32,
+    type2: u32,
+    payload_words: u32,
+) -> usize {
+    out[pos..pos + HEADER_WORDS].copy_from_slice(&[
+        tpl.far_hdr,
+        far,
+        tpl.fdri_hdr,
+        type2,
+        tpl.noop,
     ]);
+    let start = pos + HEADER_WORDS;
+    let end = start + payload_words as usize;
+    let payload = &mut out[start..end];
+    fill_payload(tpl.seed ^ u64::from(far), payload);
+    crc.push_words(payload);
+    end
+}
+
+/// The arena emission core: one exact-size `resize`, slice-copied
+/// headers, counter-based payload fill, folded CRC. `spec` must already
+/// be validated against `tpl`'s organization.
+fn emit_template(tpl: &EmitTemplate, spec: &BitstreamSpec, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(tpl.total_words, 0);
+    out[..INITIAL_WORDS].copy_from_slice(&tpl.initial);
+
+    let mut crc = Crc32::new();
+    let mut pos = INITIAL_WORDS;
+    // Configuration frames, row by row (bottom to top).
+    for r in 0..tpl.height {
+        let far = FrameAddress::config(spec.start_row + r, spec.start_col, 0).encode();
+        pos = emit_frame_block(
+            tpl,
+            out,
+            &mut crc,
+            pos,
+            far,
+            tpl.type2_config,
+            tpl.config_payload,
+        );
+    }
+    // BRAM initialization frames, row by row, addressing the window's
+    // first BRAM column.
+    if tpl.bram_payload > 0 {
+        let bram_col = spec
+            .columns
+            .iter()
+            .position(|&k| k == ResourceKind::Bram)
+            .expect("bram_cols > 0 implies a BRAM column") as u32;
+        for r in 0..tpl.height {
+            let far = FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0).encode();
+            pos = emit_frame_block(
+                tpl,
+                out,
+                &mut crc,
+                pos,
+                far,
+                tpl.type2_bram,
+                tpl.bram_payload,
+            );
+        }
+    }
+
+    let mut fin = tpl.fin;
+    fin[1] = crc.value();
+    out[pos..pos + FINAL_WORDS].copy_from_slice(&fin);
+    debug_assert_eq!(pos + FINAL_WORDS, tpl.total_words);
+}
+
+/// Templates cached per worker (each is a few hundred bytes).
+const TEMPLATE_CAP: usize = 32;
+/// Rendered streams cached per worker. Bounds worker memory at
+/// `STREAM_CAP` bitstreams while letting batches over a small set of
+/// distinct placed modules hit `memcpy` steady state.
+const STREAM_CAP: usize = 8;
+
+/// Per-worker emission arena: the `(organization, device, module)`
+/// template memo plus a small rendered-stream cache keyed by full spec
+/// identity. Both caches are MRU-ordered with bounded capacity, so a
+/// long-lived scratch's memory stays constant regardless of how many
+/// specs flow through it.
+#[derive(Debug, Clone, Default)]
+pub struct EmitScratch {
+    templates: Vec<(TemplateKey, EmitTemplate)>,
+    streams: Vec<(Arc<BitstreamSpec>, Vec<u32>)>,
+}
+
+#[derive(Debug, Clone)]
+struct TemplateKey {
+    organization: PrrOrganization,
+    device: String,
+    module: String,
+}
+
+impl TemplateKey {
+    fn of(spec: &BitstreamSpec) -> Self {
+        TemplateKey {
+            organization: spec.organization,
+            device: spec.device.clone(),
+            module: spec.module.clone(),
+        }
+    }
+
+    fn matches(&self, spec: &BitstreamSpec) -> bool {
+        self.organization == spec.organization
+            && self.device == spec.device
+            && self.module == spec.module
+    }
+}
+
+impl EmitScratch {
+    /// An empty arena; caches warm up on first use.
+    pub fn new() -> Self {
+        EmitScratch::default()
+    }
+
+    /// Index of the template for `spec`, building it on a miss.
+    /// Always 0 after the MRU move-to-front.
+    fn template_index(&mut self, spec: &BitstreamSpec) -> usize {
+        if let Some(i) = self.templates.iter().position(|(k, _)| k.matches(spec)) {
+            self.templates.swap(0, i);
+        } else {
+            let tpl = build_template(spec);
+            self.templates.insert(0, (TemplateKey::of(spec), tpl));
+            self.templates.truncate(TEMPLATE_CAP);
+        }
+        0
+    }
+
+    fn stream_hit(&mut self, spec: &Arc<BitstreamSpec>) -> Option<&[u32]> {
+        let i = self
+            .streams
+            .iter()
+            .position(|(s, _)| Arc::ptr_eq(s, spec) || **s == **spec)?;
+        self.streams.swap(0, i);
+        Some(&self.streams[0].1)
+    }
+
+    fn remember_stream(&mut self, spec: &Arc<BitstreamSpec>, words: &[u32]) {
+        self.streams.insert(0, (Arc::clone(spec), words.to_vec()));
+        self.streams.truncate(STREAM_CAP);
+    }
 }
 
 /// Generate the partial bitstream for `spec`.
@@ -230,10 +509,16 @@ fn push_final(words: &mut Vec<u32>, crc_value: u32) {
 /// plus one pad frame; then, if the PRR has BRAM columns, per row one
 /// BRAM-content FDRI write of `W_BRAM * DF_BRAM + 1` frames.
 pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
+    generate_arc(&Arc::new(spec.clone()))
+}
+
+/// [`generate`] from an already-shared spec — no `BitstreamSpec` clone;
+/// the returned bitstream shares `spec`.
+pub fn generate_arc(spec: &Arc<BitstreamSpec>) -> Result<PartialBitstream, GenError> {
     let mut words = Vec::new();
     emit_into(spec, &mut words)?;
     Ok(PartialBitstream {
-        spec: spec.clone(),
+        spec: Arc::clone(spec),
         words,
     })
 }
@@ -242,9 +527,30 @@ pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
 ///
 /// The variant batch pipelines should prefer when they own their specs.
 pub fn generate_owned(spec: BitstreamSpec) -> Result<PartialBitstream, GenError> {
-    let mut words = Vec::new();
-    emit_into(&spec, &mut words)?;
-    Ok(PartialBitstream { spec, words })
+    generate_arc(&Arc::new(spec))
+}
+
+/// [`generate_arc`] through a warm [`EmitScratch`]: template memo hit on
+/// repeated `(organization, device, module)` triples, rendered-stream
+/// cache hit (one exact-size allocation + `memcpy`) on repeated specs.
+pub fn generate_with(
+    scratch: &mut EmitScratch,
+    spec: &Arc<BitstreamSpec>,
+) -> Result<PartialBitstream, GenError> {
+    validate_columns(spec)?;
+    let words = if let Some(hit) = scratch.stream_hit(spec) {
+        hit.to_vec()
+    } else {
+        let i = scratch.template_index(spec);
+        let mut words = Vec::new();
+        emit_template(&scratch.templates[i].1, spec, &mut words);
+        scratch.remember_stream(spec, &words);
+        words
+    };
+    Ok(PartialBitstream {
+        spec: Arc::clone(spec),
+        words,
+    })
 }
 
 /// Emit `spec`'s configuration words into `out`, reusing its allocation.
@@ -253,89 +559,45 @@ pub fn generate_owned(spec: BitstreamSpec) -> Result<PartialBitstream, GenError>
 /// [`generate`] would produce (on error it is left cleared). This is the
 /// streaming core every generation entry point shares: callers that loop
 /// over many specs keep one buffer (or one per rayon worker, as
-/// [`digest_batch`] does) and amortize the `Vec` growth to zero.
+/// [`digest_batch`] does) and amortize `Vec` growth to zero — the buffer
+/// is sized once per spec via [`emitted_words`], never grown word by
+/// word.
 pub fn emit_into(spec: &BitstreamSpec, out: &mut Vec<u32>) -> Result<(), GenError> {
     out.clear();
-    let org = &spec.organization;
-    let geom = &org.family.params().frames;
+    validate_columns(spec)?;
+    let tpl = build_template(spec);
+    emit_template(&tpl, spec, out);
+    Ok(())
+}
 
-    // Validate the window against the organization.
-    let (mut clb, mut dsp, mut bram) = (0u32, 0u32, 0u32);
-    for &kind in &spec.columns {
-        match kind {
-            ResourceKind::Clb => clb += 1,
-            ResourceKind::Dsp => dsp += 1,
-            ResourceKind::Bram => bram += 1,
-            other => return Err(GenError::ForbiddenColumn(other)),
-        }
-    }
-    let expected = (org.clb_cols, org.dsp_cols, org.bram_cols);
-    if (clb, dsp, bram) != expected {
-        return Err(GenError::CompositionMismatch {
-            expected,
-            found: (clb, dsp, bram),
-        });
-    }
-
-    let seed = fnv1a(&spec.module);
-    let idcode = (fnv1a(&spec.device) as u32) | 1; // LSB always set, as on real parts
-    let fr = geom.fr_size;
-
-    // Frames per PRR row: every column's configuration frames + 1 pad.
-    let config_frames: u32 = spec
-        .columns
-        .iter()
-        .map(|&k| geom.frames_per_column(k))
-        .sum::<u32>()
-        + 1;
-    let bram_frames: u32 = if org.bram_cols > 0 {
-        org.bram_cols * geom.df_bram + 1
-    } else {
-        0
-    };
-
-    let mut crc = Crc32::new();
-    push_initial(out, idcode);
-
-    // Configuration frames, row by row (bottom to top).
-    for r in 0..org.height {
-        let far = FrameAddress::config(spec.start_row + r, spec.start_col, 0);
-        push_frame_block(out, &mut crc, far, config_frames * fr, seed);
-    }
-    // BRAM initialization frames, row by row.
-    if bram_frames > 0 {
-        // Address the first BRAM column in the window.
-        let bram_col = spec
-            .columns
-            .iter()
-            .position(|&k| k == ResourceKind::Bram)
-            .expect("bram_cols > 0 implies a BRAM column") as u32;
-        for r in 0..org.height {
-            let far = FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
-            push_frame_block(out, &mut crc, far, bram_frames * fr, seed);
-        }
-    }
-
-    push_final(out, crc.value());
+/// [`emit_into`] through a warm [`EmitScratch`] template memo. Used by
+/// digest/streaming loops that see repeated module/device triples but do
+/// not hold `Arc` specs (so the rendered-stream cache does not apply).
+pub fn emit_into_with(
+    scratch: &mut EmitScratch,
+    spec: &BitstreamSpec,
+    out: &mut Vec<u32>,
+) -> Result<(), GenError> {
+    out.clear();
+    validate_columns(spec)?;
+    let i = scratch.template_index(spec);
+    emit_template(&scratch.templates[i].1, spec, out);
     Ok(())
 }
 
 /// Generate many bitstreams across rayon workers.
 ///
-/// Each worker reuses one emission buffer via [`emit_into`], so growth
-/// reallocations are amortized across the batch; only the returned word
-/// vectors are allocated, sized exactly. Output order matches input.
-pub fn generate_batch(specs: &[BitstreamSpec]) -> Vec<Result<PartialBitstream, GenError>> {
+/// Each worker owns an [`EmitScratch`] arena, so header templates and
+/// string hashes are derived once per distinct `(organization, device,
+/// module)` triple and repeated specs — the common multitasking batch
+/// shape — are served from the rendered-stream cache with one exact-size
+/// allocation and a `memcpy` each. Output order matches input; specs are
+/// shared into the results, never deep-cloned.
+pub fn generate_batch(specs: &[Arc<BitstreamSpec>]) -> Vec<Result<PartialBitstream, GenError>> {
     use rayon::prelude::*;
     specs
         .par_iter()
-        .map_with(Vec::new(), |buf: &mut Vec<u32>, spec| {
-            emit_into(spec, buf)?;
-            Ok(PartialBitstream {
-                spec: spec.clone(),
-                words: buf.clone(),
-            })
-        })
+        .map_with(EmitScratch::new(), generate_with)
         .collect()
 }
 
@@ -354,30 +616,196 @@ pub struct BitstreamDigest {
 /// Generate and summarize many bitstreams without keeping their words.
 ///
 /// The fully allocation-free batch path: each rayon worker owns one
-/// reused emission buffer, and per spec only a 16-byte digest escapes.
-/// This is what workload-scale evaluation loops (millions of bitstreams)
-/// should use when they need sizes/fingerprints rather than the streams.
+/// reused emission buffer plus a template memo, and per spec only a
+/// 16-byte digest escapes. This is what workload-scale evaluation loops
+/// (millions of bitstreams) should use when they need sizes/fingerprints
+/// rather than the streams.
 pub fn digest_batch(specs: &[BitstreamSpec]) -> Vec<Result<BitstreamDigest, GenError>> {
     use rayon::prelude::*;
     specs
         .par_iter()
-        .map_with(Vec::new(), |buf: &mut Vec<u32>, spec| {
-            emit_into(spec, buf)?;
-            Ok(BitstreamDigest {
-                words: buf.len(),
-                bytes: buf.len() as u64
-                    * u64::from(spec.organization.family.params().frames.bytes_word),
-                crc: crate::crc::crc_words(buf),
-            })
-        })
+        .map_with(
+            (EmitScratch::new(), Vec::new()),
+            |(scratch, buf): &mut (EmitScratch, Vec<u32>), spec| {
+                emit_into_with(scratch, spec, buf)?;
+                Ok(BitstreamDigest {
+                    words: buf.len(),
+                    bytes: buf.len() as u64
+                        * u64::from(spec.organization.family.params().frames.bytes_word),
+                    crc: crate::crc::crc_words(buf),
+                })
+            },
+        )
         .collect()
+}
+
+pub mod reference {
+    //! The PR 2 emission path, frozen verbatim as the arena emitter's
+    //! equivalence oracle and benchmark baseline: per-word `Vec` pushes
+    //! with growth reallocation, a serial splitmix64 state walk, the
+    //! slice-16 CRC kernel, and a full `BitstreamSpec` deep clone per
+    //! generated bitstream. Property tests assert the arena path is
+    //! byte-identical; `BENCH_crc.json` measures its speedup against
+    //! this module.
+
+    use super::*;
+
+    /// Emit the initial-word block. Exactly `IW` (=16) words: dummies,
+    /// bus-width sync, device sync, CRC reset, IDCODE check, WCFG command.
+    fn push_initial(words: &mut Vec<u32>, idcode: u32) {
+        words.extend_from_slice(&[
+            DUMMY_WORD,
+            DUMMY_WORD,
+            BUS_WIDTH_SYNC,
+            BUS_WIDTH_DETECT,
+            DUMMY_WORD,
+            SYNC_WORD,
+            Packet::Noop.encode(),
+            t1(ConfigRegister::Cmd, 1),
+            Command::Rcrc as u32,
+            Packet::Noop.encode(),
+            Packet::Noop.encode(),
+            t1(ConfigRegister::Idcode, 1),
+            idcode,
+            t1(ConfigRegister::Cmd, 1),
+            Command::Wcfg as u32,
+            Packet::Noop.encode(),
+        ]);
+    }
+
+    /// Emit one FAR + FDRI block: exactly `FAR_FDRI` (=5) header words
+    /// followed by `payload_words` words of frame data.
+    fn push_frame_block(
+        words: &mut Vec<u32>,
+        crc: &mut Crc32,
+        far: FrameAddress,
+        payload_words: u32,
+        seed: u64,
+    ) {
+        words.push(t1(ConfigRegister::Far, 1));
+        words.push(far.encode());
+        words.push(t1(ConfigRegister::Fdri, 0));
+        words.push(
+            Packet::Type2Write {
+                word_count: payload_words,
+            }
+            .encode(),
+        );
+        words.push(Packet::Noop.encode());
+        let payload_start = words.len();
+        words.reserve(payload_words as usize);
+        let mut state = seed ^ u64::from(far.encode());
+        for _ in 0..payload_words {
+            // splitmix64 step — deterministic frame contents per (module, FAR).
+            state = state.wrapping_add(GAMMA);
+            words.push(splitmix32(state));
+        }
+        // Batch-checksum the payload through the slice-by-16 path (the
+        // dispatch kernel of this module's era).
+        crc.push_words_slice16(&words[payload_start..]);
+    }
+
+    /// Emit the final-word block. Exactly `FW` (=14) words: CRC check,
+    /// LFRM, START, DESYNC.
+    fn push_final(words: &mut Vec<u32>, crc_value: u32) {
+        words.extend_from_slice(&[
+            t1(ConfigRegister::Crc, 1),
+            crc_value,
+            Packet::Noop.encode(),
+            t1(ConfigRegister::Cmd, 1),
+            Command::Lfrm as u32,
+            Packet::Noop.encode(),
+            t1(ConfigRegister::Cmd, 1),
+            Command::Start as u32,
+            Packet::Noop.encode(),
+            t1(ConfigRegister::Cmd, 1),
+            Command::Desync as u32,
+            Packet::Noop.encode(),
+            Packet::Noop.encode(),
+            Packet::Noop.encode(),
+        ]);
+    }
+
+    /// The push-based [`emit_into`](super::emit_into) of PR 2.
+    pub fn emit_into(spec: &BitstreamSpec, out: &mut Vec<u32>) -> Result<(), GenError> {
+        out.clear();
+        validate_columns(spec)?;
+        let org = &spec.organization;
+        let geom = &org.family.params().frames;
+
+        let seed = fnv1a(&spec.module);
+        let idcode = (fnv1a(&spec.device) as u32) | 1;
+        let fr = geom.fr_size;
+
+        let config_frames: u32 = spec
+            .columns
+            .iter()
+            .map(|&k| geom.frames_per_column(k))
+            .sum::<u32>()
+            + 1;
+        let bram_frames: u32 = if org.bram_cols > 0 {
+            org.bram_cols * geom.df_bram + 1
+        } else {
+            0
+        };
+
+        let mut crc = Crc32::new();
+        push_initial(out, idcode);
+
+        for r in 0..org.height {
+            let far = FrameAddress::config(spec.start_row + r, spec.start_col, 0);
+            push_frame_block(out, &mut crc, far, config_frames * fr, seed);
+        }
+        if bram_frames > 0 {
+            let bram_col = spec
+                .columns
+                .iter()
+                .position(|&k| k == ResourceKind::Bram)
+                .expect("bram_cols > 0 implies a BRAM column") as u32;
+            for r in 0..org.height {
+                let far = FrameAddress::bram(spec.start_row + r, spec.start_col + bram_col, 0);
+                push_frame_block(out, &mut crc, far, bram_frames * fr, seed);
+            }
+        }
+
+        push_final(out, crc.value());
+        Ok(())
+    }
+
+    /// The [`generate`](super::generate) of PR 2 (deep spec clone).
+    pub fn generate(spec: &BitstreamSpec) -> Result<PartialBitstream, GenError> {
+        let mut words = Vec::new();
+        emit_into(spec, &mut words)?;
+        Ok(PartialBitstream {
+            spec: Arc::new(spec.clone()),
+            words,
+        })
+    }
+
+    /// The [`generate_batch`](super::generate_batch) of PR 2: per-worker
+    /// reused buffer, but a deep spec clone and a buffer clone per item.
+    pub fn generate_batch(specs: &[BitstreamSpec]) -> Vec<Result<PartialBitstream, GenError>> {
+        use rayon::prelude::*;
+        specs
+            .par_iter()
+            .map_with(Vec::new(), |buf: &mut Vec<u32>, spec| {
+                emit_into(spec, buf)?;
+                Ok(PartialBitstream {
+                    spec: Arc::new(spec.clone()),
+                    words: buf.clone(),
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric::database::{xc5vlx110t, xc6vlx75t};
+    use fabric::database::{all_devices, xc5vlx110t, xc6vlx75t};
+    use fabric::Family;
     use prcost::search::plan_prr;
+    use proptest::prelude::*;
     use synth::PaperPrm;
 
     fn spec_for(prm: PaperPrm, device: &fabric::Device) -> BitstreamSpec {
@@ -409,6 +837,36 @@ mod tests {
         }
     }
 
+    /// `emitted_words` is exact across the whole device database, and its
+    /// byte conversion reproduces the Eq. 18 `plan.bitstream_bytes`
+    /// doc-example invariant everywhere a plan exists.
+    #[test]
+    fn emitted_words_is_exact_across_device_database() {
+        for device in all_devices() {
+            for prm in PaperPrm::ALL {
+                let Ok(plan) = plan_prr(&prm.synth_report(device.family()), &device) else {
+                    continue; // PRM does not fit this part
+                };
+                let spec = BitstreamSpec::from_plan(
+                    device.name(),
+                    prm.module_name(),
+                    plan.organization,
+                    &plan.window,
+                );
+                let bs = generate(&spec).unwrap();
+                let words = emitted_words(&spec);
+                assert_eq!(bs.words.len(), words, "{prm:?} on {}", device.name());
+                let bytes_word = u64::from(spec.organization.family.params().frames.bytes_word);
+                assert_eq!(
+                    words as u64 * bytes_word,
+                    plan.bitstream_bytes,
+                    "{prm:?} on {}: emitted_words vs Eq. 18",
+                    device.name()
+                );
+            }
+        }
+    }
+
     #[test]
     fn deterministic_per_module_and_distinct_across_modules() {
         let device = xc5vlx110t();
@@ -417,6 +875,106 @@ mod tests {
         assert_eq!(a, b);
         let mips = generate(&spec_for(PaperPrm::Mips, &device)).unwrap();
         assert_ne!(a.words, mips.words);
+    }
+
+    /// The arena emitter is byte-identical to the frozen PR 2 path on
+    /// every paper PRM/device pair.
+    #[test]
+    fn arena_emitter_matches_reference() {
+        for device in [xc5vlx110t(), xc6vlx75t()] {
+            for prm in PaperPrm::ALL {
+                let spec = spec_for(prm, &device);
+                let arena = generate(&spec).unwrap();
+                let frozen = reference::generate(&spec).unwrap();
+                assert_eq!(arena.words, frozen.words, "{prm:?} on {}", device.name());
+            }
+        }
+    }
+
+    /// Scratch-cached emission (template memo, rendered-stream cache,
+    /// repeated and interleaved specs) always matches plain `generate`.
+    #[test]
+    fn cached_paths_match_plain_generate() {
+        let device = xc5vlx110t();
+        let mut scratch = EmitScratch::new();
+        let specs: Vec<Arc<BitstreamSpec>> = PaperPrm::ALL
+            .iter()
+            .map(|&p| Arc::new(spec_for(p, &device)))
+            .collect();
+        // Two interleaved passes: first populates, second hits both caches.
+        for _ in 0..2 {
+            for spec in &specs {
+                let cached = generate_with(&mut scratch, spec).unwrap();
+                let plain = generate(spec).unwrap();
+                assert_eq!(cached.words, plain.words);
+                assert!(Arc::ptr_eq(&cached.spec, spec));
+            }
+        }
+        // Same module at a different placement: template hit, stream miss,
+        // different FARs — must re-render, not serve the cached stream.
+        let mut moved = (*specs[0]).clone();
+        moved.start_col += 2;
+        let moved = Arc::new(moved);
+        let cached = generate_with(&mut scratch, &moved).unwrap();
+        assert_eq!(cached.words, generate(&moved).unwrap().words);
+        assert_ne!(cached.words, generate(&specs[0]).unwrap().words);
+        // An equal-by-value spec behind a different Arc still hits.
+        let twin = Arc::new((*specs[1]).clone());
+        let hit = generate_with(&mut scratch, &twin).unwrap();
+        assert_eq!(hit.words, generate(&twin).unwrap().words);
+        // emit_into_with agrees too.
+        let mut buf = vec![0xdead_beef];
+        emit_into_with(&mut scratch, &specs[2], &mut buf).unwrap();
+        assert_eq!(buf, generate(&specs[2]).unwrap().words);
+    }
+
+    proptest! {
+        /// Arena emission ≡ frozen PR 2 emission, byte for byte, over
+        /// random organizations, placements, and name strings (the
+        /// emitter does not require device-level feasibility, only
+        /// column-mix consistency).
+        #[test]
+        fn arena_matches_reference_on_random_specs(
+            family_ix in 0usize..Family::ALL.len(),
+            height in 1u32..5,
+            clb in 1u32..4, // ≥1 keeps the window non-empty
+            dsp in 0u32..3,
+            bram in 0u32..3,
+            start_col in 0u32..40,
+            start_row in 1u32..5,
+            module_tag in 0u64..1_000_000,
+            device_tag in 0u64..1_000_000,
+        ) {
+            let module = format!("prm_{module_tag}");
+            let device = format!("xc{device_tag}");
+            let organization = PrrOrganization {
+                family: Family::ALL[family_ix],
+                height,
+                clb_cols: clb,
+                dsp_cols: dsp,
+                bram_cols: bram,
+            };
+            let mut columns = Vec::new();
+            columns.extend(std::iter::repeat_n(ResourceKind::Clb, clb as usize));
+            columns.extend(std::iter::repeat_n(ResourceKind::Dsp, dsp as usize));
+            columns.extend(std::iter::repeat_n(ResourceKind::Bram, bram as usize));
+            let spec = BitstreamSpec {
+                device,
+                module,
+                organization,
+                start_col,
+                start_row,
+                columns,
+            };
+            let arena = generate(&spec).unwrap();
+            let frozen = reference::generate(&spec).unwrap();
+            prop_assert_eq!(&arena.words, &frozen.words);
+            prop_assert_eq!(arena.words.len(), emitted_words(&spec));
+            let mut scratch = EmitScratch::new();
+            let shared = Arc::new(spec);
+            let cached = generate_with(&mut scratch, &shared).unwrap();
+            prop_assert_eq!(&cached.words, &frozen.words);
+        }
     }
 
     #[test]
@@ -445,11 +1003,19 @@ mod tests {
         let direct: Vec<PartialBitstream> = specs.iter().map(|s| generate(s).unwrap()).collect();
         for (spec, expect) in specs.iter().zip(&direct) {
             assert_eq!(&generate_owned(spec.clone()).unwrap(), expect);
+            assert_eq!(&generate_arc(&Arc::new(spec.clone())).unwrap(), expect);
         }
-        let batch = generate_batch(&specs);
-        assert_eq!(batch.len(), specs.len());
-        for (got, expect) in batch.iter().zip(&direct) {
-            assert_eq!(got.as_ref().unwrap(), expect);
+        // A batch with every spec repeated — exercises the per-worker
+        // rendered-stream cache — preserves order and matches direct.
+        let shared: Vec<Arc<BitstreamSpec>> = specs.iter().cloned().map(Arc::new).collect();
+        let mut batch_in: Vec<Arc<BitstreamSpec>> = Vec::new();
+        for _ in 0..3 {
+            batch_in.extend(shared.iter().cloned());
+        }
+        let batch = generate_batch(&batch_in);
+        assert_eq!(batch.len(), batch_in.len());
+        for (i, got) in batch.iter().enumerate() {
+            assert_eq!(got.as_ref().unwrap(), &direct[i % direct.len()]);
         }
         let digests = digest_batch(&specs);
         for (d, expect) in digests.iter().zip(&direct) {
@@ -466,7 +1032,7 @@ mod tests {
         let good = spec_for(PaperPrm::Fir, &device);
         let mut bad = good.clone();
         bad.columns[0] = ResourceKind::Clk;
-        let out = generate_batch(&[good.clone(), bad.clone()]);
+        let out = generate_batch(&[Arc::new(good.clone()), Arc::new(bad.clone())]);
         assert!(out[0].is_ok());
         assert!(matches!(out[1], Err(GenError::ForbiddenColumn(_))));
         let digests = digest_batch(&[bad, good]);

@@ -230,6 +230,10 @@ impl Metrics {
                 p50_ns: s.quantile_ns(0.50),
                 p90_ns: s.quantile_ns(0.90),
                 p99_ns: s.quantile_ns(0.99),
+                buckets: {
+                    let used = s.buckets.iter().rposition(|&n| n != 0).map_or(0, |i| i + 1);
+                    s.buckets[..used].to_vec()
+                },
             })
             .collect();
         // Parts strictly before totals (see the doc comment): outcome and
@@ -323,7 +327,7 @@ fn rate(hits: u64, total: u64) -> Option<f64> {
 }
 
 /// Point-in-time statistics for one stage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageSnapshot {
     /// Stage name (`"synth"`, `"plan"`, `"geometry"`, ...).
     pub name: String,
@@ -343,6 +347,49 @@ pub struct StageSnapshot {
     pub p90_ns: u64,
     /// 99th percentile (bucket upper bound).
     pub p99_ns: u64,
+    /// Full log₂-nanosecond histogram: `buckets[i]` counts samples with
+    /// `floor(log2(ns)) == i`, trailing zero buckets trimmed. Exported so
+    /// benchmark artifacts (e.g. `BENCH_pipeline.json`) carry per-stage
+    /// latency distributions, not just point quantiles.
+    pub buckets: Vec<u64>,
+}
+
+/// `buckets` joined the schema after snapshots already existed in the
+/// wild, so it rides the same tolerance contract as
+/// `MetricsSnapshot::labeled`: serialized after the original fields,
+/// optional (empty) on the way back in.
+impl Serialize for StageSnapshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("total_ns".to_string(), self.total_ns.to_value()),
+            ("mean_ns".to_string(), self.mean_ns.to_value()),
+            ("min_ns".to_string(), self.min_ns.to_value()),
+            ("max_ns".to_string(), self.max_ns.to_value()),
+            ("p50_ns".to_string(), self.p50_ns.to_value()),
+            ("p90_ns".to_string(), self.p90_ns.to_value()),
+            ("p99_ns".to_string(), self.p99_ns.to_value()),
+            ("buckets".to_string(), self.buckets.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StageSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(StageSnapshot {
+            name: serde::__field(v, "name")?,
+            count: serde::__field(v, "count")?,
+            total_ns: serde::__field(v, "total_ns")?,
+            mean_ns: serde::__field(v, "mean_ns")?,
+            min_ns: serde::__field(v, "min_ns")?,
+            max_ns: serde::__field(v, "max_ns")?,
+            p50_ns: serde::__field(v, "p50_ns")?,
+            p90_ns: serde::__field(v, "p90_ns")?,
+            p99_ns: serde::__field(v, "p99_ns")?,
+            buckets: serde::__field(v, "buckets").unwrap_or_default(),
+        })
+    }
 }
 
 /// One labeled counter value (`family:name` key).
@@ -453,6 +500,31 @@ mod tests {
         assert!(s.p50_ns >= 10_000);
         assert_eq!(snap.stage_total("plan"), Duration::from_nanos(40_000));
         assert_eq!(snap.stage_total("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_buckets_export_and_schema_tolerance() {
+        let m = Metrics::new();
+        m.record_stage("pipeline:plan", Duration::from_nanos(10)); // log2 → 3
+        m.record_stage("pipeline:plan", Duration::from_nanos(1024)); // log2 → 10
+        let snap = m.snapshot();
+        let s = &snap.stages[0];
+        assert_eq!(s.buckets.len(), 11, "trailing zeros trimmed");
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        // A pre-`buckets` snapshot still parses, with the field empty.
+        let serde::Value::Object(mut entries) = s.to_value() else {
+            panic!("stage serializes as an object");
+        };
+        entries.retain(|(k, _)| k != "buckets");
+        let old = StageSnapshot::from_value(&serde::Value::Object(entries)).unwrap();
+        assert!(old.buckets.is_empty());
+        assert_eq!(old.count, s.count);
+        // And the full snapshot round-trips the histogram through JSON.
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let parsed: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.stages[0].buckets, s.buckets);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! prfpga floorplan <device> --prms fir,mips,sdram
 //! prfpga sweep [--json <file>] [--metrics <file>]
 //! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--json <file>]
+//! prfpga bench-pipeline [--tasks N] [--device <name>] [--json <file>]
 //! ```
 
 use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("defrag") => cmd_defrag(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-service") => cmd_bench_service(&args[1..]),
+        Some("bench-pipeline") => cmd_bench_pipeline(&args[1..]),
         _ => {
             eprintln!(
                 "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep|defrag> ...\n\
@@ -48,7 +50,12 @@ fn main() -> ExitCode {
                                                             run a request stream through the async\n\
                                                             planning service (snapshot warm starts)\n\
                  bench-service [--requests R]               warm-memo replay: sharded engine vs the\n\
-                                                            frozen RwLock baseline"
+                                                            frozen RwLock baseline\n\
+                 bench-pipeline [--tasks N] [--device NAME] [--chunk C] [--modules M]\n\
+                                [--workers W] [--queue-depth Q] [--seed S] [--json FILE]\n\
+                                                            stream N tasks through synth -> plan ->\n\
+                                                            place -> bitstream -> simulate; writes\n\
+                                                            results/BENCH_pipeline.json"
             );
             return ExitCode::from(2);
         }
@@ -626,5 +633,101 @@ fn cmd_bench_service(args: &[String]) -> Result<(), AnyError> {
         requests as f64 / sharded_s,
         reference_s / sharded_s
     );
+    Ok(())
+}
+
+/// Stream a synthetic task mix through the whole system — synthesis,
+/// planning, placement, arena bitstream emission, multitasking
+/// simulation — under bounded memory, and record the run as
+/// `results/BENCH_pipeline.json` (the regression-guarding whole-system
+/// number; see `prfpga::pipeline`).
+fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
+    use prfpga::pipeline::{run_pipeline, PipelineConfig};
+
+    let num = |name: &str, default: u64| -> Result<u64, AnyError> {
+        flag(args, name)
+            .map(str::parse::<u64>)
+            .transpose()
+            .map_err(|e| format!("bad {name}: {e}").into())
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = PipelineConfig::default();
+    let cfg = PipelineConfig {
+        device: flag(args, "--device")
+            .unwrap_or(&defaults.device)
+            .to_string(),
+        tasks: num("--tasks", defaults.tasks)?,
+        chunk: num("--chunk", u64::from(defaults.chunk))? as u32,
+        modules: num("--modules", u64::from(defaults.modules))? as u32,
+        scale: num("--scale", u64::from(defaults.scale))? as u32,
+        prrs: num("--prrs", u64::from(defaults.prrs))? as u32,
+        workers: num("--workers", defaults.workers as u64)? as usize,
+        queue_depth: num("--queue-depth", defaults.queue_depth as u64)? as usize,
+        seed: num("--seed", defaults.seed)?,
+        mean_interarrival_ns: num("--interarrival", defaults.mean_interarrival_ns)?,
+        mean_exec_ns: num("--exec", defaults.mean_exec_ns)?,
+    };
+
+    let report = run_pipeline(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} tasks on {} ({} workers, chunk {}, queue {}): {:.1} ms — {:.0} tasks/s",
+        report.tasks,
+        report.device,
+        report.workers,
+        report.chunk,
+        report.queue_depth,
+        report.elapsed_ms,
+        report.tasks_per_sec,
+    );
+    println!(
+        "emitted {} bitstreams ({:.1} MiB), simulated makespan {:.1} ms, \
+         {} reconfigs ({} reused), total wait {:.1} ms",
+        report.bitstreams_emitted,
+        report.bitstream_bytes as f64 / (1024.0 * 1024.0),
+        report.simulated_makespan_ns as f64 / 1e6,
+        report.reconfigurations,
+        report.reuse_hits,
+        report.total_wait_ns as f64 / 1e6,
+    );
+    let pct =
+        |r: Option<f64>| r.map_or_else(|| "n/a".to_string(), |v| format!("{:.0}%", v * 100.0));
+    println!(
+        "plan memo hit rate {}, peak RSS {:.1} MiB",
+        pct(report.plan_hit_rate),
+        report.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "{:<20} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "chunks", "total ms", "p50 us", "p90 us", "p99 us"
+    );
+    for s in &report.stages {
+        println!(
+            "{:<20} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.p50_ns as f64 / 1e3,
+            s.p90_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+        );
+    }
+
+    // Same artifact convention as `bench::write_json` (the prfpga crate
+    // does not depend on `bench`): `results/` at the workspace root,
+    // overridable with PRFPGA_RESULTS_DIR or an explicit --json path.
+    let path = match flag(args, "--json") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir = std::env::var("PRFPGA_RESULTS_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| {
+                    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+                });
+            std::fs::create_dir_all(&dir)?;
+            dir.join("BENCH_pipeline.json")
+        }
+    };
+    std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+    println!("wrote {}", path.display());
     Ok(())
 }

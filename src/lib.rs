@@ -46,6 +46,7 @@ pub use parflow;
 pub use prcost;
 pub use synth;
 
+pub mod pipeline;
 pub mod sweep;
 
 use std::time::Duration;

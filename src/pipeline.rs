@@ -1,0 +1,455 @@
+//! End-to-end streaming pipeline: the "how fast is the whole system"
+//! harness.
+//!
+//! Drives the full stack — synthesis (warm [`prcost::Engine`] memo) →
+//! PRR planning (Fig. 1 search, memo-hit steady state) → placement
+//! ([`bitstream::BitstreamSpec`] from the planned window) → arena
+//! bitstream emission ([`bitstream::generate_with`]) → hardware
+//! multitasking simulation ([`multitask::simulate_with_scratch`]) — at
+//! millions of tasks under **bounded memory**: one producer thread
+//! generates fixed-size task chunks into a bounded channel, worker
+//! threads own all per-chunk scratch (plan scratch, emission arena,
+//! simulator scratch), and no buffer anywhere grows with the total task
+//! count. Per-stage wall-clock histograms are recorded into the engine's
+//! [`prcost::Metrics`] registry under `pipeline:*` labels; the report
+//! carries them alongside tasks/sec and a peak-RSS proxy so
+//! `results/BENCH_pipeline.json` captures one regression-guarding
+//! whole-system number.
+
+use bitstream::{BitstreamSpec, EmitScratch, IcapModel};
+use multitask::{simulate_with_scratch, HwTask, PrSystem, ReuseAware, SimScratch, Workload};
+use prcost::metrics::StageSnapshot;
+use prcost::{Engine, PlanScratch};
+use serde::Serialize;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use synth::prm::GenericPrm;
+use synth::SynthReport;
+
+/// Configuration for one [`run_pipeline`] call.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target device name (see `fabric::device_by_name`).
+    pub device: String,
+    /// Total hardware tasks to stream end to end.
+    pub tasks: u64,
+    /// Tasks per chunk (the streaming granule; memory is proportional to
+    /// `chunk * (queue_depth + workers)`, never to `tasks`).
+    pub chunk: u32,
+    /// Distinct synthetic PRMs in the module pool.
+    pub modules: u32,
+    /// Module footprint scale passed to the PRM generator.
+    pub scale: u32,
+    /// PRRs in the homogeneous multitasking system.
+    pub prrs: u32,
+    /// Worker threads (0 = derive from available parallelism).
+    pub workers: usize,
+    /// Bounded-channel capacity in chunks.
+    pub queue_depth: usize,
+    /// Workload seed (the run is fully deterministic in it).
+    pub seed: u64,
+    /// Mean task inter-arrival time, nanoseconds.
+    pub mean_interarrival_ns: u64,
+    /// Mean task execution time, nanoseconds.
+    pub mean_exec_ns: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            // The DSP-rich SX part: the default pool's DSP-heavy modules
+            // still leave room for several homogeneous PRRs.
+            device: "xc5vsx95t".to_string(),
+            tasks: 1_000_000,
+            chunk: 4096,
+            modules: 6,
+            scale: 300,
+            prrs: 4,
+            workers: 0,
+            queue_depth: 4,
+            seed: 0x5eed_1e55,
+            mean_interarrival_ns: 5_000,
+            mean_exec_ns: 100_000,
+        }
+    }
+}
+
+/// Outcome of one [`run_pipeline`] call.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// Device the pipeline ran against.
+    pub device: String,
+    /// Tasks streamed end to end.
+    pub tasks: u64,
+    /// Tasks per chunk.
+    pub chunk: u32,
+    /// Distinct modules in the pool.
+    pub modules: u32,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Bounded-channel capacity in chunks.
+    pub queue_depth: usize,
+    /// Wall-clock time for the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// The headline number: tasks through all five stages per second.
+    pub tasks_per_sec: f64,
+    /// Partial bitstreams emitted (one per task).
+    pub bitstreams_emitted: u64,
+    /// Total emitted bitstream bytes.
+    pub bitstream_bytes: u64,
+    /// Summed simulated makespan over all chunks, nanoseconds.
+    pub simulated_makespan_ns: u64,
+    /// Reconfigurations performed by the simulated scheduler.
+    pub reconfigurations: u64,
+    /// Dispatches that reused an already-loaded module.
+    pub reuse_hits: u64,
+    /// Summed simulated task waiting time, nanoseconds.
+    pub total_wait_ns: u64,
+    /// Engine plan-memo hit rate over the run (None if no plans).
+    pub plan_hit_rate: Option<f64>,
+    /// Peak resident set size (`VmHWM` from `/proc/self/status`), bytes;
+    /// 0 where the proc filesystem is unavailable.
+    pub peak_rss_bytes: u64,
+    /// Per-stage wall-clock histograms (`pipeline:*` labels).
+    pub stages: Vec<StageSnapshot>,
+}
+
+/// Per-worker accumulator; merged after the scope joins.
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    tasks: u64,
+    bitstreams: u64,
+    bitstream_bytes: u64,
+    makespan_ns: u64,
+    reconfigurations: u64,
+    reuse_hits: u64,
+    total_wait_ns: u64,
+}
+
+impl Totals {
+    fn merge(&mut self, other: &Totals) {
+        self.tasks += other.tasks;
+        self.bitstreams += other.bitstreams;
+        self.bitstream_bytes += other.bitstream_bytes;
+        self.makespan_ns += other.makespan_ns;
+        self.reconfigurations += other.reconfigurations;
+        self.reuse_hits += other.reuse_hits;
+        self.total_wait_ns += other.total_wait_ns;
+    }
+}
+
+/// splitmix64 step for the producer's arrival/choice stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential variate with the given mean (inverse transform).
+fn exp_ns(state: &mut u64, mean: u64) -> u64 {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    ((-(1.0 - u).ln()) * mean as f64) as u64
+}
+
+/// `VmHWM` (peak resident set) in bytes, 0 if unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Run the end-to-end streaming pipeline described in the module docs.
+///
+/// Deterministic in `cfg.seed` (modulo wall-clock measurements). Errors
+/// if the device is unknown, a pool module cannot be planned, or the
+/// homogeneous system does not fit the device.
+pub fn run_pipeline(
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, Box<dyn std::error::Error + Send + Sync>> {
+    let device = fabric::device_by_name(&cfg.device)?;
+    let family = device.family();
+    let engine = Engine::new();
+    let metrics = engine.metrics();
+
+    // Setup (not part of the streamed stages): synthesize the module
+    // pool, plan every module and a covering organization, and build the
+    // homogeneous PR system all chunks simulate against.
+    let generators: Vec<GenericPrm> = (0..cfg.modules.max(1))
+        .map(|m| GenericPrm::random(cfg.seed.wrapping_add(u64::from(m) * 7919), cfg.scale))
+        .collect();
+    let pool: Vec<SynthReport> = generators
+        .iter()
+        .map(|g| engine.synthesize(g, family))
+        .collect();
+    let cover = SynthReport::new(
+        "pipeline_cover",
+        family,
+        pool.iter().map(|r| r.lut_ff_pairs).max().unwrap_or(1),
+        pool.iter().map(|r| r.luts).max().unwrap_or(1),
+        pool.iter().map(|r| r.ffs).max().unwrap_or(1),
+        pool.iter().map(|r| r.dsps).max().unwrap_or(0),
+        pool.iter().map(|r| r.brams).max().unwrap_or(0),
+    );
+    let cover_plan = engine.plan(&cover, &device)?;
+    let system = PrSystem::homogeneous(
+        &device,
+        cover_plan.organization,
+        cfg.prrs,
+        IcapModel::V5_DMA,
+    )?;
+    let specs: Vec<Arc<BitstreamSpec>> = pool
+        .iter()
+        .map(|r| {
+            let plan = engine.plan(r, &device)?;
+            Ok(Arc::new(BitstreamSpec::from_plan(
+                device.name(),
+                &r.module,
+                plan.organization,
+                &plan.window,
+            )))
+        })
+        .collect::<Result<_, prcost::CostError>>()?;
+
+    let workers = if cfg.workers > 0 {
+        cfg.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(1)
+            .clamp(1, 16)
+    };
+    let chunk = cfg.chunk.max(1);
+
+    let start = Instant::now();
+    let (tx, rx) = sync_channel::<Workload>(cfg.queue_depth.max(1));
+    let rx = Mutex::new(rx);
+
+    let totals = std::thread::scope(|scope| {
+        // Producer: builds one chunk at a time; the bounded channel is
+        // the only inter-stage buffer, so memory never scales with
+        // `cfg.tasks`.
+        let pool_ref = &pool;
+        let metrics_ref = metrics;
+        let producer = scope.spawn(move || {
+            let mut rng = cfg.seed | 1;
+            let mut remaining = cfg.tasks;
+            while remaining > 0 {
+                let n = remaining.min(u64::from(chunk)) as u32;
+                remaining -= u64::from(n);
+                let t0 = Instant::now();
+                let mut tasks = Vec::with_capacity(n as usize);
+                let mut t = 0u64;
+                for id in 0..n {
+                    let ix = (splitmix64(&mut rng) % pool_ref.len() as u64) as usize;
+                    t += exp_ns(&mut rng, cfg.mean_interarrival_ns);
+                    let exec = exp_ns(&mut rng, cfg.mean_exec_ns).max(1);
+                    tasks.push(HwTask::from_report(id, &pool_ref[ix], t, exec));
+                }
+                let wl = Workload::new(tasks);
+                metrics_ref.record_stage("pipeline:gen", t0.elapsed());
+                if tx.send(wl).is_err() {
+                    break; // workers gone (only on panic)
+                }
+            }
+            drop(tx);
+        });
+
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = &rx;
+            let engine = &engine;
+            let device = &device;
+            let system = &system;
+            let specs = &specs;
+            let generators = &generators;
+            let pool = pool_ref;
+            handles.push(scope.spawn(move || {
+                let mut plan_scratch = PlanScratch::default();
+                let mut emit_scratch = EmitScratch::new();
+                let mut sim_scratch = SimScratch::new();
+                let mut pool_ix: Vec<usize> = Vec::new();
+                let mut acc = Totals::default();
+                loop {
+                    let wl = match rx.lock().unwrap().recv() {
+                        Ok(wl) => wl,
+                        Err(_) => break,
+                    };
+                    let n = wl.tasks.len() as u64;
+
+                    // Map this chunk's interned module ids back to pool
+                    // indices (names are unique per generator seed).
+                    pool_ix.clear();
+                    for id in 0..wl.modules().len() {
+                        let name = wl.modules().name(multitask::ModuleId(id as u32));
+                        pool_ix.push(
+                            pool.iter()
+                                .position(|r| r.module == name)
+                                .expect("chunk modules come from the pool"),
+                        );
+                    }
+
+                    // Synthesis at memo-hit speed: every distinct module
+                    // in the chunk re-resolves through the engine's
+                    // synthesis memo.
+                    let t0 = Instant::now();
+                    for &ix in &pool_ix {
+                        let _ = engine.synthesize(&generators[ix], family);
+                    }
+                    engine
+                        .metrics()
+                        .record_stage("pipeline:synth", t0.elapsed());
+
+                    // Planning at task rate: one warm `plan_arc` hit per
+                    // task (the engine's zero-allocation hot path).
+                    let t0 = Instant::now();
+                    for &id in wl.module_ids() {
+                        let plan = engine.plan_arc(
+                            &pool[pool_ix[id.0 as usize]],
+                            device,
+                            &mut plan_scratch,
+                        );
+                        debug_assert!(plan.is_ok());
+                    }
+                    engine.metrics().record_stage("pipeline:plan", t0.elapsed());
+
+                    // Placement + arena emission at task rate: each
+                    // dispatch renders its module's partial bitstream
+                    // through the per-worker emission arena (rendered-
+                    // stream cache hits in steady state).
+                    let t0 = Instant::now();
+                    for &id in wl.module_ids() {
+                        let bs = bitstream::generate_with(
+                            &mut emit_scratch,
+                            &specs[pool_ix[id.0 as usize]],
+                        )
+                        .expect("pool specs are valid");
+                        acc.bitstreams += 1;
+                        acc.bitstream_bytes += bs.len_bytes();
+                    }
+                    engine
+                        .metrics()
+                        .record_stage("pipeline:bitstream", t0.elapsed());
+
+                    // Discrete-event simulation of the chunk on the
+                    // shared PR system (reuse-aware scheduling).
+                    let t0 = Instant::now();
+                    let report = simulate_with_scratch(system, &wl, &ReuseAware, &mut sim_scratch);
+                    engine
+                        .metrics()
+                        .record_stage("pipeline:simulate", t0.elapsed());
+
+                    acc.tasks += n;
+                    acc.makespan_ns += report.makespan_ns;
+                    acc.reconfigurations += u64::from(report.reconfigurations);
+                    acc.reuse_hits += u64::from(report.reuse_hits);
+                    acc.total_wait_ns += report.total_wait_ns;
+                }
+                acc
+            }));
+        }
+
+        producer.join().expect("producer thread panicked");
+        let mut totals = Totals::default();
+        for h in handles {
+            totals.merge(&h.join().expect("worker thread panicked"));
+        }
+        totals
+    });
+
+    let elapsed = start.elapsed();
+    let snapshot = engine.snapshot();
+    let stages: Vec<StageSnapshot> = snapshot
+        .stages
+        .iter()
+        .filter(|s| s.name.starts_with("pipeline:"))
+        .cloned()
+        .collect();
+
+    Ok(PipelineReport {
+        device: cfg.device.clone(),
+        tasks: totals.tasks,
+        chunk,
+        modules: cfg.modules.max(1),
+        workers,
+        queue_depth: cfg.queue_depth.max(1),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        tasks_per_sec: totals.tasks as f64 / elapsed.as_secs_f64(),
+        bitstreams_emitted: totals.bitstreams,
+        bitstream_bytes: totals.bitstream_bytes,
+        simulated_makespan_ns: totals.makespan_ns,
+        reconfigurations: totals.reconfigurations,
+        reuse_hits: totals.reuse_hits,
+        total_wait_ns: totals.total_wait_ns,
+        plan_hit_rate: snapshot.counters.plan_hit_rate(),
+        peak_rss_bytes: peak_rss_bytes(),
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pipeline_runs_end_to_end() {
+        let cfg = PipelineConfig {
+            tasks: 2_000,
+            chunk: 512,
+            workers: 2,
+            ..PipelineConfig::default()
+        };
+        let report = run_pipeline(&cfg).unwrap();
+        assert_eq!(report.tasks, 2_000);
+        assert_eq!(report.bitstreams_emitted, 2_000);
+        assert!(report.bitstream_bytes > 0);
+        assert!(report.tasks_per_sec > 0.0);
+        assert!(report.simulated_makespan_ns > 0);
+        // All five streamed stages reported histograms.
+        for stage in [
+            "pipeline:gen",
+            "pipeline:synth",
+            "pipeline:plan",
+            "pipeline:bitstream",
+            "pipeline:simulate",
+        ] {
+            let s = report
+                .stages
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert!(s.count > 0, "{stage} recorded no samples");
+        }
+        // Warm engine: the plan stage runs at memo-hit speed.
+        assert!(report.plan_hit_rate.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_in_seed_for_sim_outcomes() {
+        let cfg = PipelineConfig {
+            tasks: 1_024,
+            chunk: 256,
+            workers: 1,
+            ..PipelineConfig::default()
+        };
+        let a = run_pipeline(&cfg).unwrap();
+        let b = run_pipeline(&cfg).unwrap();
+        assert_eq!(a.simulated_makespan_ns, b.simulated_makespan_ns);
+        assert_eq!(a.reconfigurations, b.reconfigurations);
+        assert_eq!(a.bitstream_bytes, b.bitstream_bytes);
+    }
+}
