@@ -1,12 +1,16 @@
-//! Criterion bench: folded CRC-32C and arena bitstream emission.
+//! Criterion bench: folded CRC-32C, SIMD kernels, and arena emission.
 //!
-//! Three CRC kernels measured in the same run on the same buffer — the
+//! The CRC kernels are measured in the same run on the same buffer — the
 //! seed's bitwise loop (frozen in `bitstream::crc::baseline`), the PR-2
-//! slice-by-16 chain (`crc_words_slice16`), and the PR-7 polynomial
+//! slice-by-16 chain (`crc_words_slice16`), the PR-7 portable polynomial
 //! folding kernel (`crc_words_folded`, four independent lanes per
-//! 512-byte super-block) — so `BENCH_crc.json` carries mutually
-//! consistent throughputs. The fold's acceptance bar is ≥2× over
-//! slice-16.
+//! 512-byte super-block), and whichever of the PR-8 SIMD kernels this
+//! host compiles and detects (`crc32q` hardware CRC, PCLMULQDQ carryless
+//! folding) — so `BENCH_crc.json` carries mutually consistent
+//! throughputs. The portable fold's bar is ≥2× over slice-16; the SIMD
+//! kernels' bar is ≥2× over the portable fold (on hardware that has
+//! them). Payload fill (AVX2 vs portable splitmix) is measured the same
+//! way, and the artifact records which dispatch paths are active.
 //!
 //! The second half measures whole-stream emission: single-spec
 //! `generate` vs buffer-reusing `emit_into`, and batch emission through
@@ -17,8 +21,9 @@
 //! a warm repeated-spec `generate_with` call is one rendered-stream cache
 //! hit — a single exact-size `Vec` clone, ≤2 allocations.
 
+use bitstream::arch;
 use bitstream::crc::baseline::crc_words_bitwise;
-use bitstream::crc::{crc_words_folded, crc_words_slice16};
+use bitstream::crc::{crc_words, crc_words_folded, crc_words_slice16};
 use bitstream::{emit_into, generate, generate_batch, generate_with, BitstreamSpec, EmitScratch};
 use criterion::{criterion_group, Criterion, Throughput};
 use fabric::database::xc5vlx110t;
@@ -100,6 +105,30 @@ fn bench_crc(c: &mut Criterion) {
     g.bench_function("folded_64kw", |b| {
         b.iter(|| crc_words_folded(black_box(&buf)))
     });
+    if arch::crc_words_hw(&buf).is_some() {
+        g.bench_function("hw_crc32c_64kw", |b| {
+            b.iter(|| arch::crc_words_hw(black_box(&buf)))
+        });
+    }
+    if arch::crc_words_clmul(&buf).is_some() {
+        g.bench_function("clmul_fold_64kw", |b| {
+            b.iter(|| arch::crc_words_clmul(black_box(&buf)))
+        });
+    }
+    g.bench_function("dispatched_64kw", |b| b.iter(|| crc_words(black_box(&buf))));
+    g.finish();
+
+    let mut fill_buf = vec![0u32; 1 << 16];
+    let mut g = c.benchmark_group("payload_fill");
+    g.throughput(Throughput::Bytes((fill_buf.len() * 4) as u64));
+    g.bench_function("portable_64kw", |b| {
+        b.iter(|| arch::fill_words_portable(black_box(0x5eed), &mut fill_buf))
+    });
+    if arch::fill_words_simd(0x5eed, &mut fill_buf) {
+        g.bench_function("simd_64kw", |b| {
+            b.iter(|| arch::fill_words_simd(black_box(0x5eed), &mut fill_buf))
+        });
+    }
     g.finish();
 
     let specs = paper_specs();
@@ -140,6 +169,25 @@ struct CrcBenchArtifact {
     bitwise_mwords_per_sec: f64,
     slice16_mwords_per_sec: f64,
     folded_mwords_per_sec: f64,
+    /// CRC path `Dispatch::detect` picked on this host.
+    crc_dispatch: String,
+    /// Payload-fill path `Dispatch::detect` picked on this host.
+    fill_dispatch: String,
+    /// `crc32q` hardware kernel (None when the host lacks SSE4.2/crc).
+    hw_crc_min_ms: Option<f64>,
+    hw_crc_mwords_per_sec: Option<f64>,
+    /// PCLMULQDQ folding kernel (None off x86_64 or without pclmulqdq).
+    clmul_min_ms: Option<f64>,
+    clmul_mwords_per_sec: Option<f64>,
+    /// Best SIMD CRC kernel over the portable fold (the PR-8 acceptance
+    /// bar: ≥2 on SSE4.2 hardware). None when no SIMD kernel is present.
+    simd_crc_speedup: Option<f64>,
+    /// Whatever `crc_words` dispatches to, timed through the public API.
+    dispatched_min_ms: f64,
+    fill_portable_min_ms: f64,
+    fill_simd_min_ms: Option<f64>,
+    /// AVX2/NEON fill over portable splitmix (None without a SIMD fill).
+    fill_speedup: Option<f64>,
     generate_min_us: f64,
     emit_into_min_us: f64,
     generate_speedup: f64,
@@ -184,6 +232,35 @@ fn emit_artifact() {
     });
     let folded = min_time(samples, &mut || {
         black_box(crc_words_folded(&buf));
+    });
+    let hw_crc = arch::crc_words_hw(&buf).map(|_| {
+        min_time(samples, &mut || {
+            black_box(arch::crc_words_hw(&buf));
+        })
+    });
+    let clmul = arch::crc_words_clmul(&buf).map(|_| {
+        min_time(samples, &mut || {
+            black_box(arch::crc_words_clmul(&buf));
+        })
+    });
+    let dispatched = min_time(samples, &mut || {
+        black_box(crc_words(&buf));
+    });
+    let best_simd = match (hw_crc, clmul) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+
+    let mut fill_buf = vec![0u32; buf.len()];
+    let fill_portable = min_time(samples, &mut || {
+        arch::fill_words_portable(0x5eed, &mut fill_buf);
+        black_box(&fill_buf);
+    });
+    let fill_simd = arch::fill_words_simd(0x5eed, &mut fill_buf).then(|| {
+        min_time(samples, &mut || {
+            arch::fill_words_simd(0x5eed, &mut fill_buf);
+            black_box(&fill_buf);
+        })
     });
 
     let specs = paper_specs();
@@ -237,6 +314,17 @@ fn emit_artifact() {
         bitwise_mwords_per_sec: buf.len() as f64 / bitwise / 1e6,
         slice16_mwords_per_sec: buf.len() as f64 / slice16 / 1e6,
         folded_mwords_per_sec: buf.len() as f64 / folded / 1e6,
+        crc_dispatch: arch::active().crc.name().to_string(),
+        fill_dispatch: arch::active().fill.name().to_string(),
+        hw_crc_min_ms: hw_crc.map(|t| t * 1e3),
+        hw_crc_mwords_per_sec: hw_crc.map(|t| buf.len() as f64 / t / 1e6),
+        clmul_min_ms: clmul.map(|t| t * 1e3),
+        clmul_mwords_per_sec: clmul.map(|t| buf.len() as f64 / t / 1e6),
+        simd_crc_speedup: best_simd.map(|t| folded / t),
+        dispatched_min_ms: dispatched * 1e3,
+        fill_portable_min_ms: fill_portable * 1e3,
+        fill_simd_min_ms: fill_simd.map(|t| t * 1e3),
+        fill_speedup: fill_simd.map(|t| fill_portable / t),
         generate_min_us: gen_alloc * 1e6,
         emit_into_min_us: gen_reused * 1e6,
         generate_speedup: gen_alloc / gen_reused,
@@ -256,6 +344,26 @@ fn emit_artifact() {
         artifact.folded_min_ms,
         artifact.folded_speedup,
         artifact.folded_mwords_per_sec,
+    );
+    let opt = |ms: Option<f64>| ms.map_or_else(|| "n/a".to_string(), |v| format!("{v:.3} ms"));
+    println!(
+        "simd crc: hw-crc32c {}, clmul-fold {}, best {} over portable fold; \
+         dispatch crc={} fill={}",
+        opt(artifact.hw_crc_min_ms),
+        opt(artifact.clmul_min_ms),
+        artifact
+            .simd_crc_speedup
+            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.1}x")),
+        artifact.crc_dispatch,
+        artifact.fill_dispatch,
+    );
+    println!(
+        "payload fill: portable {:.3} ms, simd {} ({})",
+        artifact.fill_portable_min_ms,
+        opt(artifact.fill_simd_min_ms),
+        artifact
+            .fill_speedup
+            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.1}x")),
     );
     println!(
         "generate {:.1} us -> emit_into {:.1} us ({:.2}x); \

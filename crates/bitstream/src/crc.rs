@@ -30,6 +30,16 @@
 //! property-tested equivalent to it (and to each other) on arbitrary
 //! inputs, including empty, single-word and non-multiple-of-fold-width
 //! tails.
+//!
+//! On CPUs with hardware CRC-32C support the batch entry points do not
+//! run either portable kernel: [`Crc32::push_words`] routes through
+//! [`crate::arch`], which detects CPU features once per process and
+//! dispatches to an SSE4.2 `crc32q` / PCLMULQDQ folding / ARMv8 `crc32c`
+//! kernel when available (the CRC-32C polynomial is natively supported
+//! by both ISAs). The portable folded kernel above remains the
+//! always-compiled fallback and the `PRFPGA_FORCE_SCALAR=1` path; every
+//! variant is property-tested byte-identical to the frozen [`baseline`]
+//! in `tests/kernel_matrix.rs`.
 
 /// CRC-32C (Castagnoli) polynomial, reflected form.
 const POLY: u32 = 0x82F6_3B78;
@@ -89,16 +99,16 @@ const fn fold4(x: u32, lo: usize) -> u32 {
 // the portable equivalent of a CLMUL fold constant.
 
 /// Words per lane per super-block (128 bytes).
-const LANE_WORDS: usize = 32;
+pub(crate) const LANE_WORDS: usize = 32;
 /// Lanes per super-block.
-const LANES: usize = 4;
+pub(crate) const LANES: usize = 4;
 /// Words per super-block (512 bytes). Inputs shorter than this take the
 /// slice-16 path.
-const SUPER_WORDS: usize = LANE_WORDS * LANES;
+pub(crate) const SUPER_WORDS: usize = LANE_WORDS * LANES;
 
 /// One advance operator: `OP[k][b]` is `advance_n` of the state whose
 /// `k`-th byte is `b` and whose other bytes are zero.
-type AdvanceOp = [[u32; 256]; 4];
+pub(crate) type AdvanceOp = [[u32; 256]; 4];
 
 /// Advance `s` by `n` zero bytes, one table step per byte (const builder
 /// only — the runtime path uses the precomputed operators).
@@ -113,7 +123,7 @@ const fn advance_bytewise(mut s: u32, n: usize) -> u32 {
 
 /// Apply a precomputed advance operator to a state.
 #[inline(always)]
-fn advance(op: &AdvanceOp, s: u32) -> u32 {
+pub(crate) fn advance(op: &AdvanceOp, s: u32) -> u32 {
     op[0][(s & 0xFF) as usize]
         ^ op[1][((s >> 8) & 0xFF) as usize]
         ^ op[2][((s >> 16) & 0xFF) as usize]
@@ -160,7 +170,7 @@ const fn compose_advance_ops(outer: &AdvanceOp, inner: &AdvanceOp) -> AdvanceOp 
 /// `ADVANCE[k-1]` advances a state by `k` lanes (`k·128` zero bytes),
 /// i.e. multiplies it by `x^(1024k) mod P`. Built once at compile time:
 /// the one-lane operator bytewise, the others by operator composition.
-static ADVANCE: [AdvanceOp; LANES - 1] = build_advance_ops();
+pub(crate) static ADVANCE: [AdvanceOp; LANES - 1] = build_advance_ops();
 
 const fn build_advance_ops() -> [AdvanceOp; LANES - 1] {
     let a1 = build_advance_op(LANE_WORDS * 4);
@@ -210,6 +220,51 @@ fn fold_super_blocks(mut state: u32, words: &[u32]) -> u32 {
     state
 }
 
+/// Advance a raw CRC state through the slice-16 chain (four words / 16
+/// bytes per serial chain step, byte-table tail). The shared scalar
+/// update every portable entry point and every SIMD kernel tail is
+/// defined against.
+#[inline]
+pub(crate) fn update_slice16(mut state: u32, words: &[u32]) -> u32 {
+    let mut chunks = words.chunks_exact(4);
+    for quad in &mut chunks {
+        let x0 = state ^ quad[0].swap_bytes();
+        let x1 = quad[1].swap_bytes();
+        let x2 = quad[2].swap_bytes();
+        let x3 = quad[3].swap_bytes();
+        state = fold4(x0, 12) ^ fold4(x1, 8) ^ fold4(x2, 4) ^ fold4(x3, 0);
+    }
+    for &w in chunks.remainder() {
+        state = fold4(state ^ w.swap_bytes(), 0);
+    }
+    state
+}
+
+/// Advance a raw CRC state over a word slice with the portable folded
+/// kernel (four-lane fold on whole super-blocks, slice-16 tail). This is
+/// the scalar end of the [`crate::arch`] dispatch table and the
+/// always-compiled fallback on CPUs without hardware CRC support.
+#[inline]
+pub(crate) fn update_portable(mut state: u32, words: &[u32]) -> u32 {
+    let split = words.len() - words.len() % SUPER_WORDS;
+    if split > 0 {
+        state = fold_super_blocks(state, &words[..split]);
+    }
+    update_slice16(state, &words[split..])
+}
+
+/// Reflected fold constant for the carryless-multiply kernels:
+/// `rev32(x^bits mod P) << 1`, the form a `PCLMULQDQ`/`PMULL` folding
+/// step multiplies a 64-bit accumulator half by. Derived from the same
+/// `advance_bytewise` machinery as the table operators (advancing the
+/// state `rev32(1)` by `bits/8` zero bytes multiplies it by `x^bits`),
+/// so the constants share the property-tested CRC algebra rather than
+/// being transcribed from a reference table. `bits` must be a positive
+/// multiple of 8.
+pub(crate) const fn clmul_fold_const(bits: u32) -> u64 {
+    (advance_bytewise(0x8000_0000, (bits / 8) as usize) as u64) << 1
+}
+
 /// Incremental CRC accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Crc32 {
@@ -239,17 +294,16 @@ impl Crc32 {
     /// Absorb a slice of configuration words — the batch fast path used
     /// by [`crc_words`] and the bitstream writer.
     ///
-    /// Inputs of at least one super-block (512 bytes) go through the
-    /// four-lane folded kernel; the remainder (and short inputs) take
-    /// the slice-16 chain. Both compute the same CRC, so results are
-    /// independent of how a stream is split across calls.
+    /// Routes through the [`crate::arch`] dispatch table: hardware
+    /// CRC-32C / carryless-multiply kernels where the CPU supports them,
+    /// otherwise the portable path (inputs of at least one super-block /
+    /// 512 bytes go through the four-lane folded kernel; the remainder
+    /// and short inputs take the slice-16 chain). Every kernel computes
+    /// the same CRC, so results are independent of how a stream is split
+    /// across calls and of which CPU runs it.
     #[inline]
     pub fn push_words(&mut self, words: &[u32]) {
-        let split = words.len() - words.len() % SUPER_WORDS;
-        if split > 0 {
-            self.state = fold_super_blocks(self.state, &words[..split]);
-        }
-        self.push_words_slice16(&words[split..]);
+        self.state = crate::arch::crc_update(self.state, words);
     }
 
     /// Absorb a slice of configuration words through the slice-16 chain
@@ -259,17 +313,7 @@ impl Crc32 {
     /// oracle for the fold.
     #[inline]
     pub fn push_words_slice16(&mut self, words: &[u32]) {
-        let mut chunks = words.chunks_exact(4);
-        for quad in &mut chunks {
-            let x0 = self.state ^ quad[0].swap_bytes();
-            let x1 = quad[1].swap_bytes();
-            let x2 = quad[2].swap_bytes();
-            let x3 = quad[3].swap_bytes();
-            self.state = fold4(x0, 12) ^ fold4(x1, 8) ^ fold4(x2, 4) ^ fold4(x3, 0);
-        }
-        for &w in chunks.remainder() {
-            self.push_word(w);
-        }
+        self.state = update_slice16(self.state, words);
     }
 
     /// Absorb raw bytes in transmission order. Byte-granular entry point
@@ -297,8 +341,9 @@ impl Crc32 {
     }
 }
 
-/// Checksum a word slice in one call (folded kernel for ≥512-byte
-/// inputs, slice-16 tail).
+/// Checksum a word slice in one call through the runtime-dispatched
+/// kernel (hardware CRC / carryless multiply where available, otherwise
+/// the folded kernel for ≥512-byte inputs with a slice-16 tail).
 pub fn crc_words(words: &[u32]) -> u32 {
     let mut crc = Crc32::new();
     crc.push_words(words);
@@ -313,17 +358,12 @@ pub fn crc_words_slice16(words: &[u32]) -> u32 {
     crc.value()
 }
 
-/// Checksum a word slice, forcing the folded kernel over every complete
-/// super-block (equivalent to [`crc_words`]; exists so benchmarks and
-/// equivalence tests can name the folded path explicitly).
+/// Checksum a word slice, forcing the portable folded kernel over every
+/// complete super-block regardless of CPU features (equivalent to
+/// [`crc_words`]; exists so benchmarks and equivalence tests can name
+/// the folded path explicitly).
 pub fn crc_words_folded(words: &[u32]) -> u32 {
-    let split = words.len() - words.len() % SUPER_WORDS;
-    let mut crc = Crc32::new();
-    if split > 0 {
-        crc.state = fold_super_blocks(crc.state, &words[..split]);
-    }
-    crc.push_words_slice16(&words[split..]);
-    crc.value()
+    !update_portable(0xFFFF_FFFF, words)
 }
 
 /// Checksum a byte slice in one call (16 bytes folded per step).

@@ -24,9 +24,13 @@
 //! PRRs. The crate also provides the [`icap`] transfer model used to turn
 //! bitstream bytes into reconfiguration time for the `multitask` simulator.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `arch` module's SIMD kernels carry
+// narrowly-scoped `#[allow(unsafe_code)]` with per-site SAFETY comments;
+// everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod cm;
 pub mod crc;
 pub mod dump;
@@ -46,6 +50,7 @@ pub use parser::{parse, ParseError, ParsedBitstream};
 pub use readback::{context_cost, ContextCost};
 pub use relocate::{compatible, relocate, relocate_batch, RelocateError};
 pub use writer::{
-    digest_batch, emit_into, emit_into_with, emitted_words, generate, generate_arc, generate_batch,
-    generate_owned, generate_with, BitstreamDigest, BitstreamSpec, EmitScratch, PartialBitstream,
+    digest_batch, emit_arc_into, emit_into, emit_into_with, emitted_words, generate, generate_arc,
+    generate_batch, generate_owned, generate_with, BitstreamDigest, BitstreamSpec, EmitScratch,
+    PartialBitstream,
 };

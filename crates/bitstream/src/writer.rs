@@ -140,7 +140,7 @@ const FINAL_WORDS: usize = 14;
 const HEADER_WORDS: usize = 5;
 /// The splitmix64 increment; frame payload word `i` of a block is
 /// `mix(seed ^ FAR + (i + 1) * GAMMA)`.
-const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// FNV-1a hash for deterministic idcode/payload seeding.
 fn fnv1a(s: &str) -> u64 {
@@ -162,21 +162,31 @@ fn t1(register: ConfigRegister, word_count: u32) -> u32 {
 
 /// The splitmix64 output mix, truncated to a configuration word.
 #[inline(always)]
-fn splitmix32(state: u64) -> u32 {
+pub(crate) fn splitmix32(state: u64) -> u32 {
     let mut z = state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     (z ^ (z >> 31)) as u32
 }
 
-/// Fill `out` with the deterministic frame payload for `seed`.
+/// Fill `out` with the deterministic frame payload for `seed`, through
+/// the runtime-dispatched kernel (AVX2 where available, otherwise the
+/// portable counter loop below). Every kernel produces byte-identical
+/// output.
+#[inline]
+fn fill_payload(seed: u64, out: &mut [u32]) {
+    crate::arch::fill_payload(seed, out);
+}
+
+/// Fill `out` with the deterministic frame payload for `seed` — the
+/// portable kernel and the definition every SIMD variant must match.
 ///
 /// Word `i` is `splitmix32(seed + (i + 1) * GAMMA)` — exactly the
 /// sequence the reference emitter's serial `state += GAMMA` walk
 /// produces, but in counter form: each word depends only on `(seed, i)`,
 /// so the loop has no carried dependency and the 4-way unrolled body
 /// autovectorizes.
-fn fill_payload(seed: u64, out: &mut [u32]) {
+pub(crate) fn fill_payload_portable(seed: u64, out: &mut [u32]) {
     let mut chunks = out.chunks_exact_mut(4);
     let mut base = seed;
     for q in chunks.by_ref() {
@@ -553,6 +563,33 @@ pub fn generate_with(
     })
 }
 
+/// [`generate_with`]'s cache semantics with a caller-owned output
+/// buffer: rendered-stream cache hits are served by one `memcpy` into
+/// `out` and misses render through the template memo, but — unlike
+/// [`generate_with`] — no `Vec` is allocated per call. The streaming
+/// pipeline's hot path: each worker keeps one long-lived buffer, so a
+/// warm cache emits at pure-`memcpy` speed with zero allocations per
+/// task.
+///
+/// `out` is cleared first; on success it holds the exact word stream
+/// [`generate`] would produce (on error it is left cleared).
+pub fn emit_arc_into(
+    scratch: &mut EmitScratch,
+    spec: &Arc<BitstreamSpec>,
+    out: &mut Vec<u32>,
+) -> Result<(), GenError> {
+    out.clear();
+    validate_columns(spec)?;
+    if let Some(hit) = scratch.stream_hit(spec) {
+        out.extend_from_slice(hit);
+        return Ok(());
+    }
+    let i = scratch.template_index(spec);
+    emit_template(&scratch.templates[i].1, spec, out);
+    scratch.remember_stream(spec, out);
+    Ok(())
+}
+
 /// Emit `spec`'s configuration words into `out`, reusing its allocation.
 ///
 /// `out` is cleared first; on success it holds the exact word stream
@@ -926,6 +963,16 @@ mod tests {
         let mut buf = vec![0xdead_beef];
         emit_into_with(&mut scratch, &specs[2], &mut buf).unwrap();
         assert_eq!(buf, generate(&specs[2]).unwrap().words);
+        // emit_arc_into agrees on both the miss path (first pass) and
+        // the rendered-stream hit path (second pass over a warm cache),
+        // reusing one output buffer throughout.
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            for spec in &specs {
+                emit_arc_into(&mut scratch, spec, &mut out).unwrap();
+                assert_eq!(out, generate(spec).unwrap().words);
+            }
+        }
     }
 
     proptest! {

@@ -8,7 +8,7 @@
 //! prfpga floorplan <device> --prms fir,mips,sdram
 //! prfpga sweep [--json <file>] [--metrics <file>]
 //! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--json <file>]
-//! prfpga bench-pipeline [--tasks N] [--device <name>] [--json <file>]
+//! prfpga bench-pipeline [--tasks N] [--device <name>] [--workers W|W1,W2,...] [--json <file>] [--metrics <file>]
 //! ```
 
 use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -52,10 +52,12 @@ fn main() -> ExitCode {
                  bench-service [--requests R]               warm-memo replay: sharded engine vs the\n\
                                                             frozen RwLock baseline\n\
                  bench-pipeline [--tasks N] [--device NAME] [--chunk C] [--modules M]\n\
-                                [--workers W] [--queue-depth Q] [--seed S] [--json FILE]\n\
+                                [--workers W|W1,W2,...] [--queue-depth Q] [--seed S]\n\
+                                [--json FILE] [--metrics FILE]\n\
                                                             stream N tasks through synth -> plan ->\n\
-                                                            place -> bitstream -> simulate; writes\n\
-                                                            results/BENCH_pipeline.json"
+                                                            place -> bitstream -> simulate; a comma\n\
+                                                            list of workers sweeps the scaling table;\n\
+                                                            writes results/BENCH_pipeline.json"
             );
             return ExitCode::from(2);
         }
@@ -642,7 +644,7 @@ fn cmd_bench_service(args: &[String]) -> Result<(), AnyError> {
 /// `results/BENCH_pipeline.json` (the regression-guarding whole-system
 /// number; see `prfpga::pipeline`).
 fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
-    use prfpga::pipeline::{run_pipeline, PipelineConfig};
+    use prfpga::pipeline::{run_pipeline, run_pipeline_sweep, PipelineConfig};
 
     let num = |name: &str, default: u64| -> Result<u64, AnyError> {
         flag(args, name)
@@ -652,6 +654,25 @@ fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
             .map(|v| v.unwrap_or(default))
     };
     let defaults = PipelineConfig::default();
+
+    // `--workers` accepts either a single count ("4") or a comma list
+    // ("1,2,4,8,16"); the list form reruns the whole pipeline once per
+    // count and records the scaling table in the report.
+    let worker_sweep: Vec<usize> = match flag(args, "--workers") {
+        None => vec![defaults.workers],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --workers entry {s:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if worker_sweep.is_empty() || worker_sweep.contains(&0) {
+        return Err("--workers needs one or more nonzero counts".into());
+    }
+
     let cfg = PipelineConfig {
         device: flag(args, "--device")
             .unwrap_or(&defaults.device)
@@ -661,14 +682,18 @@ fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
         modules: num("--modules", u64::from(defaults.modules))? as u32,
         scale: num("--scale", u64::from(defaults.scale))? as u32,
         prrs: num("--prrs", u64::from(defaults.prrs))? as u32,
-        workers: num("--workers", defaults.workers as u64)? as usize,
+        workers: worker_sweep[0],
         queue_depth: num("--queue-depth", defaults.queue_depth as u64)? as usize,
         seed: num("--seed", defaults.seed)?,
         mean_interarrival_ns: num("--interarrival", defaults.mean_interarrival_ns)?,
         mean_exec_ns: num("--exec", defaults.mean_exec_ns)?,
     };
 
-    let report = run_pipeline(&cfg).map_err(|e| e.to_string())?;
+    let report = if worker_sweep.len() > 1 {
+        run_pipeline_sweep(&cfg, &worker_sweep).map_err(|e| e.to_string())?
+    } else {
+        run_pipeline(&cfg).map_err(|e| e.to_string())?
+    };
     println!(
         "{} tasks on {} ({} workers, chunk {}, queue {}): {:.1} ms — {:.0} tasks/s",
         report.tasks,
@@ -696,6 +721,22 @@ fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
         pct(report.plan_hit_rate),
         report.peak_rss_bytes as f64 / (1024.0 * 1024.0),
     );
+    println!(
+        "kernels: crc {} / fill {} ({} host cpus)",
+        report.crc_dispatch, report.fill_dispatch, report.host_cpus,
+    );
+    if !report.worker_sweep.is_empty() {
+        println!(
+            "{:<8} {:>10} {:>12} {:>12}",
+            "workers", "total ms", "tasks/s", "speedup"
+        );
+        for row in &report.worker_sweep {
+            println!(
+                "{:<8} {:>10.1} {:>12.0} {:>11.2}x",
+                row.workers, row.elapsed_ms, row.tasks_per_sec, row.speedup_vs_one,
+            );
+        }
+    }
     println!(
         "{:<20} {:>9} {:>10} {:>10} {:>10} {:>10}",
         "stage", "chunks", "total ms", "p50 us", "p90 us", "p99 us"
@@ -729,5 +770,36 @@ fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
     };
     std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
     println!("wrote {}", path.display());
+
+    // `--metrics FILE`: a compact operational snapshot (dispatch paths,
+    // throughput, scaling rows) for dashboards that don't want the full
+    // per-stage report written by `--json`.
+    if let Some(mpath) = flag(args, "--metrics") {
+        // Owned fields: the vendored serde derive does not support
+        // generic (lifetime-parameterized) types.
+        #[derive(serde::Serialize)]
+        struct PipelineMetrics {
+            crc_dispatch: String,
+            fill_dispatch: String,
+            host_cpus: usize,
+            workers: usize,
+            tasks_per_sec: f64,
+            elapsed_ms: f64,
+            peak_rss_bytes: u64,
+            worker_sweep: Vec<prfpga::pipeline::WorkerScalingRow>,
+        }
+        let metrics = PipelineMetrics {
+            crc_dispatch: report.crc_dispatch.clone(),
+            fill_dispatch: report.fill_dispatch.clone(),
+            host_cpus: report.host_cpus,
+            workers: report.workers,
+            tasks_per_sec: report.tasks_per_sec,
+            elapsed_ms: report.elapsed_ms,
+            peak_rss_bytes: report.peak_rss_bytes,
+            worker_sweep: report.worker_sweep.clone(),
+        };
+        std::fs::write(mpath, serde_json::to_string_pretty(&metrics)?)?;
+        println!("wrote metrics snapshot to {mpath}");
+    }
     Ok(())
 }

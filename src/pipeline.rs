@@ -108,11 +108,41 @@ pub struct PipelineReport {
     pub total_wait_ns: u64,
     /// Engine plan-memo hit rate over the run (None if no plans).
     pub plan_hit_rate: Option<f64>,
-    /// Peak resident set size (`VmHWM` from `/proc/self/status`), bytes;
-    /// 0 where the proc filesystem is unavailable.
+    /// Peak resident set size in bytes — **best effort**: `VmHWM` from
+    /// `/proc/self/status` on Linux, `getrusage(RUSAGE_SELF)` on other
+    /// 64-bit unix targets, and 0 where neither source exists. The value
+    /// is process-wide high water (it includes setup and any earlier
+    /// runs in the process), so treat it as an upper-bound guard, not a
+    /// per-run measurement.
     pub peak_rss_bytes: u64,
+    /// Active CRC kernel path chosen by `bitstream::arch` runtime
+    /// dispatch (e.g. `clmul-fold`, `hw-crc32c`, `portable-folded`).
+    pub crc_dispatch: String,
+    /// Active payload-fill kernel path (e.g. `avx2-splitmix`).
+    pub fill_dispatch: String,
+    /// Logical CPUs available to the process — context for reading the
+    /// worker-scaling rows (a 1-CPU host cannot scale past 1×).
+    pub host_cpus: usize,
+    /// Worker-scaling sweep: one row per worker count when run through
+    /// [`run_pipeline_sweep`]; empty for a single [`run_pipeline`] call.
+    pub worker_sweep: Vec<WorkerScalingRow>,
     /// Per-stage wall-clock histograms (`pipeline:*` labels).
     pub stages: Vec<StageSnapshot>,
+}
+
+/// One worker count's result inside a [`run_pipeline_sweep`] scaling
+/// table.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerScalingRow {
+    /// Worker threads for this run (after resolving `workers == 0`).
+    pub workers: usize,
+    /// Wall-clock time, milliseconds.
+    pub elapsed_ms: f64,
+    /// End-to-end throughput for this run.
+    pub tasks_per_sec: f64,
+    /// Throughput relative to the 1-worker row (or the first row if the
+    /// sweep does not include 1).
+    pub speedup_vs_one: f64,
 }
 
 /// Per-worker accumulator; merged after the scope joins.
@@ -154,8 +184,18 @@ fn exp_ns(state: &mut u64, mean: u64) -> u64 {
     ((-(1.0 - u).ln()) * mean as f64) as u64
 }
 
-/// `VmHWM` (peak resident set) in bytes, 0 if unavailable.
+/// Peak resident set size in bytes, best effort: `VmHWM` where procfs
+/// exists (Linux), `getrusage(2)` on other unix targets, 0 elsewhere.
 fn peak_rss_bytes() -> u64 {
+    let hwm = proc_vmhwm_bytes();
+    if hwm > 0 {
+        return hwm;
+    }
+    rusage_maxrss_bytes()
+}
+
+/// `VmHWM` from `/proc/self/status` in bytes, 0 if unavailable.
+fn proc_vmhwm_bytes() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
@@ -171,6 +211,76 @@ fn peak_rss_bytes() -> u64 {
         }
     }
     0
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+fn rusage_maxrss_bytes() -> u64 {
+    rusage::peak_rss_bytes()
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+fn rusage_maxrss_bytes() -> u64 {
+    0
+}
+
+/// Minimal `getrusage(2)` FFI for the off-Linux peak-RSS fallback. The
+/// workspace vendors no `libc` crate, but std already links the system
+/// C library on unix targets, so a one-function `extern "C"` import is
+/// enough. Gated to 64-bit unix so the `long`-based layout below is
+/// correct.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod rusage {
+    #![allow(unsafe_code)] // SAFETY: one zero-initialized out-struct passed to getrusage(2).
+
+    /// `struct timeval` on 64-bit unix: 16 bytes on Linux/BSD
+    /// (`i64`+`i64`) and on macOS (`i64`+`i32`+padding), so
+    /// `ru_maxrss`'s offset below is right on all of them.
+    #[repr(C)]
+    struct Timeval {
+        sec: i64,
+        usec: i64,
+    }
+
+    /// Prefix of `struct rusage` through `ru_maxrss`, plus generous
+    /// padding covering the 14 remaining `long` fields every unix
+    /// `rusage` layout ends with.
+    #[repr(C)]
+    struct Rusage {
+        ru_utime: Timeval,
+        ru_stime: Timeval,
+        ru_maxrss: i64,
+        pad: [i64; 16],
+    }
+
+    extern "C" {
+        fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+    }
+
+    const RUSAGE_SELF: i32 = 0;
+
+    /// `ru_maxrss` normalized to bytes (the BSDs and Linux report
+    /// kilobytes; macOS reports bytes), 0 on failure.
+    pub(super) fn peak_rss_bytes() -> u64 {
+        let mut ru = Rusage {
+            ru_utime: Timeval { sec: 0, usec: 0 },
+            ru_stime: Timeval { sec: 0, usec: 0 },
+            ru_maxrss: 0,
+            pad: [0; 16],
+        };
+        // SAFETY: `ru` outlives the call and is large enough for every
+        // 64-bit unix `struct rusage` (prefix above + padding beyond
+        // the 14 trailing `long`s); getrusage only writes within it.
+        let rc = unsafe { getrusage(RUSAGE_SELF, &mut ru) };
+        if rc != 0 || ru.ru_maxrss <= 0 {
+            return 0;
+        }
+        let maxrss = ru.ru_maxrss as u64;
+        if cfg!(target_os = "macos") {
+            maxrss
+        } else {
+            maxrss.saturating_mul(1024)
+        }
+    }
 }
 
 /// Run the end-to-end streaming pipeline described in the module docs.
@@ -281,9 +391,11 @@ pub fn run_pipeline(
             handles.push(scope.spawn(move || {
                 let mut plan_scratch = PlanScratch::default();
                 let mut emit_scratch = EmitScratch::new();
+                let mut emit_buf: Vec<u32> = Vec::new();
                 let mut sim_scratch = SimScratch::new();
                 let mut pool_ix: Vec<usize> = Vec::new();
                 let mut acc = Totals::default();
+                let bytes_word = u64::from(family.params().frames.bytes_word);
                 loop {
                     let wl = match rx.lock().unwrap().recv() {
                         Ok(wl) => wl,
@@ -330,16 +442,18 @@ pub fn run_pipeline(
                     // Placement + arena emission at task rate: each
                     // dispatch renders its module's partial bitstream
                     // through the per-worker emission arena (rendered-
-                    // stream cache hits in steady state).
+                    // stream cache hits in steady state) into one reused
+                    // buffer — zero allocations per task once warm.
                     let t0 = Instant::now();
                     for &id in wl.module_ids() {
-                        let bs = bitstream::generate_with(
+                        bitstream::emit_arc_into(
                             &mut emit_scratch,
                             &specs[pool_ix[id.0 as usize]],
+                            &mut emit_buf,
                         )
                         .expect("pool specs are valid");
                         acc.bitstreams += 1;
-                        acc.bitstream_bytes += bs.len_bytes();
+                        acc.bitstream_bytes += emit_buf.len() as u64 * bytes_word;
                     }
                     engine
                         .metrics()
@@ -397,8 +511,68 @@ pub fn run_pipeline(
         total_wait_ns: totals.total_wait_ns,
         plan_hit_rate: snapshot.counters.plan_hit_rate(),
         peak_rss_bytes: peak_rss_bytes(),
+        crc_dispatch: bitstream::arch::active().crc.name().to_string(),
+        fill_dispatch: bitstream::arch::active().fill.name().to_string(),
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        worker_sweep: Vec::new(),
         stages,
     })
+}
+
+/// Run the pipeline once per worker count and assemble the scaling
+/// table.
+///
+/// The returned report is the full report of the **highest-throughput**
+/// run, with [`PipelineReport::worker_sweep`] holding one row per worker
+/// count (speedups normalized to the 1-worker row, or the first row if
+/// the sweep omits 1). Read the rows against
+/// [`PipelineReport::host_cpus`]: worker counts beyond the host's CPUs
+/// measure oversubscription, not scaling.
+pub fn run_pipeline_sweep(
+    cfg: &PipelineConfig,
+    worker_counts: &[usize],
+) -> Result<PipelineReport, Box<dyn std::error::Error + Send + Sync>> {
+    if worker_counts.is_empty() {
+        return run_pipeline(cfg);
+    }
+    let mut rows: Vec<WorkerScalingRow> = Vec::with_capacity(worker_counts.len());
+    let mut best: Option<PipelineReport> = None;
+    for &w in worker_counts {
+        let run_cfg = PipelineConfig {
+            workers: w,
+            ..cfg.clone()
+        };
+        let report = run_pipeline(&run_cfg)?;
+        rows.push(WorkerScalingRow {
+            workers: report.workers,
+            elapsed_ms: report.elapsed_ms,
+            tasks_per_sec: report.tasks_per_sec,
+            speedup_vs_one: 0.0,
+        });
+        if best
+            .as_ref()
+            .is_none_or(|b| report.tasks_per_sec > b.tasks_per_sec)
+        {
+            best = Some(report);
+        }
+    }
+    let base = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .map(|r| r.tasks_per_sec)
+        .unwrap_or(rows[0].tasks_per_sec);
+    for row in &mut rows {
+        row.speedup_vs_one = if base > 0.0 {
+            row.tasks_per_sec / base
+        } else {
+            0.0
+        };
+    }
+    let mut report = best.expect("worker_counts is non-empty");
+    report.worker_sweep = rows;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -436,6 +610,27 @@ mod tests {
         }
         // Warm engine: the plan stage runs at memo-hit speed.
         assert!(report.plan_hit_rate.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn sweep_builds_scaling_table_and_reports_dispatch() {
+        let cfg = PipelineConfig {
+            tasks: 600,
+            chunk: 128,
+            ..PipelineConfig::default()
+        };
+        let report = run_pipeline_sweep(&cfg, &[1, 2]).unwrap();
+        assert_eq!(report.worker_sweep.len(), 2);
+        assert_eq!(report.worker_sweep[0].workers, 1);
+        assert_eq!(report.worker_sweep[1].workers, 2);
+        assert!((report.worker_sweep[0].speedup_vs_one - 1.0).abs() < 1e-9);
+        assert!(report.worker_sweep.iter().all(|r| r.tasks_per_sec > 0.0));
+        // Dispatch paths are always reported and consistent with arch.
+        assert_eq!(report.crc_dispatch, bitstream::arch::active().crc.name(),);
+        assert_eq!(report.fill_dispatch, bitstream::arch::active().fill.name(),);
+        assert!(report.host_cpus >= 1);
+        #[cfg(target_os = "linux")]
+        assert!(report.peak_rss_bytes > 0);
     }
 
     #[test]
