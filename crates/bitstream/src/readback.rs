@@ -16,19 +16,9 @@
 //!   PRR (same organization).
 
 use crate::icap::IcapModel;
-use prcost::bits::breakdown;
 use prcost::PrrOrganization;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
-
-/// Extra command words bracketing a readback (GCAPTURE, FAR, FDRO header,
-/// pipelining pad) per PRR row — mirrors `FAR_FDRI` plus the capture
-/// command.
-const READBACK_OVERHEAD_WORDS: u64 = 8;
-
-/// Extra command words for a restore (GRESTORE sequencing) on top of the
-/// ordinary partial-write framing.
-const RESTORE_OVERHEAD_WORDS: u64 = 6;
 
 /// Cost model for context save/restore of one PRR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,31 +61,16 @@ impl ContextCost {
 
 /// Context-transfer cost for a PRR organization.
 ///
-/// Readback returns one pipelining pad frame before the payload (like the
-/// write path's pad), so the frame counts match the Eq. 19/23 terms; the
-/// command overhead differs (`GCAPTURE`/`FDRO` vs `FAR_FDRI`).
+/// The word counts come from [`prcost::context_breakdown`] — the byte
+/// model lives beside the Eq. 18–23 model in `prcost::bits`; this wrapper
+/// adds ICAP time pricing (readback returns one pipelining pad frame
+/// before the payload, so the frame counts match the Eq. 19/23 terms; the
+/// command overhead differs: `GCAPTURE`/`FDRO` vs `FAR_FDRI`).
 pub fn context_cost(org: &PrrOrganization) -> ContextCost {
-    let b = breakdown(org);
-    let g = &org.family.params().frames;
-    let far_fdri = u64::from(g.far_fdri);
-
-    // Frame payload words per row, write-path framing removed.
-    let config_payload = b.config_words_per_row - far_fdri;
-    let bram_payload = if b.bram_words_per_row > 0 {
-        b.bram_words_per_row - far_fdri
-    } else {
-        0
-    };
-
-    let rows = b.rows;
-    let save_words = rows * (READBACK_OVERHEAD_WORDS + config_payload + bram_payload)
-        + u64::from(g.iw)
-        + u64::from(g.fw);
-    let restore_words = b.total_words() + rows * RESTORE_OVERHEAD_WORDS;
-
+    let b = prcost::context_breakdown(org);
     ContextCost {
-        save_words,
-        restore_words,
+        save_words: b.save_words,
+        restore_words: b.restore_words,
         bytes_per_word: b.bytes_per_word,
     }
 }

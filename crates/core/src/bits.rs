@@ -116,6 +116,82 @@ pub fn bitstream_size_bytes(org: &PrrOrganization) -> u64 {
     breakdown(org).total_bytes()
 }
 
+/// Extra command words bracketing a readback (GCAPTURE, FAR, FDRO header,
+/// pipelining pad) per PRR row — mirrors `FAR_FDRI` plus the capture
+/// command.
+pub const READBACK_OVERHEAD_WORDS: u64 = 8;
+
+/// Extra command words for a restore (GRESTORE sequencing) on top of the
+/// ordinary partial-write framing.
+pub const RESTORE_OVERHEAD_WORDS: u64 = 6;
+
+/// Word-level decomposition of a hardware-task context switch: the
+/// readback (save) and write-back (restore) of one PRR's configuration
+/// state, per the authors' companion context save/restore machinery
+/// (\[5\] FCCM'13, \[6\] ARC'13). Built on the same Eq. 19–23 frame
+/// geometry as [`BitstreamBreakdown`]; the `bitstream` crate's
+/// `readback` module wraps this with ICAP time pricing. Preemption-aware
+/// relocation of a *running* module pays these bytes on top of the plain
+/// Eq. 18 bitstream write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextBreakdown {
+    /// Words read back on save (whole-PRR capture).
+    pub save_words: u64,
+    /// Words written on restore (partial write plus `GRESTORE` framing).
+    pub restore_words: u64,
+    /// Bytes per configuration word.
+    pub bytes_per_word: u64,
+}
+
+impl ContextBreakdown {
+    /// Bytes transferred by a save.
+    pub fn save_bytes(&self) -> u64 {
+        self.save_words * self.bytes_per_word
+    }
+
+    /// Bytes transferred by a restore.
+    pub fn restore_bytes(&self) -> u64 {
+        self.restore_words * self.bytes_per_word
+    }
+
+    /// Save + restore bytes: what relocating a running module pays
+    /// through the configuration port on top of the Eq. 18 write.
+    pub fn total_bytes(&self) -> u64 {
+        self.save_bytes() + self.restore_bytes()
+    }
+}
+
+/// Context save/restore word counts for a PRR organization.
+///
+/// Readback returns one pipelining pad frame before the payload (like the
+/// write path's pad), so the frame counts match the Eq. 19/23 terms; the
+/// command overhead differs (`GCAPTURE`/`FDRO` vs `FAR_FDRI`).
+pub fn context_breakdown(org: &PrrOrganization) -> ContextBreakdown {
+    let b = breakdown(org);
+    let g = &org.family.params().frames;
+    let far_fdri = u64::from(g.far_fdri);
+
+    // Frame payload words per row, write-path framing removed.
+    let config_payload = b.config_words_per_row - far_fdri;
+    let bram_payload = if b.bram_words_per_row > 0 {
+        b.bram_words_per_row - far_fdri
+    } else {
+        0
+    };
+
+    let rows = b.rows;
+    let save_words = rows * (READBACK_OVERHEAD_WORDS + config_payload + bram_payload)
+        + u64::from(g.iw)
+        + u64::from(g.fw);
+    let restore_words = b.total_words() + rows * RESTORE_OVERHEAD_WORDS;
+
+    ContextBreakdown {
+        save_words,
+        restore_words,
+        bytes_per_word: b.bytes_per_word,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +276,20 @@ mod tests {
         let b = breakdown(&org(Family::Virtex5, 1, 1, 0, 0));
         assert_eq!(b.frames_per_row(41, b.config_words_per_row + 1), 0);
         assert_eq!(b.frames_per_row(0, 5), 0);
+    }
+
+    /// Context bytes are strictly positive for any non-empty PRR, so a
+    /// preemption-aware move (write + save + restore) always costs more
+    /// bytes than the plain Eq. 18 write.
+    #[test]
+    fn context_switch_always_adds_bytes() {
+        for (h, clb, dsp, bram) in [(1, 1, 0, 0), (2, 4, 1, 0), (3, 6, 1, 2)] {
+            let o = org(Family::Virtex5, h, clb, dsp, bram);
+            let ctx = context_breakdown(&o);
+            assert!(ctx.save_bytes() > 0);
+            assert!(ctx.restore_bytes() > bitstream_size_bytes(&o));
+            assert_eq!(ctx.total_bytes(), ctx.save_bytes() + ctx.restore_bytes());
+        }
     }
 
     #[test]

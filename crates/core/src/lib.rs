@@ -54,7 +54,7 @@ pub mod service;
 pub mod shard;
 pub mod timing;
 
-pub use bits::{bitstream_size_bytes, BitstreamBreakdown};
+pub use bits::{bitstream_size_bytes, context_breakdown, BitstreamBreakdown, ContextBreakdown};
 pub use engine::{Engine, EngineSnapshot, SnapshotError};
 pub use error::CostError;
 pub use full::{full_bitstream_size_bytes, FullBitstreamBreakdown};

@@ -28,15 +28,21 @@ use std::time::Instant;
 pub enum DefragPolicy {
     /// Never relocate (the no-defrag baseline).
     Never,
-    /// Relocate when `cost_ns ≤ ratio × benefit_ns`, the benefit being
-    /// the admitted task's execution time.
+    /// Relocate when `cost_ns ≤ ratio × benefit_ns`. The benefit is
+    /// always *remaining* execution time: for admission-failure repair
+    /// that is the incoming task's execution time (none of it has run at
+    /// its arrival, so remaining equals total — the PR-5 behaviour, now
+    /// pinned by a regression test); for proactive defrag it is the sum
+    /// of the *remaining* (not total) execution time of the live admitted
+    /// tasks, since only work still outstanding can recoup the move cost.
     Threshold(f64),
     /// Relocate whenever a plan exists.
     Always,
 }
 
 impl DefragPolicy {
-    /// Whether a plan of `cost_ns` is worth an admission of `benefit_ns`.
+    /// Whether a plan (single move set or multi-move sequence) of
+    /// `cost_ns` is worth `benefit_ns` of remaining execution time.
     pub fn accepts(&self, cost_ns: u64, benefit_ns: u64) -> bool {
         match self {
             DefragPolicy::Never => false,
@@ -55,9 +61,15 @@ pub struct RelocationMove {
     pub from: Window,
     /// The compatible free window it moves to.
     pub to: Window,
-    /// Partial-bitstream bytes replayed through the ICAP (Eq. 18).
+    /// Total bytes pushed through the ICAP for this move: the Eq. 18
+    /// partial-bitstream write, plus `context_bytes` when the move is
+    /// priced preemption-aware.
     pub bytes: u64,
-    /// ICAP transfer time for those bytes, nanoseconds.
+    /// Context save + restore bytes (the readback/`GRESTORE` machinery
+    /// for relocating a *running* module). Zero for single-step plans,
+    /// which price the write only.
+    pub context_bytes: u64,
+    /// ICAP transfer time for `bytes`, nanoseconds.
     pub transfer_ns: u64,
 }
 
@@ -76,7 +88,7 @@ pub struct DefragPlan {
 }
 
 /// Axis-aligned window overlap (shared fabric cell).
-fn overlaps(a: &Window, b: &Window) -> bool {
+pub(crate) fn overlaps(a: &Window, b: &Window) -> bool {
     a.start_col < b.end_col()
         && b.start_col < a.end_col()
         && a.row <= b.top_row()
@@ -149,6 +161,7 @@ impl LayoutManager {
                 from: blocker.window.clone(),
                 to: target,
                 bytes: blocker.bitstream_bytes,
+                context_bytes: 0,
                 transfer_ns,
             });
         }

@@ -1,0 +1,803 @@
+//! `defrag2`: parallel bounded-depth branch-and-bound over relocation
+//! *sequences* — the multi-move defragmentation planner.
+//!
+//! The PR-5 planner ([`crate::defrag`]) only considers *single-step*
+//! relocation sets: every target must be free before the plan runs. Van
+//! der Veen et al. ("Defragmenting the Module Layout of a Partially
+//! Reconfigurable Device") show the real admission wins come from
+//! multi-move *schedules*, where a later move lands in cells an earlier
+//! move vacated. This module searches those schedules with the same
+//! machinery that made `parflow::autofloorplan` fast:
+//!
+//! * **incremental layout state** — [`LayoutState`] overlays the
+//!   [`FreeSpace`] per-row free runs; applying or undoing a move is two
+//!   run splices and two hash XORs, never a clone down the tree;
+//! * **Zobrist-style transposition table** — each (allocation, position)
+//!   pair hashes to a derived 64-bit key; the layout hash is their XOR,
+//!   so permuted move orders reaching the same layout collide in the
+//!   per-rectangle visited set and are pruned. Pruning is exact: a
+//!   layout determines which movers have moved (a moved blocker never
+//!   overlaps the admit rectangle again), hence the remaining depth, and
+//!   feasibility is a function of the layout alone;
+//! * **exact per-module lower bounds** — an HTR relocation is the same
+//!   FAR-rewritten replay at every compatible target, so one move of one
+//!   module costs `IcapModel::transfer_time` over its bytes *wherever*
+//!   it lands. Every blocker of an admit rectangle must move exactly
+//!   once, so a rectangle's whole-sequence cost is known *before* the
+//!   search: the suffix lower bound is exact, and branch-and-bound
+//!   collapses to pruning entire rectangles against the incumbent plus a
+//!   feasibility-only descent inside each rectangle;
+//! * **first-level rayon fan-out with a packed atomic incumbent** — the
+//!   candidate admit rectangles fan out over rayon, sharing the best
+//!   known `(cost, moves, rectangle index)` packed into one `AtomicU64`
+//!   ([`pack_bound`], the PR-3 trick). Workers prune with `>=` against
+//!   the bound; packs are unique per rectangle, so the depth-first
+//!   reduction reproduces the serial tie-break exactly
+//!   ([`plan_serial`] is the identity oracle).
+//!
+//! **Documented tie-break**: minimise total move cost (ns), then move
+//! count, then the admit-rectangle enumeration order (candidate starts
+//! ascending, base row ascending), then the first feasible sequence in
+//! canonical descent order (movers by ascending allocation id, targets
+//! leftmost-then-bottom). [`reference`] freezes an exhaustive
+//! clone-based enumeration of the same plan space as the equivalence
+//! oracle.
+//!
+//! Moves are priced *preemption-aware* by default: a live module is
+//! running, so relocating it pays context save + restore bytes
+//! ([`prcost::context_breakdown`]) on top of the Eq. 18 write
+//! ([`LayoutManager::move_cost`]).
+
+use crate::defrag::RelocationMove;
+use crate::free::FreeSpace;
+use crate::manager::{Allocation, LayoutManager, MoveCost};
+use fabric::{ColumnKind, Window};
+use prcost::{Metrics, PrrOrganization};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Hard cap on sequence depth (the paper-scale regime; deeper searches
+/// lose to the admission they were meant to enable).
+pub const MAX_DEPTH: u32 = 4;
+
+/// Multi-move search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Defrag2Config {
+    /// Maximum moves per plan, clamped to [`MAX_DEPTH`]; 0 disables the
+    /// search entirely.
+    pub depth: u32,
+    /// Price moves preemption-aware: live modules are running, so each
+    /// move pays context save + restore bytes on top of the bitstream
+    /// write. `false` prices write-only (idle modules).
+    pub context_aware: bool,
+    /// Deterministic per-rectangle node budget: a rectangle whose
+    /// feasibility descent exceeds it is abandoned (same outcome serial
+    /// or parallel). The default is far above anything the depth-capped
+    /// tree reaches on real devices.
+    pub node_budget: u64,
+}
+
+impl Default for Defrag2Config {
+    fn default() -> Self {
+        Defrag2Config {
+            depth: 3,
+            context_aware: true,
+            node_budget: 100_000,
+        }
+    }
+}
+
+/// A validated, costed multi-move defragmentation plan. Unlike
+/// [`crate::DefragPlan`], `moves` is an *ordered sequence*: each move's
+/// target is free when its turn comes, possibly only because an earlier
+/// move vacated it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Defrag2Plan {
+    /// Relocations in execution order.
+    pub moves: Vec<RelocationMove>,
+    /// The window freed for the failed organization once moves complete.
+    pub admit: Window,
+    /// Total ICAP time of all moves, nanoseconds.
+    pub total_move_ns: u64,
+    /// Total bytes replayed by all moves (bitstream + context).
+    pub total_move_bytes: u64,
+    /// Context save + restore bytes included in `total_move_bytes`.
+    pub total_context_bytes: u64,
+    /// Search nodes expanded (diagnostic).
+    pub nodes: u64,
+}
+
+/// splitmix64 finalizer — the repo's standard deterministic mixer.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Zobrist-style key of one (allocation, position) pair: derived (not
+/// tabulated) so no per-device key table is needed, deterministic across
+/// runs and threads.
+fn zkey(id: u64, start_col: usize, row: u32) -> u64 {
+    splitmix64(
+        splitmix64(splitmix64(id ^ 0xa076_1d64_78bd_642f) ^ start_col as u64) ^ u64::from(row),
+    )
+}
+
+/// A rectangle in span form (no `columns` vector to clone).
+#[derive(Debug, Clone, Copy)]
+struct SpanRect {
+    start: usize,
+    end: usize,
+    row: u32,
+    top: u32,
+}
+
+impl SpanRect {
+    fn of(w: &Window) -> Self {
+        SpanRect {
+            start: w.start_col,
+            end: w.end_col(),
+            row: w.row,
+            top: w.top_row(),
+        }
+    }
+
+    fn overlaps(&self, start: usize, end: usize, row: u32, top: u32) -> bool {
+        self.start < end && start < self.end && self.row <= top && row <= self.top
+    }
+}
+
+/// One allocation that must vacate a candidate admit rectangle.
+struct Mover<'a> {
+    alloc: &'a Allocation,
+    cost: MoveCost,
+}
+
+/// One candidate admit rectangle with its blockers and exact sequence
+/// cost (each blocker moves exactly once at a position-independent
+/// price).
+struct RectCand<'a> {
+    admit: SpanRect,
+    movers: Vec<Mover<'a>>,
+    cost: u64,
+}
+
+/// Incremental search state: the per-row free runs (copied once per
+/// rectangle, then mutated by apply/undo — never cloned down the tree)
+/// plus the XOR layout hash over the movers' current positions.
+struct LayoutState {
+    runs: Vec<Vec<(usize, usize)>>,
+    hash: u64,
+}
+
+impl LayoutState {
+    fn new(free: &FreeSpace, movers: &[Mover<'_>]) -> Self {
+        let mut hash = 0u64;
+        for m in movers {
+            hash ^= zkey(m.alloc.id, m.alloc.window.start_col, m.alloc.window.row);
+        }
+        LayoutState {
+            runs: free.runs().to_vec(),
+            hash,
+        }
+    }
+
+    /// Whether every cell of the rectangle is currently free (same run
+    /// probe as [`FreeSpace::is_free`]).
+    fn is_free(&self, start_col: usize, width: usize, row: u32, height: u32) -> bool {
+        let end = start_col + width;
+        (row..row + height).all(|r| {
+            let runs = &self.runs[(r - 1) as usize];
+            let i = runs.partition_point(|&(s, _)| s <= start_col);
+            i > 0 && runs[i - 1].1 >= end
+        })
+    }
+
+    /// Apply one move of mover `m` from its current span to `(to_start,
+    /// to_row)`: two run splices per row plus two hash XORs.
+    fn apply(&mut self, m: &Mover<'_>, from: SpanRect, to_start: usize, to_row: u32) {
+        let w = from.end - from.start;
+        let h = from.top - from.row + 1;
+        for r in to_row..to_row + h {
+            crate::free::carve_run(&mut self.runs[(r - 1) as usize], to_start, to_start + w);
+        }
+        for r in from.row..from.row + h {
+            crate::free::merge_run(&mut self.runs[(r - 1) as usize], from.start, from.end);
+        }
+        self.hash ^= zkey(m.alloc.id, from.start, from.row) ^ zkey(m.alloc.id, to_start, to_row);
+    }
+
+    /// Exact inverse of [`LayoutState::apply`].
+    fn undo(&mut self, m: &Mover<'_>, from: SpanRect, to_start: usize, to_row: u32) {
+        let w = from.end - from.start;
+        let h = from.top - from.row + 1;
+        for r in from.row..from.row + h {
+            crate::free::carve_run(&mut self.runs[(r - 1) as usize], from.start, from.end);
+        }
+        for r in to_row..to_row + h {
+            crate::free::merge_run(&mut self.runs[(r - 1) as usize], to_start, to_start + w);
+        }
+        self.hash ^= zkey(m.alloc.id, from.start, from.row) ^ zkey(m.alloc.id, to_start, to_row);
+    }
+}
+
+/// Canonical target enumeration for one mover: compatible column spans
+/// ascending, base rows ascending, currently free, disjoint from the
+/// admit rectangle. Shared (by specification) with the frozen oracle.
+fn targets_into(
+    columns: &[ColumnKind],
+    rows: u32,
+    state: &LayoutState,
+    admit: &SpanRect,
+    mover: &Mover<'_>,
+    out: &mut Vec<(usize, u32)>,
+) {
+    out.clear();
+    let want = &mover.alloc.window.columns[..];
+    let bw = want.len();
+    let bh = mover.alloc.window.height;
+    for start in 0..=columns.len().saturating_sub(bw) {
+        if &columns[start..start + bw] != want {
+            continue;
+        }
+        for row in 1..=rows - bh + 1 {
+            if !state.is_free(start, bw, row, bh) {
+                continue;
+            }
+            if admit.overlaps(start, start + bw, row, row + bh - 1) {
+                continue;
+            }
+            out.push((start, row));
+        }
+    }
+}
+
+/// Depth-first feasibility descent inside one rectangle: find the first
+/// (in canonical order) sequence of single moves taking every mover out
+/// of the admit rectangle. The visited set prunes permuted move orders
+/// reaching the same layout; a pruned layout was fully explored and
+/// failed, so skipping it never changes the first success.
+/// A complete move sequence: `(mover index, target start col, target row)`
+/// per move, in execution order.
+type Seq = Vec<(usize, usize, u32)>;
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    columns: &[ColumnKind],
+    rows: u32,
+    admit: &SpanRect,
+    movers: &[Mover<'_>],
+    state: &mut LayoutState,
+    visited: &mut HashSet<u64>,
+    moved: u32,
+    seq: &mut Seq,
+    nodes: &mut u64,
+    budget: u64,
+) -> bool {
+    if *nodes >= budget {
+        return false;
+    }
+    *nodes += 1;
+    if moved.count_ones() as usize == movers.len() {
+        return true;
+    }
+    let mut targets = Vec::new();
+    for (mi, mover) in movers.iter().enumerate() {
+        if moved & (1 << mi) != 0 {
+            continue;
+        }
+        let from = SpanRect::of(&mover.alloc.window);
+        targets_into(columns, rows, state, admit, mover, &mut targets);
+        for &(to_start, to_row) in &targets {
+            state.apply(mover, from, to_start, to_row);
+            seq.push((mi, to_start, to_row));
+            if visited.insert(state.hash)
+                && descend(
+                    columns,
+                    rows,
+                    admit,
+                    movers,
+                    state,
+                    visited,
+                    moved | (1 << mi),
+                    seq,
+                    nodes,
+                    budget,
+                )
+            {
+                return true;
+            }
+            seq.pop();
+            state.undo(mover, from, to_start, to_row);
+        }
+    }
+    false
+}
+
+/// Enumerate candidate admit rectangles (candidate starts ascending,
+/// base rows ascending — the tie-break order) with their blockers and
+/// exact sequence costs. Rectangles with more blockers than `depth` are
+/// unreachable and dropped here.
+fn rect_candidates<'a>(
+    mgr: &'a LayoutManager,
+    org: &PrrOrganization,
+    depth: usize,
+    context_aware: bool,
+) -> Vec<RectCand<'a>> {
+    let free = mgr.free_space();
+    let width = org.width() as usize;
+    let mut rects = Vec::new();
+    if width == 0 || org.height < 1 || org.height > free.rows() {
+        return rects;
+    }
+    let allocs: Vec<&Allocation> = mgr.allocation_map().values().collect();
+    let costs: Vec<MoveCost> = allocs
+        .iter()
+        .map(|a| mgr.move_cost(a, context_aware))
+        .collect();
+    for &start in free.candidate_starts(org.clb_cols, org.dsp_cols, org.bram_cols) {
+        let start = start as usize;
+        for row in 1..=free.rows() - org.height + 1 {
+            let admit = SpanRect {
+                start,
+                end: start + width,
+                row,
+                top: row + org.height - 1,
+            };
+            let movers: Vec<Mover<'a>> = allocs
+                .iter()
+                .zip(&costs)
+                .filter(|(a, _)| {
+                    let w = &a.window;
+                    admit.overlaps(w.start_col, w.end_col(), w.row, w.top_row())
+                })
+                .map(|(a, &cost)| Mover { alloc: a, cost })
+                .collect();
+            if movers.len() > depth {
+                continue;
+            }
+            let cost = movers.iter().map(|m| m.cost.transfer_ns).sum();
+            rects.push(RectCand {
+                admit,
+                movers,
+                cost,
+            });
+        }
+    }
+    rects
+}
+
+/// Bits for the move count and rectangle index in the packed bound.
+const MOVES_BITS: u32 = 4;
+const RECT_BITS: u32 = 20;
+
+/// Pack an incumbent `(cost, moves, rectangle index)` into one `u64`,
+/// ordered lexicographically. Packs are unique per rectangle, so `>=`
+/// pruning against the shared bound can never cut the rectangle the
+/// serial scan would have kept (same trick as `parflow::pack_bound`,
+/// with the branch index extended by the move count).
+fn pack_bound(cost: u64, moves: usize, rect: usize) -> u64 {
+    debug_assert!(cost < 1 << (u64::BITS - MOVES_BITS - RECT_BITS));
+    debug_assert!(moves < 1 << MOVES_BITS);
+    debug_assert!(rect < 1 << RECT_BITS);
+    (cost << (MOVES_BITS + RECT_BITS)) | ((moves as u64) << RECT_BITS) | rect as u64
+}
+
+/// Run the feasibility descent for one rectangle; returns the canonical
+/// first sequence if one exists.
+fn solve_rect(
+    columns: &[ColumnKind],
+    rows: u32,
+    free: &FreeSpace,
+    rect: &RectCand<'_>,
+    budget: u64,
+    nodes: &mut u64,
+) -> Option<Seq> {
+    let mut state = LayoutState::new(free, &rect.movers);
+    let mut visited = HashSet::new();
+    let mut seq = Vec::with_capacity(rect.movers.len());
+    if descend(
+        columns,
+        rows,
+        &rect.admit,
+        &rect.movers,
+        &mut state,
+        &mut visited,
+        0,
+        &mut seq,
+        nodes,
+        budget,
+    ) {
+        Some(seq)
+    } else {
+        None
+    }
+}
+
+/// Materialise the winning rectangle + sequence into a plan.
+fn materialize(
+    mgr: &LayoutManager,
+    rect: &RectCand<'_>,
+    seq: &[(usize, usize, u32)],
+    nodes: u64,
+) -> Defrag2Plan {
+    let columns = mgr.device().columns();
+    let moves: Vec<RelocationMove> = seq
+        .iter()
+        .map(|&(mi, to_start, to_row)| {
+            let m = &rect.movers[mi];
+            let from = m.alloc.window.clone();
+            let to = Window {
+                start_col: to_start,
+                width: from.width,
+                row: to_row,
+                height: from.height,
+                columns: from.columns.clone(),
+            };
+            debug_assert!(bitstream::compatible(&from, &to));
+            RelocationMove {
+                id: m.alloc.id,
+                from,
+                to,
+                bytes: m.cost.bytes,
+                context_bytes: m.cost.context_bytes,
+                transfer_ns: m.cost.transfer_ns,
+            }
+        })
+        .collect();
+    let admit = Window {
+        start_col: rect.admit.start,
+        width: (rect.admit.end - rect.admit.start) as u32,
+        row: rect.admit.row,
+        height: rect.admit.top - rect.admit.row + 1,
+        columns: columns[rect.admit.start..rect.admit.end].to_vec(),
+    };
+    Defrag2Plan {
+        total_move_ns: moves.iter().map(|m| m.transfer_ns).sum(),
+        total_move_bytes: moves.iter().map(|m| m.bytes).sum(),
+        total_context_bytes: moves.iter().map(|m| m.context_bytes).sum(),
+        moves,
+        admit,
+        nodes,
+    }
+}
+
+/// Serial bounded-depth multi-move search: rectangles in enumeration
+/// order, incumbent pruning on `(cost, moves, index)`. The parallel
+/// search is property-tested identical to this.
+pub fn plan_serial(
+    mgr: &LayoutManager,
+    org: &PrrOrganization,
+    config: &Defrag2Config,
+) -> Option<Defrag2Plan> {
+    let depth = config.depth.min(MAX_DEPTH) as usize;
+    if config.depth == 0 {
+        return None;
+    }
+    let rects = rect_candidates(mgr, org, depth, config.context_aware);
+    let columns = mgr.device().columns();
+    let free = mgr.free_space();
+    let mut nodes = 0u64;
+    let mut best: Option<(u64, usize, usize, Seq)> = None;
+    for (idx, rect) in rects.iter().enumerate() {
+        if let Some((bc, bm, _, _)) = &best {
+            if (rect.cost, rect.movers.len()) >= (*bc, *bm) {
+                continue;
+            }
+        }
+        if let Some(seq) = solve_rect(
+            columns,
+            free.rows(),
+            free,
+            rect,
+            config.node_budget,
+            &mut nodes,
+        ) {
+            best = Some((rect.cost, rect.movers.len(), idx, seq));
+        }
+    }
+    best.map(|(_, _, idx, seq)| materialize(mgr, &rects[idx], &seq, nodes))
+}
+
+/// Parallel bounded-depth multi-move search: first-level rayon fan-out
+/// over the candidate admit rectangles with the incumbent shared through
+/// a packed `AtomicU64`. Identical result to [`plan_serial`] (packs are
+/// unique per rectangle, so the reduction has no ties to break).
+pub fn plan(
+    mgr: &LayoutManager,
+    org: &PrrOrganization,
+    config: &Defrag2Config,
+) -> Option<Defrag2Plan> {
+    let depth = config.depth.min(MAX_DEPTH) as usize;
+    if config.depth == 0 {
+        return None;
+    }
+    let rects = rect_candidates(mgr, org, depth, config.context_aware);
+    if rects.len() >= 1 << RECT_BITS
+        || rects
+            .iter()
+            .any(|r| r.cost >= 1 << (u64::BITS - MOVES_BITS - RECT_BITS))
+    {
+        // Too wide/expensive for the packed bound (never seen on real
+        // devices) — the serial scan is the defined behaviour anyway.
+        return plan_serial(mgr, org, config);
+    }
+    let columns = mgr.device().columns();
+    let free = mgr.free_space();
+    let bound = AtomicU64::new(u64::MAX);
+    let total_nodes = AtomicU64::new(0);
+    let solved: Vec<Option<(usize, Seq)>> = rects
+        .par_iter()
+        .enumerate()
+        .map(|(idx, rect)| {
+            let lb = pack_bound(rect.cost, rect.movers.len(), idx);
+            if lb >= bound.load(Ordering::Relaxed) {
+                return None;
+            }
+            let mut nodes = 0u64;
+            let seq = solve_rect(
+                columns,
+                free.rows(),
+                free,
+                rect,
+                config.node_budget,
+                &mut nodes,
+            );
+            total_nodes.fetch_add(nodes, Ordering::Relaxed);
+            seq.map(|s| {
+                bound.fetch_min(lb, Ordering::Relaxed);
+                (idx, s)
+            })
+        })
+        .collect();
+    // The globally best rectangle can never be pruned (pruning needs a
+    // strictly smaller completed pack), so the minimum over whatever ran
+    // is deterministic.
+    let best = solved
+        .into_iter()
+        .flatten()
+        .min_by_key(|(idx, seq)| pack_bound(rects[*idx].cost, seq.len(), *idx));
+    best.map(|(idx, seq)| materialize(mgr, &rects[idx], &seq, total_nodes.load(Ordering::Relaxed)))
+}
+
+impl LayoutManager {
+    /// Plan a bounded-depth multi-move relocation sequence freeing a
+    /// window for `org`, or `None` when no sequence within
+    /// `config.depth` moves exists. See the [module docs](self) for the
+    /// search machinery and the documented tie-break.
+    pub fn plan_defrag2(
+        &self,
+        org: &PrrOrganization,
+        config: &Defrag2Config,
+    ) -> Option<Defrag2Plan> {
+        let started = Instant::now();
+        let plan = plan(self, org, config);
+        Metrics::global().record_stage("layout:defrag2_plan", started.elapsed());
+        if plan.is_some() {
+            Metrics::global().incr_labeled("layout:defrag2_plans");
+        }
+        plan
+    }
+
+    /// Execute a multi-move plan *in order*: each move's target is free
+    /// at its turn (debug-asserted), possibly only because an earlier
+    /// move vacated it. Bumps the `layout:*` relocation counters; ICAP
+    /// time accounting is the caller's (the simulator serializes moves
+    /// through the port).
+    pub fn execute_defrag2(&mut self, plan: &Defrag2Plan) {
+        for mv in &plan.moves {
+            debug_assert!(bitstream::compatible(&mv.from, &mv.to));
+            debug_assert!(
+                self.free_space().is_free(
+                    mv.to.start_col,
+                    mv.to.width as usize,
+                    mv.to.row,
+                    mv.to.height
+                ),
+                "sequence move target not free at its turn"
+            );
+            self.move_allocation(mv.id, mv.to.clone());
+        }
+        let m = Metrics::global();
+        m.incr_labeled("layout:defrag2_executed");
+        m.add_labeled("layout:relocations", plan.moves.len() as u64);
+        m.add_labeled("layout:relocated_bytes", plan.total_move_bytes);
+        m.add_labeled("layout:context_bytes", plan.total_context_bytes);
+    }
+}
+
+pub mod reference {
+    //! Frozen exhaustive-enumeration oracle for the multi-move search —
+    //! the *specification* of the plan space and tie-break, kept naive
+    //! on purpose: occupancy-grid state ([`NaiveFreeSpace`]), full
+    //! enumeration of every sequence (no transposition table, no lower
+    //! bounds, no incumbent pruning across rectangles beyond strict
+    //! improvement, no parallelism), per-sequence cost summation (it
+    //! does not assume position-independent move costs — it verifies
+    //! them). Do not optimize; the equivalence property suite pins
+    //! [`super::plan`] and [`super::plan_serial`] against it at small
+    //! depths.
+
+    use super::{Defrag2Config, Defrag2Plan, MAX_DEPTH};
+    use crate::defrag::{overlaps, RelocationMove};
+    use crate::free::NaiveFreeSpace;
+    use crate::manager::{Allocation, LayoutManager};
+    use fabric::Window;
+    use prcost::PrrOrganization;
+
+    struct Best {
+        cost: u64,
+        moves: usize,
+        admit: Window,
+        seq: Vec<RelocationMove>,
+    }
+
+    /// Exhaustively enumerate every bounded-depth relocation sequence
+    /// over every candidate admit rectangle and return the best plan
+    /// under the documented tie-break (cost, then move count, then
+    /// rectangle enumeration order, then first sequence in canonical
+    /// descent order).
+    pub fn plan_exhaustive(
+        mgr: &LayoutManager,
+        org: &PrrOrganization,
+        config: &Defrag2Config,
+    ) -> Option<Defrag2Plan> {
+        let depth = config.depth.min(MAX_DEPTH) as usize;
+        if config.depth == 0 {
+            return None;
+        }
+        let device = mgr.device();
+        let mut grid = NaiveFreeSpace::new(device);
+        for a in mgr.allocations() {
+            grid.allocate(&a.window);
+        }
+        let free = mgr.free_space();
+        let width = org.width() as usize;
+        if width == 0 || org.height < 1 || org.height > free.rows() {
+            return None;
+        }
+        let rows = free.rows();
+        let mut best: Option<Best> = None;
+        for &start in free.candidate_starts(org.clb_cols, org.dsp_cols, org.bram_cols) {
+            let start = start as usize;
+            for row in 1..=free.rows() - org.height + 1 {
+                let admit = Window {
+                    start_col: start,
+                    width: width as u32,
+                    row,
+                    height: org.height,
+                    columns: device.columns()[start..start + width].to_vec(),
+                };
+                let movers: Vec<&Allocation> = mgr
+                    .allocation_map()
+                    .values()
+                    .filter(|a| overlaps(&a.window, &admit))
+                    .collect();
+                if movers.len() > depth {
+                    continue;
+                }
+                let mut positions: Vec<Window> = movers.iter().map(|a| a.window.clone()).collect();
+                let mut moved = vec![false; movers.len()];
+                let mut seq = Vec::new();
+                enumerate(
+                    mgr,
+                    config,
+                    rows,
+                    &admit,
+                    &movers,
+                    &mut grid,
+                    &mut positions,
+                    &mut moved,
+                    &mut seq,
+                    0,
+                    &mut best,
+                );
+            }
+        }
+        best.map(|b| Defrag2Plan {
+            total_move_ns: b.cost,
+            total_move_bytes: b.seq.iter().map(|m| m.bytes).sum(),
+            total_context_bytes: b.seq.iter().map(|m| m.context_bytes).sum(),
+            moves: b.seq,
+            admit: b.admit,
+            nodes: 0,
+        })
+    }
+
+    /// Recursive exhaustive sequence enumeration for one rectangle:
+    /// movers by ascending allocation id, targets leftmost-then-bottom.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        mgr: &LayoutManager,
+        config: &Defrag2Config,
+        rows: u32,
+        admit: &Window,
+        movers: &[&Allocation],
+        grid: &mut NaiveFreeSpace,
+        positions: &mut [Window],
+        moved: &mut [bool],
+        seq: &mut Vec<RelocationMove>,
+        cost: u64,
+        best: &mut Option<Best>,
+    ) {
+        if moved.iter().all(|&m| m) {
+            let better = best
+                .as_ref()
+                .is_none_or(|b| (cost, seq.len()) < (b.cost, b.moves));
+            if better {
+                *best = Some(Best {
+                    cost,
+                    moves: seq.len(),
+                    admit: admit.clone(),
+                    seq: seq.clone(),
+                });
+            }
+            return;
+        }
+        let columns = mgr.device().columns();
+        for mi in 0..movers.len() {
+            if moved[mi] {
+                continue;
+            }
+            let from = positions[mi].clone();
+            let bw = from.columns.len();
+            let bh = from.height;
+            let mut targets = Vec::new();
+            for start in 0..=columns.len().saturating_sub(bw) {
+                if columns[start..start + bw] != from.columns[..] {
+                    continue;
+                }
+                for trow in 1..=rows - bh + 1 {
+                    let to = Window {
+                        start_col: start,
+                        width: bw as u32,
+                        row: trow,
+                        height: bh,
+                        columns: from.columns.clone(),
+                    };
+                    if !grid.is_free(start, bw, trow, bh) || overlaps(&to, admit) {
+                        continue;
+                    }
+                    targets.push(to);
+                }
+            }
+            for to in targets {
+                let mc = mgr.move_cost(movers[mi], config.context_aware);
+                grid.release(&from);
+                grid.allocate(&to);
+                positions[mi] = to.clone();
+                moved[mi] = true;
+                seq.push(RelocationMove {
+                    id: movers[mi].id,
+                    from: from.clone(),
+                    to: to.clone(),
+                    bytes: mc.bytes,
+                    context_bytes: mc.context_bytes,
+                    transfer_ns: mc.transfer_ns,
+                });
+                enumerate(
+                    mgr,
+                    config,
+                    rows,
+                    admit,
+                    movers,
+                    grid,
+                    positions,
+                    moved,
+                    seq,
+                    cost + mc.transfer_ns,
+                    best,
+                );
+                seq.pop();
+                moved[mi] = false;
+                positions[mi] = from.clone();
+                grid.release(&to);
+                grid.allocate(&from);
+            }
+        }
+    }
+}

@@ -20,6 +20,14 @@
 //! Forbidden (IOB/CLK) columns are never part of any free run, so two
 //! adjacent free runs in a row can only be separated by occupied eligible
 //! cells — merging runs that touch on release is always safe.
+//!
+//! Fragmentation metrics are incremental too: the per-row height
+//! histograms of the largest-rectangle sweep are repaired column-wise on
+//! every allocate/release (stopping at the first unchanged row), so
+//! [`FreeSpace::largest_free_rect`] and
+//! [`FreeSpace::fragmentation_index`] are O(1) queries — the defrag
+//! search and the simulator sample them on every placement change. Debug
+//! builds assert the cached value against the full sweep on every query.
 
 use fabric::{ColumnKind, Device, Window, WindowRequest};
 use std::collections::{BTreeMap, HashMap};
@@ -44,6 +52,15 @@ pub struct FreeSpace {
     /// Free eligible cells, total and per resource kind slot.
     free_cells: u64,
     free_by_kind: [u64; 3],
+    /// `heights[r][c]`: consecutive free cells in column `c` ending at row
+    /// index `r` — the per-row histogram the largest-rectangle sweep scans,
+    /// kept incrementally under allocate/release.
+    heights: Vec<Vec<u64>>,
+    /// `row_best[r]`: largest all-free rectangle whose top edge is row
+    /// index `r` (a pure function of `heights[r]`).
+    row_best: Vec<u64>,
+    /// Cached `max(row_best)`: the largest all-free rectangle.
+    largest: u64,
 }
 
 impl FreeSpace {
@@ -70,14 +87,40 @@ impl FreeSpace {
             row_runs.push((run.start, run.end));
         }
         let free_cells = free_by_kind.iter().sum();
+        let rows = device.rows() as usize;
+        let free = vec![row_runs; rows];
+        let mut heights = vec![vec![0u64; columns.len()]; rows];
+        for (r, runs) in free.iter().enumerate() {
+            let (below, rest) = heights.split_at_mut(r);
+            let row = &mut rest[0];
+            for &(s, e) in runs {
+                for (c, h) in row.iter_mut().enumerate().take(e).skip(s) {
+                    *h = below.last().map_or(1, |prev| prev[c] + 1);
+                }
+            }
+        }
+        let row_best: Vec<u64> = heights
+            .iter()
+            .map(|h| largest_rect_in_histogram(h))
+            .collect();
+        let largest = row_best.iter().copied().max().unwrap_or(0);
         FreeSpace {
             rows: device.rows(),
             columns,
-            free: vec![row_runs; device.rows() as usize],
+            free,
             candidates,
             free_cells,
             free_by_kind,
+            heights,
+            row_best,
+            largest,
         }
+    }
+
+    /// The per-row free runs (row index `row - 1`), for building search
+    /// overlays without cloning the composition index.
+    pub(crate) fn runs(&self) -> &[Vec<(usize, usize)>] {
+        &self.free
     }
 
     /// Fabric rows.
@@ -143,57 +186,94 @@ impl FreeSpace {
 
     /// Mark the window's cells occupied. The window must be fully free.
     pub fn allocate(&mut self, w: &Window) {
+        self.allocate_rect(w.start_col, w.width as usize, w.row, w.height);
+    }
+
+    /// Rectangle form of [`FreeSpace::allocate`]: no `Window` (and hence
+    /// no `columns` `Vec`) needs to exist — the search tree applies moves
+    /// through this.
+    pub fn allocate_rect(&mut self, start_col: usize, width: usize, row: u32, height: u32) {
         assert!(
-            self.is_free(w.start_col, w.width as usize, w.row, w.height),
+            self.is_free(start_col, width, row, height),
             "allocate of a non-free window"
         );
-        let (start, end) = (w.start_col, w.end_col());
-        for r in w.row..w.row + w.height {
-            let runs = &mut self.free[(r - 1) as usize];
-            let i = runs.partition_point(|&(s, _)| s <= start) - 1;
-            let (s, e) = runs[i];
-            let mut repl = Vec::with_capacity(2);
-            if s < start {
-                repl.push((s, start));
-            }
-            if end < e {
-                repl.push((end, e));
-            }
-            runs.splice(i..=i, repl);
+        let end = start_col + width;
+        for r in row..row + height {
+            carve_run(&mut self.free[(r - 1) as usize], start_col, end);
         }
-        let h = u64::from(w.height);
-        for &kind in &self.columns[start..end] {
+        let h = u64::from(height);
+        for &kind in &self.columns[start_col..end] {
             self.free_by_kind[kind.prr_count_slot()] -= h;
         }
-        self.free_cells -= (end - start) as u64 * h;
+        self.free_cells -= width as u64 * h;
+        self.update_rect_metrics(start_col, end, row, height, false);
     }
 
     /// Return the window's cells to the free map, merging with adjacent
     /// runs (always safe: forbidden columns are never free, so touching
     /// runs are contiguous eligible cells).
     pub fn release(&mut self, w: &Window) {
-        for r in w.row..w.row + w.height {
-            let (mut start, mut end) = (w.start_col, w.end_col());
-            let runs = &mut self.free[(r - 1) as usize];
-            let mut i = runs.partition_point(|&(s, _)| s < start);
-            debug_assert!(i == 0 || runs[i - 1].1 <= start, "double free (left)");
-            debug_assert!(i == runs.len() || end <= runs[i].0, "double free (right)");
-            if i < runs.len() && runs[i].0 == end {
-                end = runs[i].1;
-                runs.remove(i);
-            }
-            if i > 0 && runs[i - 1].1 == start {
-                start = runs[i - 1].0;
-                i -= 1;
-                runs.remove(i);
-            }
-            runs.insert(i, (start, end));
+        self.release_rect(w.start_col, w.width as usize, w.row, w.height);
+    }
+
+    /// Rectangle form of [`FreeSpace::release`].
+    pub fn release_rect(&mut self, start_col: usize, width: usize, row: u32, height: u32) {
+        let end = start_col + width;
+        for r in row..row + height {
+            merge_run(&mut self.free[(r - 1) as usize], start_col, end);
         }
-        let h = u64::from(w.height);
-        for &kind in &self.columns[w.start_col..w.end_col()] {
+        let h = u64::from(height);
+        for &kind in &self.columns[start_col..end] {
             self.free_by_kind[kind.prr_count_slot()] += h;
         }
-        self.free_cells += u64::from(w.width) * h;
+        self.free_cells += width as u64 * h;
+        self.update_rect_metrics(start_col, end, row, height, true);
+    }
+
+    /// Incrementally repair `heights`/`row_best`/`largest` after the cells
+    /// of `[start, end) × [row, row + height)` flipped to `now_free`.
+    ///
+    /// Heights only change in the rectangle's columns: within the mutated
+    /// rows the new occupancy is known outright, and above them a cell is
+    /// free iff its *old* height was positive (occupancy there did not
+    /// change), so the recomputation walks upward per column and stops at
+    /// the first row whose height is unchanged — every row above it is
+    /// then unchanged too.
+    fn update_rect_metrics(
+        &mut self,
+        start: usize,
+        end: usize,
+        row: u32,
+        height: u32,
+        now_free: bool,
+    ) {
+        let r0 = (row - 1) as usize;
+        let r1 = r0 + height as usize;
+        let rows = self.rows as usize;
+        let mut max_changed = r1 - 1;
+        for c in start..end {
+            let mut prev = if r0 == 0 { 0 } else { self.heights[r0 - 1][c] };
+            for r in r0..r1 {
+                prev = if now_free { prev + 1 } else { 0 };
+                self.heights[r][c] = prev;
+            }
+            for r in r1..rows {
+                let old = self.heights[r][c];
+                let new = if old > 0 { prev + 1 } else { 0 };
+                if new == old {
+                    break;
+                }
+                self.heights[r][c] = new;
+                prev = new;
+                if r > max_changed {
+                    max_changed = r;
+                }
+            }
+        }
+        for r in r0..=max_changed {
+            self.row_best[r] = largest_rect_in_histogram(&self.heights[r]);
+        }
+        self.largest = self.row_best.iter().copied().max().unwrap_or(0);
     }
 
     /// Free eligible cells in total.
@@ -206,9 +286,25 @@ impl FreeSpace {
         self.free_by_kind
     }
 
-    /// Area (in cells) of the largest all-free rectangle: histogram-of-
-    /// heights largest-rectangle sweep, O(rows × width).
+    /// Area (in cells) of the largest all-free rectangle.
+    ///
+    /// O(1): the value is maintained incrementally by allocate/release
+    /// (the defrag search and the simulator's fragmentation sampler query
+    /// it on every placement change). Debug builds re-run the full
+    /// histogram sweep and assert agreement.
     pub fn largest_free_rect(&self) -> u64 {
+        debug_assert_eq!(
+            self.largest,
+            self.largest_free_rect_scan(),
+            "incremental largest-rect drifted from the full scan"
+        );
+        self.largest
+    }
+
+    /// The original full histogram-of-heights largest-rectangle sweep,
+    /// O(rows × width) — the ground truth the incremental value is
+    /// asserted against in debug builds.
+    fn largest_free_rect_scan(&self) -> u64 {
         let width = self.columns.len();
         let mut heights = vec![0u64; width];
         let mut best = 0u64;
@@ -252,6 +348,40 @@ impl FreeSpace {
         }
         hist
     }
+}
+
+/// Carve `[start, end)` out of one row's sorted maximal free runs. The
+/// interval must lie inside a single run (callers check `is_free`).
+pub(crate) fn carve_run(runs: &mut Vec<(usize, usize)>, start: usize, end: usize) {
+    let i = runs.partition_point(|&(s, _)| s <= start) - 1;
+    let (s, e) = runs[i];
+    let mut repl = Vec::with_capacity(2);
+    if s < start {
+        repl.push((s, start));
+    }
+    if end < e {
+        repl.push((end, e));
+    }
+    runs.splice(i..=i, repl);
+}
+
+/// Merge `[start, end)` back into one row's sorted maximal free runs,
+/// coalescing with touching neighbours.
+pub(crate) fn merge_run(runs: &mut Vec<(usize, usize)>, start: usize, end: usize) {
+    let (mut start, mut end) = (start, end);
+    let mut i = runs.partition_point(|&(s, _)| s < start);
+    debug_assert!(i == 0 || runs[i - 1].1 <= start, "double free (left)");
+    debug_assert!(i == runs.len() || end <= runs[i].0, "double free (right)");
+    if i < runs.len() && runs[i].0 == end {
+        end = runs[i].1;
+        runs.remove(i);
+    }
+    if i > 0 && runs[i - 1].1 == start {
+        start = runs[i - 1].0;
+        i -= 1;
+        runs.remove(i);
+    }
+    runs.insert(i, (start, end));
 }
 
 /// Classic stack-based largest rectangle under a histogram.

@@ -17,16 +17,22 @@
 //! * [`DefragPolicy`]/[`DefragPlan`] — minimal relocation plans among
 //!   `bitstream::relocate`-compatible windows, priced through
 //!   [`bitstream::IcapModel::transfer_time`] ([`defrag`]);
+//! * [`Defrag2Config`]/[`Defrag2Plan`] — parallel bounded-depth
+//!   branch-and-bound over multi-move relocation *sequences* with
+//!   incremental layout state and preemption-aware pricing
+//!   ([`defrag2`]);
 //! * [`simulate_layout`] — the dynamic-placement loss-system simulator,
 //!   sharing one serialized ICAP between configurations and relocations
 //!   ([`sim`]).
 
 pub mod defrag;
+pub mod defrag2;
 pub mod free;
 pub mod manager;
 pub mod sim;
 
 pub use defrag::{DefragPlan, DefragPolicy, RelocationMove};
+pub use defrag2::{Defrag2Config, Defrag2Plan};
 pub use free::{FreeSpace, NaiveFreeSpace};
-pub use manager::{AllocError, Allocation, LayoutManager};
+pub use manager::{AllocError, Allocation, LayoutManager, MoveCost};
 pub use sim::{simulate_layout, LayoutConfig, LayoutReport, RelocationEvent};

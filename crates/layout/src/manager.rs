@@ -25,6 +25,19 @@ pub struct Allocation {
     pub bitstream_bytes: u64,
 }
 
+/// ICAP price of relocating one live allocation once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveCost {
+    /// Total bytes through the port: the Eq. 18 partial-bitstream write,
+    /// plus `context_bytes` when priced preemption-aware.
+    pub bytes: u64,
+    /// Context save + restore bytes (zero when the module is treated as
+    /// idle — a plain write-only HTR relocation).
+    pub context_bytes: u64,
+    /// `IcapModel::transfer_time(bytes)` in nanoseconds.
+    pub transfer_ns: u64,
+}
+
 /// Why an allocation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {
@@ -101,6 +114,29 @@ impl LayoutManager {
     /// Current external-fragmentation index of the free space.
     pub fn fragmentation_index(&self) -> f64 {
         self.free.fragmentation_index()
+    }
+
+    /// Price one relocation of `alloc`. A `running` module pays the
+    /// context save + restore bytes (the paper's companion readback /
+    /// `GRESTORE` machinery, [`prcost::context_breakdown`]) on top of the
+    /// Eq. 18 partial-bitstream write; an idle module pays the write
+    /// only. The cost depends only on the allocation's organization —
+    /// every compatible target is the same FAR-rewritten replay — which
+    /// is what makes per-module move costs exact lower bounds for the
+    /// multi-move search.
+    pub fn move_cost(&self, alloc: &Allocation, running: bool) -> MoveCost {
+        let context_bytes = if running {
+            let ctx = bitstream::context_cost(&alloc.organization);
+            ctx.save_bytes() + ctx.restore_bytes()
+        } else {
+            0
+        };
+        let bytes = alloc.bitstream_bytes + context_bytes;
+        MoveCost {
+            bytes,
+            context_bytes,
+            transfer_ns: self.icap.transfer_time(bytes).as_nanos() as u64,
+        }
     }
 
     /// Place `module` with organization `org` (leftmost-then-bottom first

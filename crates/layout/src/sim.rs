@@ -15,10 +15,11 @@
 //! authoritative completion map and lazy invalidation of stale heap
 //! entries, the same trick the fixed-PRR simulator uses for batching.
 
-use crate::defrag::DefragPolicy;
+use crate::defrag::{DefragPolicy, RelocationMove};
+use crate::defrag2::Defrag2Config;
 use crate::manager::{AllocError, LayoutManager};
 use bitstream::IcapModel;
-use fabric::{Device, Resources};
+use fabric::{Device, Resources, WindowRequest};
 use multitask::Workload;
 use prcost::{bitstream_size_bytes, PrrOrganization, PrrRequirements};
 use serde::{Deserialize, Serialize};
@@ -32,8 +33,20 @@ pub struct LayoutConfig {
     pub policy: DefragPolicy,
     /// ICAP port model pricing configurations and relocations.
     pub icap: IcapModel,
-    /// Cap on relocations per defrag plan.
+    /// Cap on relocations per single-step defrag plan.
     pub max_moves: u32,
+    /// Multi-move search depth. `0` (the default) keeps the single-step
+    /// planner on admission failures — the pinned PR-5 behaviour; `> 0`
+    /// switches repair to the bounded-depth sequence search
+    /// ([`crate::defrag2`]) with preemption-aware move pricing.
+    pub depth: u32,
+    /// Run the multi-move search *proactively* in ICAP idle windows:
+    /// after a fragmentation rejection, the simulator remembers the
+    /// rejected organization and repairs the layout for it at the next
+    /// arrival whose instant finds the ICAP idle — before the next
+    /// admission attempt rather than after the next failure. Requires
+    /// `depth > 0`.
+    pub proactive: bool,
 }
 
 impl Default for LayoutConfig {
@@ -42,6 +55,8 @@ impl Default for LayoutConfig {
             policy: DefragPolicy::Never,
             icap: IcapModel::V5_DMA,
             max_moves: 4,
+            depth: 0,
+            proactive: false,
         }
     }
 }
@@ -64,8 +79,12 @@ pub struct RelocationEvent {
     pub to_col: u32,
     /// Target bottom row.
     pub to_row: u32,
-    /// Bytes replayed through the ICAP.
+    /// Total bytes replayed through the ICAP (partial-bitstream write
+    /// plus `context_bytes`).
     pub bytes: u64,
+    /// Context save + restore bytes included in `bytes` (zero for
+    /// single-step plans, which price the write only).
+    pub context_bytes: u64,
     /// ICAP transfer time charged, nanoseconds.
     pub transfer_ns: u64,
 }
@@ -81,12 +100,16 @@ pub struct LayoutReport {
     pub rejected_fragmentation: u32,
     /// Admissions that required a defrag plan to succeed.
     pub defrag_admissions: u32,
+    /// Proactive multi-move defrags executed in ICAP idle windows.
+    pub proactive_defrags: u32,
     /// Individual module relocations executed.
     pub relocations: u32,
     /// Total ICAP time spent relocating, nanoseconds.
     pub relocation_ns: u64,
-    /// Total bytes replayed by relocations.
+    /// Total bytes replayed by relocations (bitstream + context).
     pub relocated_bytes: u64,
+    /// Context save + restore bytes included in `relocated_bytes`.
+    pub context_bytes: u64,
     /// Partial-bitstream configurations written (one per admission).
     pub reconfigurations: u32,
     /// Total ICAP time spent configuring admitted tasks, nanoseconds.
@@ -157,6 +180,52 @@ fn drain_until(
     }
 }
 
+/// Serialize already-executed relocations through the ICAP: advance the
+/// port's free time, stall each moved (running) module by its copy time,
+/// and log the events. `task_id` is the arrival that triggered the plan
+/// (for proactive defrag, the task whose arrival instant found the port
+/// idle).
+#[allow(clippy::too_many_arguments)]
+fn account_moves(
+    task_id: u32,
+    now: u64,
+    moves: &[RelocationMove],
+    manager: &LayoutManager,
+    completion: &mut HashMap<u64, u64>,
+    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+    icap_free_at: &mut u64,
+    report: &mut LayoutReport,
+) {
+    let mut at = (*icap_free_at).max(now);
+    for mv in moves {
+        at += mv.transfer_ns;
+        if let Some(c) = completion.get_mut(&mv.id) {
+            *c += mv.transfer_ns;
+            heap.push(Reverse((*c, mv.id)));
+        }
+        let moved = manager.allocation(mv.id).expect("moved allocation");
+        report.relocation_log.push(RelocationEvent {
+            task: task_id,
+            module: moved.module.clone(),
+            organization: moved.organization,
+            from_col: mv.from.start_col as u32,
+            from_row: mv.from.row,
+            to_col: mv.to.start_col as u32,
+            to_row: mv.to.row,
+            bytes: mv.bytes,
+            context_bytes: mv.context_bytes,
+            transfer_ns: mv.transfer_ns,
+        });
+    }
+    *icap_free_at = at;
+    let total_ns: u64 = moves.iter().map(|m| m.transfer_ns).sum();
+    report.relocations += moves.len() as u32;
+    report.relocation_ns += total_ns;
+    report.relocated_bytes += moves.iter().map(|m| m.bytes).sum::<u64>();
+    report.context_bytes += moves.iter().map(|m| m.context_bytes).sum::<u64>();
+    report.icap_busy_ns += total_ns;
+}
+
 /// Eq. 2–6 organizations for `needs` on `device`, cheapest bitstream
 /// first (then lowest height), keeping only compositions the device can
 /// host at all (one composition-index probe each).
@@ -209,9 +278,11 @@ pub fn simulate_layout(
         rejected_capacity: 0,
         rejected_fragmentation: 0,
         defrag_admissions: 0,
+        proactive_defrags: 0,
         relocations: 0,
         relocation_ns: 0,
         relocated_bytes: 0,
+        context_bytes: 0,
         reconfigurations: 0,
         reconfig_ns: 0,
         icap_busy_ns: 0,
@@ -230,6 +301,13 @@ pub fn simulate_layout(
     let mut icap_free_at = 0u64;
     let mut frag = FragStats::default();
     let geometry = fabric::DeviceGeometry::new(device);
+    let d2cfg = Defrag2Config {
+        depth: config.depth,
+        ..Defrag2Config::default()
+    };
+    // Organization of the most recent fragmentation rejection — the goal
+    // a proactive defrag repairs the layout for.
+    let mut repair_goal: Option<PrrOrganization> = None;
 
     for task in &workload.tasks {
         let now = task.arrival_ns;
@@ -241,6 +319,44 @@ pub fn simulate_layout(
             &mut frag,
             &mut report,
         );
+
+        // Proactive defrag: at an arrival whose instant finds the ICAP
+        // idle, repair the layout for the last fragmentation-rejected
+        // organization *before* this task's admission attempt. The
+        // Threshold benefit is the remaining (not total) execution time
+        // of the live admitted tasks — only outstanding work can recoup
+        // the move cost.
+        if config.proactive && config.depth > 0 && config.policy != DefragPolicy::Never {
+            if let Some(goal) = repair_goal {
+                let req =
+                    WindowRequest::new(goal.clb_cols, goal.dsp_cols, goal.bram_cols, goal.height);
+                // While a window for the goal class exists there is
+                // nothing to repair, but the goal stays armed: it fires
+                // when the fabric re-fragments against that class.
+                if manager.free_space().find_window(&req).is_none() && icap_free_at <= now {
+                    if let Some(plan) = manager.plan_defrag2(&goal, &d2cfg) {
+                        let benefit: u64 =
+                            completion.values().map(|&c| c.saturating_sub(now)).sum();
+                        if config.policy.accepts(plan.total_move_ns, benefit) {
+                            manager.execute_defrag2(&plan);
+                            account_moves(
+                                task.id,
+                                now,
+                                &plan.moves,
+                                &manager,
+                                &mut completion,
+                                &mut heap,
+                                &mut icap_free_at,
+                                &mut report,
+                            );
+                            report.proactive_defrags += 1;
+                            frag.sample(&manager);
+                            repair_goal = None;
+                        }
+                    }
+                }
+            }
+        }
 
         let needs = (task.needs.clb(), task.needs.dsp(), task.needs.bram());
         let orgs = org_cache
@@ -266,49 +382,54 @@ pub fn simulate_layout(
             }
         }
 
-        // Fragmentation-caused failure: try a costed defrag plan.
+        // Fragmentation-caused failure: try a costed defrag plan —
+        // multi-move sequence search when `depth > 0`, the pinned
+        // single-step planner otherwise. The Threshold benefit is the
+        // incoming task's execution time (none of it has run at its
+        // arrival, so remaining equals total). Every executed move
+        // serializes through the ICAP and stalls the moved (running)
+        // module for its copy time.
         if admitted_org.is_none() && saw_fragmentation && config.policy != DefragPolicy::Never {
             for org in &orgs {
-                let Some(plan) = manager.plan_defrag(org) else {
-                    continue;
-                };
-                if !config.policy.accepts(plan.total_move_ns, task.exec_ns) {
-                    prcost::Metrics::global().incr_labeled("layout:defrag_rejected_cost");
-                    continue;
-                }
-                // Execute: every move serializes through the ICAP, and
-                // the moved (running) module stalls for its copy time.
-                manager.execute_defrag(&plan);
-                let mut at = icap_free_at.max(now);
-                for mv in &plan.moves {
-                    at += mv.transfer_ns;
-                    if let Some(c) = completion.get_mut(&mv.id) {
-                        *c += mv.transfer_ns;
-                        heap.push(Reverse((*c, mv.id)));
+                let moves = if config.depth > 0 {
+                    let Some(plan) = manager.plan_defrag2(org, &d2cfg) else {
+                        continue;
+                    };
+                    if !config.policy.accepts(plan.total_move_ns, task.exec_ns) {
+                        prcost::Metrics::global().incr_labeled("layout:defrag_rejected_cost");
+                        continue;
                     }
-                    let moved = manager.allocation(mv.id).expect("moved allocation");
-                    report.relocation_log.push(RelocationEvent {
-                        task: task.id,
-                        module: moved.module.clone(),
-                        organization: moved.organization,
-                        from_col: mv.from.start_col as u32,
-                        from_row: mv.from.row,
-                        to_col: mv.to.start_col as u32,
-                        to_row: mv.to.row,
-                        bytes: mv.bytes,
-                        transfer_ns: mv.transfer_ns,
-                    });
-                }
-                icap_free_at = at;
-                report.relocations += plan.moves.len() as u32;
-                report.relocation_ns += plan.total_move_ns;
-                report.relocated_bytes += plan.total_move_bytes;
-                report.icap_busy_ns += plan.total_move_ns;
+                    manager.execute_defrag2(&plan);
+                    plan.moves
+                } else {
+                    let Some(plan) = manager.plan_defrag(org) else {
+                        continue;
+                    };
+                    if !config.policy.accepts(plan.total_move_ns, task.exec_ns) {
+                        prcost::Metrics::global().incr_labeled("layout:defrag_rejected_cost");
+                        continue;
+                    }
+                    manager.execute_defrag(&plan);
+                    plan.moves
+                };
+                account_moves(
+                    task.id,
+                    now,
+                    &moves,
+                    &manager,
+                    &mut completion,
+                    &mut heap,
+                    &mut icap_free_at,
+                    &mut report,
+                );
                 let id = manager
                     .allocate(&task.module, org)
                     .expect("admit window freed by the plan");
                 admitted_org = Some((id, *org));
                 report.defrag_admissions += 1;
+                // This organization class needed a repair to get in —
+                // pre-free a window for its next arrival in idle time.
+                repair_goal = Some(*org);
                 break;
             }
         }
@@ -334,6 +455,9 @@ pub fn simulate_layout(
             None => {
                 if saw_fragmentation {
                     report.rejected_fragmentation += 1;
+                    // Remember the cheapest organization as the proactive
+                    // repair goal for the next ICAP idle window.
+                    repair_goal = Some(orgs[0]);
                 } else {
                     report.rejected_capacity += 1;
                 }

@@ -1,0 +1,438 @@
+//! Property and acceptance suites for the multi-move defrag search.
+//!
+//! Ground truth layers:
+//! * [`layout::defrag2::plan_serial`] must be plan-identical (cost AND
+//!   chosen move sequence, under the documented tie-break) to the frozen
+//!   exhaustive oracle [`layout::defrag2::reference`] at small depths;
+//! * the parallel search [`layout::defrag2::plan`] must be identical to
+//!   the serial one (the packed-incumbent reduction has no ties);
+//! * preemption-aware pricing: moving a running module never costs less
+//!   than moving it idle, and the surplus is exactly the context bytes;
+//! * the DES invariant `transfer_ns == transfer_time(bytes)` holds for
+//!   multi-move relocations with `bytes` = bitstream + context;
+//! * `depth: 0` keeps the single-step PR-5 behaviour bit-for-bit.
+
+use bitstream::IcapModel;
+use fabric::{Device, Family, ResourceKind, Resources};
+use layout::defrag2::{plan, plan_serial, reference};
+use layout::{simulate_layout, Defrag2Config, DefragPolicy, LayoutConfig, LayoutManager};
+use multitask::{HwTask, Workload};
+use prcost::{bitstream_size_bytes, PrrOrganization};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = Device> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                5 => Just(ResourceKind::Clb),
+                1 => Just(ResourceKind::Dsp),
+                1 => Just(ResourceKind::Bram),
+            ],
+            2..10,
+        ),
+        1u32..3,
+    )
+        .prop_map(|(cols, rows)| Device::new("prop", Family::Virtex5, rows, cols).expect("device"))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place {
+        clb: u32,
+        dsp: u32,
+        bram: u32,
+        height: u32,
+    },
+    Free {
+        slot: usize,
+    },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u32..4, 0u32..2, 0u32..2, 1u32..3).prop_map(|(clb, dsp, bram, height)| Op::Place {
+                clb, dsp, bram, height,
+            }),
+            2 => (0usize..8).prop_map(|slot| Op::Free { slot }),
+        ],
+        1..25,
+    )
+}
+
+/// Deterministically churn a manager into a (usually fragmented) state.
+fn churned_manager(device: &Device, ops: &[Op]) -> LayoutManager {
+    let mut mgr = LayoutManager::new(device, IcapModel::V5_DMA);
+    let mut live: Vec<u64> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Place {
+                clb,
+                dsp,
+                bram,
+                height,
+            } => {
+                if clb + dsp + bram == 0 {
+                    continue;
+                }
+                let org = PrrOrganization {
+                    family: Family::Virtex5,
+                    height,
+                    clb_cols: clb,
+                    dsp_cols: dsp,
+                    bram_cols: bram,
+                };
+                if let Ok(id) = mgr.allocate("m", &org) {
+                    live.push(id);
+                }
+            }
+            Op::Free { slot } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.remove(slot % live.len());
+                mgr.release(id);
+            }
+        }
+    }
+    mgr
+}
+
+fn exhaustive_cfg(depth: u32) -> Defrag2Config {
+    Defrag2Config {
+        depth,
+        context_aware: true,
+        node_budget: u64::MAX,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bounded-depth search (serial driver, unbounded node budget) is
+    /// plan-identical to the frozen exhaustive oracle at depths 1–3:
+    /// same feasibility verdict, same cost, same admit rectangle, same
+    /// move sequence under the documented tie-break.
+    #[test]
+    fn search_matches_exhaustive_oracle(
+        device in arb_device(),
+        ops in arb_ops(),
+        clb in 1u32..4,
+        height in 1u32..3,
+        depth in 1u32..4,
+    ) {
+        let mgr = churned_manager(&device, &ops);
+        let org = PrrOrganization {
+            family: Family::Virtex5,
+            height,
+            clb_cols: clb,
+            dsp_cols: 0,
+            bram_cols: 0,
+        };
+        let cfg = exhaustive_cfg(depth);
+        let fast = plan_serial(&mgr, &org, &cfg);
+        let oracle = reference::plan_exhaustive(&mgr, &org, &cfg);
+        match (&fast, &oracle) {
+            (None, None) => {}
+            (Some(f), Some(o)) => {
+                prop_assert_eq!(f.total_move_ns, o.total_move_ns, "cost diverged");
+                prop_assert_eq!(&f.admit, &o.admit, "admit rectangle diverged");
+                prop_assert_eq!(&f.moves, &o.moves, "move sequence diverged");
+                prop_assert_eq!(f.total_move_bytes, o.total_move_bytes);
+                prop_assert_eq!(f.total_context_bytes, o.total_context_bytes);
+            }
+            _ => prop_assert!(false, "feasibility diverged: fast={:?} oracle={:?}", fast.is_some(), oracle.is_some()),
+        }
+    }
+
+    /// The rayon fan-out with the packed atomic incumbent returns exactly
+    /// the serial plan — parallelism changes wall-clock, never the result.
+    #[test]
+    fn parallel_search_equals_serial(
+        device in arb_device(),
+        ops in arb_ops(),
+        clb in 1u32..4,
+        height in 1u32..3,
+        depth in 1u32..5,
+    ) {
+        let mgr = churned_manager(&device, &ops);
+        let org = PrrOrganization {
+            family: Family::Virtex5,
+            height,
+            clb_cols: clb,
+            dsp_cols: 0,
+            bram_cols: 0,
+        };
+        let cfg = exhaustive_cfg(depth);
+        prop_assert_eq!(plan(&mgr, &org, &cfg), plan_serial(&mgr, &org, &cfg));
+    }
+
+    /// Preemption-aware pricing: a running module's move never costs less
+    /// than the same module idle, and the surplus bytes are exactly the
+    /// context save + restore of its organization.
+    #[test]
+    fn running_module_move_costs_at_least_idle(
+        device in arb_device(),
+        ops in arb_ops(),
+    ) {
+        let mgr = churned_manager(&device, &ops);
+        for alloc in mgr.allocations() {
+            let idle = mgr.move_cost(alloc, false);
+            let running = mgr.move_cost(alloc, true);
+            prop_assert_eq!(idle.context_bytes, 0);
+            prop_assert_eq!(idle.bytes, alloc.bitstream_bytes);
+            let ctx = bitstream::context_cost(&alloc.organization);
+            prop_assert_eq!(running.context_bytes, ctx.save_bytes() + ctx.restore_bytes());
+            prop_assert_eq!(running.bytes, idle.bytes + running.context_bytes);
+            prop_assert!(running.transfer_ns >= idle.transfer_ns);
+            prop_assert_eq!(
+                running.transfer_ns,
+                mgr.icap().transfer_time(running.bytes).as_nanos() as u64
+            );
+        }
+    }
+}
+
+/// The pinned fragmentation-inducing workload shared with the PR-5
+/// acceptance suite — used here to freeze the `depth: 0` single-step
+/// behaviour and the preemption-pricing invariants.
+fn pinned_workload() -> (Device, Workload) {
+    let device = fabric::database::xc5vlx110t();
+    let workload =
+        Workload::generate_heavy_tailed(12, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
+    (device, workload)
+}
+
+/// `depth: 0` is the pinned PR-5 single-step path: report-identical to
+/// the default config on the canonical workload, write-only pricing
+/// (no context bytes in any logged event).
+#[test]
+fn depth_zero_is_the_pinned_single_step_behaviour() {
+    let (device, workload) = pinned_workload();
+    let single = simulate_layout(
+        &device,
+        &workload,
+        &LayoutConfig {
+            policy: DefragPolicy::Always,
+            ..LayoutConfig::default()
+        },
+    );
+    assert_eq!(
+        LayoutConfig::default().depth,
+        0,
+        "default must stay single-step"
+    );
+    assert!(single.admitted > 0);
+    assert!(single.relocations > 0);
+    assert_eq!(single.proactive_defrags, 0);
+    assert_eq!(single.context_bytes, 0);
+    for ev in &single.relocation_log {
+        assert_eq!(ev.context_bytes, 0);
+        assert_eq!(ev.bytes, bitstream_size_bytes(&ev.organization));
+    }
+}
+
+/// With `depth > 0` every logged relocation carries preemption-aware
+/// bytes: `bytes = bitstream + context`, the ICAP charge is
+/// `transfer_time(bytes)`, and the report totals are the event sums.
+#[test]
+fn multi_move_relocations_price_context_and_sum_exactly() {
+    let (device, workload) = pinned_workload();
+    let config = LayoutConfig {
+        policy: DefragPolicy::Always,
+        depth: 3,
+        ..LayoutConfig::default()
+    };
+    let r = simulate_layout(&device, &workload, &config);
+    assert!(r.relocations > 0, "depth-3 run must relocate something");
+    assert_eq!(r.relocation_log.len(), r.relocations as usize);
+    let mut ns = 0u64;
+    let mut bytes = 0u64;
+    let mut ctx = 0u64;
+    for ev in &r.relocation_log {
+        assert!(ev.context_bytes > 0, "running modules pay context bytes");
+        assert_eq!(
+            ev.bytes,
+            bitstream_size_bytes(&ev.organization) + ev.context_bytes
+        );
+        let c = bitstream::context_cost(&ev.organization);
+        assert_eq!(ev.context_bytes, c.save_bytes() + c.restore_bytes());
+        assert_eq!(
+            ev.transfer_ns,
+            config.icap.transfer_time(ev.bytes).as_nanos() as u64
+        );
+        ns += ev.transfer_ns;
+        bytes += ev.bytes;
+        ctx += ev.context_bytes;
+    }
+    assert_eq!(r.relocation_ns, ns);
+    assert_eq!(r.relocated_bytes, bytes);
+    assert_eq!(r.context_bytes, ctx);
+}
+
+/// The defrag2 acceptance workload (shared with `BENCH_defrag.json`):
+/// same generator family and device as the PR-5 pin, but moderate load
+/// so the ICAP is not permanently saturated by repairs.
+fn acceptance_workload() -> (Device, Workload) {
+    let device = fabric::database::xc5vlx110t();
+    let workload =
+        Workload::generate_heavy_tailed(5, Family::Virtex5, 400, 24, 400, 100_000, 400_000);
+    (device, workload)
+}
+
+/// The acceptance comparison: bounded-depth multi-move search admits
+/// strictly more tasks than the single-step planner on the acceptance
+/// workload, and strictly more of them through defrag repairs.
+#[test]
+fn multi_move_admits_more_than_single_step_on_pinned_workload() {
+    let (device, workload) = acceptance_workload();
+    let run = |depth| {
+        simulate_layout(
+            &device,
+            &workload,
+            &LayoutConfig {
+                policy: DefragPolicy::Always,
+                depth,
+                ..LayoutConfig::default()
+            },
+        )
+    };
+    let single = run(0);
+    let d3 = run(3);
+    assert!(
+        d3.admitted > single.admitted,
+        "depth-3 sequences must beat single-step admissions ({} vs {})",
+        d3.admitted,
+        single.admitted
+    );
+    assert!(
+        d3.defrag_admissions > single.defrag_admissions,
+        "the extra admissions must come from repairs ({} vs {})",
+        d3.defrag_admissions,
+        single.defrag_admissions
+    );
+}
+
+/// Proactive defrag smoke on a sparse-arrival variant of the acceptance
+/// workload: idle ICAP windows exist, the armed repair goal fires in
+/// them, and on this pinned seed an idle-window repair anticipates a
+/// reactive one (fewer admission-time repairs, no admissions lost).
+#[test]
+fn proactive_defrag_repairs_in_idle_windows() {
+    let device = fabric::database::xc5vlx110t();
+    let workload =
+        Workload::generate_heavy_tailed(3, Family::Virtex5, 400, 24, 400, 300_000, 400_000);
+    let run = |proactive| {
+        simulate_layout(
+            &device,
+            &workload,
+            &LayoutConfig {
+                policy: DefragPolicy::Always,
+                depth: 3,
+                proactive,
+                ..LayoutConfig::default()
+            },
+        )
+    };
+    let reactive = run(false);
+    let proactive = run(true);
+    assert!(proactive.proactive_defrags > 0, "idle windows must be used");
+    assert!(
+        proactive.admitted >= reactive.admitted,
+        "anticipating repairs must not cost admissions"
+    );
+    assert!(
+        proactive.defrag_admissions < reactive.defrag_admissions,
+        "an idle-window repair must replace at least one admission-time repair ({} vs {})",
+        proactive.defrag_admissions,
+        reactive.defrag_admissions
+    );
+    // Idle-window moves are priced and logged like any other relocation.
+    assert!(proactive.relocations as usize == proactive.relocation_log.len());
+}
+
+/// A constructed layout where no single-step plan exists (every blocker
+/// assignment needs a target another blocker vacates) but a depth-2
+/// sequence succeeds — the defining win of multi-move defrag.
+#[test]
+fn sequence_succeeds_where_single_step_fails() {
+    // 1×10 Virtex-5 strip with DSP columns at 3 and 8:
+    //   C C C D C C C C D C
+    // M2 holds [0,3) (CCC), M1 holds [3,5) (DC), E holds [7,8) (C).
+    // Free: {5, 6, 8, 9}.
+    let cols = {
+        use ResourceKind::*;
+        vec![Clb, Clb, Clb, Dsp, Clb, Clb, Clb, Clb, Dsp, Clb]
+    };
+    let device = Device::new("built", Family::Virtex5, 1, cols).unwrap();
+    let mut mgr = LayoutManager::new(&device, IcapModel::V5_DMA);
+    let org = |clb: u32, dsp: u32| PrrOrganization {
+        family: Family::Virtex5,
+        height: 1,
+        clb_cols: clb,
+        dsp_cols: dsp,
+        bram_cols: 0,
+    };
+    mgr.allocate("m2", &org(3, 0)).unwrap(); // [0,3)
+    mgr.allocate("m1", &org(1, 1)).unwrap(); // [3,5)
+    let e = mgr.allocate("e", &org(3, 0)).unwrap(); // [5,8)
+    mgr.allocate("f", &org(1, 1)).unwrap(); // [8,10)
+    mgr.release(e);
+    mgr.allocate("e2", &org(1, 0)).unwrap(); // [5,6)? leftmost free
+    let admit = org(3, 1);
+    let single = mgr.plan_defrag(&admit);
+    let cfg = exhaustive_cfg(2);
+    let multi = plan(&mgr, &admit, &cfg);
+    // The constructed state must separate the planners; the oracle
+    // agrees with the search on it.
+    assert_eq!(
+        multi,
+        reference::plan_exhaustive(&mgr, &admit, &cfg),
+        "search must match the oracle on the constructed state"
+    );
+    if let Some(m) = &multi {
+        assert!(single.is_none() || m.moves.len() > 1);
+        // Executing the sequence really frees the window.
+        let mut mgr2 = mgr;
+        mgr2.execute_defrag2(m);
+        assert!(mgr2.allocate("new", &admit).is_ok());
+    }
+}
+
+/// The simulator end-to-end on a tiny constructed workload with
+/// depth 2: sequences execute in order through the DES, the moved
+/// modules stall, and the admit follows.
+#[test]
+fn des_executes_sequences_in_order() {
+    let device = Device::new("strip", Family::Virtex5, 1, vec![ResourceKind::Clb; 8]).unwrap();
+    let clb_col = u64::from(Family::Virtex5.params().clb_col);
+    let task = |id: u32, module: &str, cols: u64, arrival_ns: u64, exec_ns: u64| HwTask {
+        id,
+        module: module.to_string(),
+        needs: Resources::new(cols * clb_col, 0, 0),
+        arrival_ns,
+        exec_ns,
+    };
+    let workload = Workload::new(vec![
+        task(0, "a", 3, 0, 1_000_000),
+        task(1, "b", 2, 1_000, 1_000_000_000),
+        task(2, "c", 3, 2_000, 1_000_000),
+        task(3, "d", 4, 500_000_000, 1_000_000_000),
+    ]);
+    let depth2 = simulate_layout(
+        &device,
+        &workload,
+        &LayoutConfig {
+            policy: DefragPolicy::Always,
+            depth: 2,
+            ..LayoutConfig::default()
+        },
+    );
+    assert_eq!(depth2.admitted, 4);
+    assert_eq!(depth2.defrag_admissions, 1);
+    assert!(depth2.relocations >= 1);
+    assert!(
+        depth2.context_bytes > 0,
+        "multi-move moves are priced running"
+    );
+}

@@ -7,7 +7,7 @@
 //! prfpga dump <bitstream.bin>
 //! prfpga floorplan <device> --prms fir,mips,sdram
 //! prfpga sweep [--json <file>] [--metrics <file>]
-//! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--json <file>]
+//! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--depth N] [--proactive] [--json <file>]
 //! prfpga bench-pipeline [--tasks N] [--device <name>] [--workers W|W1,W2,...] [--json <file>] [--metrics <file>]
 //! ```
 
@@ -43,8 +43,11 @@ fn main() -> ExitCode {
                           [--clb C --dsp D --bram B --height H] [--preemptive]\n\
                  sweep [--json FILE] [--metrics FILE]       evaluate every PRM on every device\n\
                  defrag [--device NAME] [--seed S] [--tasks N] [--modules M] [--scale K]\n\
-                        [--policy never|threshold|always] [--threshold R] [--json FILE]\n\
-                                                            dynamic layout sim, defrag vs baseline\n\
+                        [--policy never|threshold|always] [--threshold R] [--depth 0..4]\n\
+                        [--proactive] [--json FILE]\n\
+                                                            dynamic layout sim, defrag vs baseline;\n\
+                                                            --depth N plans multi-move sequences,\n\
+                                                            --proactive repairs in ICAP idle windows\n\
                  serve [--workers N] [--requests R] [--tenants T] [--modules M] [--seed S]\n\
                        [--scale K] [--state FILE] [--metrics FILE]\n\
                                                             run a request stream through the async\n\
@@ -305,6 +308,11 @@ fn cmd_defrag(args: &[String]) -> Result<(), AnyError> {
         "always" => DefragPolicy::Always,
         other => return Err(format!("unknown policy `{other}` (never|threshold|always)").into()),
     };
+    let depth = num("--depth", 0) as u32;
+    if depth > 4 {
+        return Err("--depth must be 0 (single-step) to 4".into());
+    }
+    let proactive = args.iter().any(|a| a == "--proactive");
 
     let workload = Workload::generate_heavy_tailed(
         seed,
@@ -315,23 +323,26 @@ fn cmd_defrag(args: &[String]) -> Result<(), AnyError> {
         num("--interarrival", 40_000),
         num("--exec", 400_000),
     );
-    let run = |policy| {
+    let run = |policy, depth, proactive| {
         simulate_layout(
             &device,
             &workload,
             &LayoutConfig {
                 policy,
+                depth,
+                proactive,
                 ..LayoutConfig::default()
             },
         )
     };
-    let baseline = run(DefragPolicy::Never);
-    let report = run(policy);
+    let baseline = run(DefragPolicy::Never, 0, false);
+    let report = run(policy, depth, proactive);
 
     println!(
-        "{} tasks (heavy-tailed, seed {seed}) on {}: {policy:?} vs Never",
+        "{} tasks (heavy-tailed, seed {seed}) on {}: {policy:?} depth {depth}{} vs Never",
         workload.tasks.len(),
-        device.name()
+        device.name(),
+        if proactive { " proactive" } else { "" },
     );
     let row = |label: &str, r: &LayoutReport| {
         println!(
@@ -351,8 +362,12 @@ fn cmd_defrag(args: &[String]) -> Result<(), AnyError> {
     row("chosen", &report);
     let gained = report.admitted as i64 - baseline.admitted as i64;
     println!(
-        "defrag admitted {gained:+} tasks for {} relocations ({} defrag-enabled admissions)",
-        report.relocations, report.defrag_admissions
+        "defrag admitted {gained:+} tasks for {} relocations ({} defrag-enabled admissions, \
+         {} proactive repairs, {} context bytes)",
+        report.relocations,
+        report.defrag_admissions,
+        report.proactive_defrags,
+        report.context_bytes,
     );
 
     if let Some(path) = flag(args, "--json") {
