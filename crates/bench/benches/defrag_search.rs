@@ -12,7 +12,7 @@
 //! plans themselves are asserted identical first — the speedup is only
 //! meaningful if the answers agree.
 //!
-//! *Policy table*: the acceptance workload (seed 5, moderate load,
+//! *Policy table*: the acceptance workload (seed 384, moderate load,
 //! xc5vlx110t) simulated under Never / single-step / depth 1–4 /
 //! Threshold(2.0) / proactive, plus the PR-5 pinned saturated workload
 //! for contrast. On the saturated pin, repairs cost more ICAP time than
@@ -31,22 +31,10 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Deterministic splitmix64 stream for the churn op sequence.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
+/// Deterministic stream for the churn op sequence: the shared
+/// [`prcost::rng::Rng`], continued from the raw seed so the pinned op
+/// sequence is bit-identical to the private splitmix copy it replaced.
+use prcost::rng::Rng;
 
 /// The synthetic strip the search probes run on: CLB-heavy with two DSP
 /// columns, two rows — small enough that the exhaustive oracle finishes,
@@ -74,7 +62,7 @@ fn probe_org() -> PrrOrganization {
 /// small modules, moderate release pressure, so the strip ends up
 /// peppered with movable blockers rather than a few immovable slabs.
 fn churned(device: &Device, seed: u64, n_ops: usize) -> LayoutManager {
-    let mut rng = Rng(seed);
+    let mut rng = Rng::from_raw(seed);
     let mut mgr = LayoutManager::new(device, IcapModel::V5_DMA);
     let mut live: Vec<u64> = Vec::new();
     for _ in 0..n_ops {
@@ -281,10 +269,12 @@ fn emit_artifact() {
     });
 
     let sim_device = fabric::database::xc5vlx110t();
+    // Seeds re-pinned (5 → 384, 12 → 24) with the `Rng::from_seed`
+    // mixing change; the workloads match the acceptance-test pins.
     let acceptance =
-        Workload::generate_heavy_tailed(5, Family::Virtex5, 400, 24, 400, 100_000, 400_000);
+        Workload::generate_heavy_tailed(384, Family::Virtex5, 400, 24, 400, 100_000, 400_000);
     let pinned =
-        Workload::generate_heavy_tailed(12, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
+        Workload::generate_heavy_tailed(24, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
 
     let mut policy_table = Vec::new();
     for (name, policy, depth, proactive) in [
@@ -305,7 +295,7 @@ fn emit_artifact() {
         policy_table.push(run_policy(
             &sim_device,
             &acceptance,
-            "acceptance_seed5",
+            "acceptance_seed384",
             name,
             policy,
             depth,
@@ -320,7 +310,7 @@ fn emit_artifact() {
         policy_table.push(run_policy(
             &sim_device,
             &pinned,
-            "pr5_pinned_seed12",
+            "pr5_pinned_seed24",
             name,
             policy,
             depth,
@@ -367,12 +357,12 @@ fn emit_artifact() {
     let d3 = artifact
         .policy_table
         .iter()
-        .find(|r| r.workload == "acceptance_seed5" && r.policy == "depth_3")
+        .find(|r| r.workload == "acceptance_seed384" && r.policy == "depth_3")
         .unwrap();
     let single = artifact
         .policy_table
         .iter()
-        .find(|r| r.workload == "acceptance_seed5" && r.policy == "single_step")
+        .find(|r| r.workload == "acceptance_seed384" && r.policy == "single_step")
         .unwrap();
     assert!(
         d3.admitted > single.admitted,

@@ -11,7 +11,7 @@
 //! only the data-structure cost differs.
 //!
 //! *Defrag policies*: the pinned heavy-tailed workload from the
-//! acceptance suite (seed 12, scale 1500, xc5vlx110t) simulated under
+//! acceptance suite (seed 24, scale 1500, xc5vlx110t) simulated under
 //! Never / Threshold(1.0) / Always, reporting admissions, relocations,
 //! ICAP relocation time, and simulator wall time per policy.
 //!
@@ -26,22 +26,10 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Deterministic splitmix64 stream for the churn op sequence.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
+/// Deterministic stream for the churn op sequence: the shared
+/// [`prcost::rng::Rng`], continued from the raw seed so the pinned op
+/// sequence is bit-identical to the private splitmix copy it replaced.
+use prcost::rng::Rng;
 
 /// One step of churn: place a window request or free the n-th live
 /// window. Pre-generated so the benched loop does no RNG work.
@@ -52,7 +40,7 @@ enum Op {
 
 fn churn_ops(device: &Device, n: usize, seed: u64) -> Vec<Op> {
     let rows = u64::from(device.rows());
-    let mut rng = Rng(seed);
+    let mut rng = Rng::from_raw(seed);
     (0..n)
         .map(|_| {
             if rng.below(4) == 0 {
@@ -119,9 +107,10 @@ fn churn_naive(device: &Device, ops: &[Op]) -> usize {
     placed
 }
 
-/// The acceptance suite's pinned fragmentation-inducing workload.
+/// The acceptance suite's pinned fragmentation-inducing workload
+/// (seed re-pinned 12 → 24 with the `Rng::from_seed` mixing change).
 fn pinned_workload(device: &Device) -> Workload {
-    Workload::generate_heavy_tailed(12, device.family(), 200, 16, 1500, 40_000, 400_000)
+    Workload::generate_heavy_tailed(24, device.family(), 200, 16, 1500, 40_000, 400_000)
 }
 
 fn bench_layout(c: &mut Criterion) {

@@ -68,6 +68,7 @@ fn main() {
                 needs: Resources::new(120, 4, 2),
                 arrival_ns: u64::from(i) * 20_000,
                 exec_ns: 300_000,
+                deadline_ns: None,
             })
             .collect();
         let wl = Workload::new(tasks);

@@ -49,6 +49,7 @@ pub mod multi;
 pub mod prr;
 pub mod report;
 pub mod requirements;
+pub mod rng;
 pub mod search;
 pub mod service;
 pub mod shard;
@@ -63,6 +64,7 @@ pub use multi::plan_shared_prr;
 pub use prr::{PrrOrganization, Utilization};
 pub use report::datasheet;
 pub use requirements::PrrRequirements;
+pub use rng::Rng;
 pub use search::{
     plan_prr, plan_prr_cached, plan_requirements_cached, Candidate, PlanScratch, PrrPlan,
     SearchTrace,

@@ -1,0 +1,226 @@
+//! Shared deterministic RNG for workload generation, benchmarks and the
+//! annealing placer.
+//!
+//! One splitmix64 stream, one implementation: before this module the
+//! workspace carried three private copies of the same generator
+//! (`multitask::task`, `parflow::place`, and the `bench` churn drivers),
+//! each with its own sampling helpers. They are consolidated here so
+//! every deterministic trajectory in the repo draws from the same,
+//! tested kernel.
+//!
+//! # Determinism contract
+//!
+//! The stream is a pure function of the initial state: `next_u64` is
+//! splitmix64 with the golden-gamma increment, exactly the sequence the
+//! previous private copies produced. [`Rng::from_raw`] continues a raw
+//! state (bit-compatible with the old `Rng(seed)` constructors, so
+//! pinned bench churn sequences and placer trajectories are unchanged);
+//! [`Rng::from_seed`] is the *seeding* entry point for user-facing
+//! seeds and mixes the seed first — see below.
+//!
+//! # The `seed | 1` aliasing fix
+//!
+//! The old workload seeding was `Rng(seed | 1)`: the nonzero guard was
+//! applied directly to the user seed, so seeds `2k` and `2k + 1`
+//! produced *identical* workloads (every even seed aliased its odd
+//! successor). [`Rng::from_seed`] instead mixes the seed through one
+//! splitmix64 finalizer **before** the nonzero guard: distinct user
+//! seeds land on distinct (pseudo-random) states, and the guard only
+//! perturbs the single astronomically-unlikely state that mixes to
+//! zero. This is a deliberate behaviour change for `Workload::generate`
+//! and friends — every seed now yields a fresh trajectory, and the
+//! seed-derived artifacts regenerated for it are noted in
+//! `results/README.md`.
+
+/// Minimal deterministic RNG: splitmix64 plus the sampling helpers the
+/// workspace's generators need (uniform, exponential, Pareto, Weibull).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rng(u64);
+
+/// splitmix64 finalizer: the bijective avalanche mix applied to the
+/// advancing counter (and, in [`Rng::from_seed`], to the user seed).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Golden-gamma increment of the splitmix64 counter.
+    pub const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Continue a stream from a raw state, bit-compatible with the
+    /// historical `Rng(seed)` pattern. Use [`Rng::from_seed`] for
+    /// user-facing seeds; use this to preserve an existing pinned
+    /// trajectory or to fork a sub-stream from an already-mixed state.
+    #[inline]
+    pub fn from_raw(state: u64) -> Self {
+        Rng(state)
+    }
+
+    /// Seed a fresh stream from a user seed: the seed is mixed through
+    /// the splitmix64 finalizer *before* the nonzero guard, so adjacent
+    /// seeds (`2k` vs `2k + 1`) no longer alias — the flaw in the old
+    /// `Rng(seed | 1)` seeding.
+    #[inline]
+    pub fn from_seed(seed: u64) -> Self {
+        Rng(mix(seed) | 1)
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(Self::GAMMA);
+        mix(self.0)
+    }
+
+    /// Uniform draw in `[0, n)` by modulo (`0` for `n == 0`).
+    ///
+    /// Carries the historical generators' modulo bias (≤ one part in
+    /// `2⁶⁴ / n`) — kept because pinned workload and churn trajectories
+    /// depend on the exact draw sequence. Prefer [`Rng::rand_below`]
+    /// for new code.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform draw in `[0, n)` by widening multiply — no modulo bias
+    /// (buckets differ by at most one part in 2⁶⁴). This is the
+    /// `parflow` placer's draw; `0` for `n == 0`.
+    #[inline]
+    pub fn rand_below(&mut self, n: usize) -> usize {
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Uniform draw in `(0, 1]` with 53-bit resolution, clamped away
+    /// from zero so it is safe under `ln` and `powf`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12)
+    }
+
+    /// Exponentially distributed sample with the given mean
+    /// (inverse-transform), truncated to nanoseconds.
+    #[inline]
+    pub fn exp(&mut self, mean: u64) -> u64 {
+        (-(self.unit().ln()) * mean as f64) as u64
+    }
+
+    /// Pareto(α)-distributed sample ≥ `min` via inverse transform: the
+    /// heavy tail (infinite variance for α ≤ 2) is what makes mixed
+    /// module populations fragment the fabric.
+    #[inline]
+    pub fn pareto(&mut self, min: f64, alpha: f64) -> f64 {
+        min / self.unit().powf(1.0 / alpha)
+    }
+
+    /// Weibull(shape `k`, scale `λ`)-distributed sample via inverse
+    /// transform: `λ · (−ln U)^{1/k}`. Shape `k > 1` concentrates mass
+    /// near the scale (the execution-time-variation model: actual
+    /// execution times cluster below the WCET), `k = 1` degenerates to
+    /// the exponential.
+    #[inline]
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        scale * (-(self.unit().ln())).powf(1.0 / shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact sequence the three historical private copies produced
+    /// for a raw state — the consolidation must not shift any pinned
+    /// trajectory.
+    #[test]
+    fn raw_stream_matches_historical_splitmix() {
+        let mut legacy_state = 42u64;
+        let mut legacy = move || {
+            legacy_state = legacy_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = legacy_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut rng = Rng::from_raw(42);
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), legacy());
+        }
+    }
+
+    #[test]
+    fn from_seed_breaks_adjacent_seed_aliasing() {
+        // The old `Rng(seed | 1)` made these four pairs identical.
+        for k in [0u64, 1, 7, 1000] {
+            let mut even = Rng::from_seed(2 * k);
+            let mut odd = Rng::from_seed(2 * k + 1);
+            assert_ne!(
+                (0..8).map(|_| even.next_u64()).collect::<Vec<_>>(),
+                (0..8).map(|_| odd.next_u64()).collect::<Vec<_>>(),
+                "seeds {} and {} alias",
+                2 * k,
+                2 * k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Rng::from_seed(9);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::from_seed(9);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_handles_zero_and_stays_in_range() {
+        let mut r = Rng::from_seed(3);
+        assert_eq!(r.below(0), 0);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            assert!(r.rand_below(17) < 17);
+        }
+        assert_eq!(r.rand_below(0), 0);
+    }
+
+    #[test]
+    fn exp_tracks_mean() {
+        let mut r = Rng::from_seed(11);
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|_| r.exp(10_000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((8_500.0..11_500.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_above_min() {
+        let mut r = Rng::from_seed(5);
+        let samples: Vec<f64> = (0..10_000).map(|_| r.pareto(100.0, 1.2)).collect();
+        assert!(samples.iter().all(|&x| x >= 100.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 1_000.0, "tail too light: max {max}");
+    }
+
+    #[test]
+    fn weibull_shape_concentrates_near_scale() {
+        let mut r = Rng::from_seed(7);
+        let n = 20_000;
+        // k = 3: mean ≈ 0.893 λ, sd ≈ 0.32 λ — concentrated.
+        let mean3: f64 = (0..n).map(|_| r.weibull(3.0, 1.0)).sum::<f64>() / n as f64;
+        assert!((0.82..0.97).contains(&mean3), "k=3 mean {mean3}");
+        // k = 1 degenerates to exponential: mean = λ.
+        let mean1: f64 = (0..n).map(|_| r.weibull(1.0, 1.0)).sum::<f64>() / n as f64;
+        assert!((0.9..1.1).contains(&mean1), "k=1 mean {mean1}");
+    }
+}

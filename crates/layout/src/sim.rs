@@ -500,6 +500,7 @@ mod tests {
             needs: Resources::new(cols * clb_col, 0, 0),
             arrival_ns,
             exec_ns,
+            deadline_ns: None,
         }
     }
 

@@ -195,11 +195,12 @@ proptest! {
 
 /// The pinned fragmentation-inducing workload shared with the PR-5
 /// acceptance suite — used here to freeze the `depth: 0` single-step
-/// behaviour and the preemption-pricing invariants.
+/// behaviour and the preemption-pricing invariants. (Seed re-pinned
+/// 12 → 24 with the `Rng::from_seed` mixing change.)
 fn pinned_workload() -> (Device, Workload) {
     let device = fabric::database::xc5vlx110t();
     let workload =
-        Workload::generate_heavy_tailed(12, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
+        Workload::generate_heavy_tailed(24, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
     (device, workload)
 }
 
@@ -272,11 +273,12 @@ fn multi_move_relocations_price_context_and_sum_exactly() {
 
 /// The defrag2 acceptance workload (shared with `BENCH_defrag.json`):
 /// same generator family and device as the PR-5 pin, but moderate load
-/// so the ICAP is not permanently saturated by repairs.
+/// so the ICAP is not permanently saturated by repairs. (Seed re-pinned
+/// 5 → 384 with the `Rng::from_seed` mixing change.)
 fn acceptance_workload() -> (Device, Workload) {
     let device = fabric::database::xc5vlx110t();
     let workload =
-        Workload::generate_heavy_tailed(5, Family::Virtex5, 400, 24, 400, 100_000, 400_000);
+        Workload::generate_heavy_tailed(384, Family::Virtex5, 400, 24, 400, 100_000, 400_000);
     (device, workload)
 }
 
@@ -320,8 +322,9 @@ fn multi_move_admits_more_than_single_step_on_pinned_workload() {
 #[test]
 fn proactive_defrag_repairs_in_idle_windows() {
     let device = fabric::database::xc5vlx110t();
+    // Seed re-pinned 3 → 21 with the `Rng::from_seed` mixing change.
     let workload =
-        Workload::generate_heavy_tailed(3, Family::Virtex5, 400, 24, 400, 300_000, 400_000);
+        Workload::generate_heavy_tailed(21, Family::Virtex5, 400, 24, 400, 300_000, 400_000);
     let run = |proactive| {
         simulate_layout(
             &device,
@@ -412,6 +415,7 @@ fn des_executes_sequences_in_order() {
         needs: Resources::new(cols * clb_col, 0, 0),
         arrival_ns,
         exec_ns,
+        deadline_ns: None,
     };
     let workload = Workload::new(vec![
         task(0, "a", 3, 0, 1_000_000),

@@ -106,11 +106,13 @@ proptest! {
 
 /// The pinned fragmentation-inducing workload of the acceptance
 /// criterion: heavy-tailed module sizes on xc5vlx110t. Chosen by seed
-/// sweep; regenerating it is fully deterministic.
+/// sweep; regenerating it is fully deterministic. (Re-pinned from seed
+/// 12 to 24 when `Rng::from_seed` gained seed mixing and the generator
+/// streams changed.)
 fn pinned_workload() -> (Device, Workload) {
     let device = fabric::database::xc5vlx110t();
     let workload =
-        Workload::generate_heavy_tailed(12, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
+        Workload::generate_heavy_tailed(24, Family::Virtex5, 200, 16, 1500, 40_000, 400_000);
     (device, workload)
 }
 

@@ -203,6 +203,7 @@ mod tests {
             needs: Resources::new(1, 0, 0),
             arrival_ns: u64::from(id),
             exec_ns: 1,
+            deadline_ns: None,
         }
     }
 

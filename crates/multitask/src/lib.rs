@@ -13,8 +13,10 @@
 //!   single shared ICAP the paper describes ("desynchronization releases
 //!   the ICAP, which allows other PRRs to be reconfigured").
 //! * [`sched`] — PRR selection policies: first-fit, best-fit (least
-//!   overprovisioned PRR), and reuse-aware (prefer a PRR that already
-//!   holds the task's module, skipping reconfiguration entirely).
+//!   overprovisioned PRR), reuse-aware (prefer a PRR that already holds
+//!   the task's module, skipping reconfiguration entirely), and
+//!   deadline-aware (minimize predicted completion using the
+//!   [`SchedContext`] dispatch snapshot).
 //! * [`sim`] — a discrete-event simulator producing makespan, waiting
 //!   times, reconfiguration counts/time and per-PRR utilization. The core
 //!   is allocation-free after setup: interned module ids ([`intern`]),
@@ -35,7 +37,7 @@ pub mod trace;
 
 pub use intern::{ModuleId, ModuleTable};
 pub use preempt::{simulate_preemptive, PreemptReport, PreemptiveTask};
-pub use sched::{BestFit, FirstFit, PrrState, ReuseAware, Scheduler};
+pub use sched::{BestFit, DeadlineAware, FirstFit, PrrState, ReuseAware, SchedContext, Scheduler};
 pub use sim::{
     simulate, simulate_batch, simulate_full_reconfig, simulate_static, simulate_with_scratch,
     Scenario, SimReport, SimScratch,

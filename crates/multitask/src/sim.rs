@@ -39,7 +39,7 @@
 //! [`SimReport`] for random workloads, systems and schedulers.
 
 use crate::intern::{ModuleId, ModuleTable};
-use crate::sched::{PrrState, Scheduler};
+use crate::sched::{PrrState, SchedContext, Scheduler};
 use crate::system::PrSystem;
 use crate::task::Workload;
 use serde::Serialize;
@@ -66,6 +66,11 @@ pub struct SimReport {
     pub total_wait_ns: u64,
     /// Sum of task execution times (ns) — invariant under scheduling.
     pub total_exec_ns: u64,
+    /// Completed tasks that finished after their absolute deadline.
+    /// Always 0 for loss-system workloads (no [`HwTask::deadline_ns`]).
+    pub deadline_misses: u32,
+    /// Sum of task response times: completion - arrival (ns).
+    pub total_response_ns: u64,
 }
 
 impl SimReport {
@@ -75,6 +80,33 @@ impl SimReport {
             0
         } else {
             self.total_wait_ns / u64::from(self.completed)
+        }
+    }
+
+    /// Mean response time (completion - arrival) per completed task.
+    pub fn mean_response_ns(&self) -> u64 {
+        if self.completed == 0 {
+            0
+        } else {
+            self.total_response_ns / u64::from(self.completed)
+        }
+    }
+
+    /// Fraction of completed tasks that missed their deadline.
+    pub fn deadline_miss_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            f64::from(self.deadline_misses) / f64::from(self.completed)
+        }
+    }
+
+    /// Fraction of the makespan the ICAP spent busy.
+    pub fn icap_utilization(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.icap_busy_ns as f64 / self.makespan_ns as f64
         }
     }
 
@@ -111,6 +143,10 @@ struct QueueEntry {
     needs: fabric::Resources,
     arrival_ns: u64,
     exec_ns: u64,
+    /// Absolute deadline (`u64::MAX` = none): kept as a plain integer so
+    /// the entry stays a branchless `Copy` and the miss check is a
+    /// single compare at completion accounting.
+    deadline_ns: u64,
 }
 
 /// Reusable working memory for [`simulate_with_scratch`].
@@ -273,6 +309,8 @@ pub fn simulate_with_scratch<S: Scheduler + ?Sized>(
         icap_busy_ns: 0,
         total_wait_ns: 0,
         total_exec_ns: 0,
+        deadline_misses: 0,
+        total_response_ns: 0,
     };
 
     // Event-driven loop over "interesting" times: arrivals and slot/ICAP
@@ -303,6 +341,7 @@ pub fn simulate_with_scratch<S: Scheduler + ?Sized>(
                     needs: task.needs,
                     arrival_ns: task.arrival_ns,
                     exec_ns: task.exec_ns,
+                    deadline_ns: task.deadline_ns.unwrap_or(u64::MAX),
                 });
             }
             next_arrival += 1;
@@ -337,7 +376,17 @@ pub fn simulate_with_scratch<S: Scheduler + ?Sized>(
                 break;
             }
             let module = entry.module;
-            let chosen = scheduler.choose(&entry.needs, module, candidates, avail, states);
+            let ctx = SchedContext {
+                now,
+                // Tasks waiting *behind* the one being dispatched.
+                queue_len: queue.len() - 1,
+                arrival_ns: entry.arrival_ns,
+                exec_ns: entry.exec_ns,
+                deadline_ns: (entry.deadline_ns != u64::MAX).then_some(entry.deadline_ns),
+                icap_free_at,
+                reconfig_ns,
+            };
+            let chosen = scheduler.choose(&ctx, &entry.needs, module, candidates, avail, states);
             debug_assert!(candidates.contains(&chosen));
             queue.pop_front();
 
@@ -373,6 +422,8 @@ pub fn simulate_with_scratch<S: Scheduler + ?Sized>(
             // slot is immediately free again — keep its bit, no event.
             report.total_wait_ns += exec_start - entry.arrival_ns;
             report.total_exec_ns += entry.exec_ns;
+            report.total_response_ns += done - entry.arrival_ns;
+            report.deadline_misses += u32::from(done > entry.deadline_ns);
             report.completed += 1;
             report.makespan_ns = report.makespan_ns.max(done);
         }
@@ -463,6 +514,8 @@ pub fn simulate_full_reconfig(
         icap_busy_ns: 0,
         total_wait_ns: 0,
         total_exec_ns: 0,
+        deadline_misses: 0,
+        total_response_ns: 0,
     };
     let mut now = 0u64;
     let mut loaded: Option<&str> = None;
@@ -479,6 +532,8 @@ pub fn simulate_full_reconfig(
         report.total_wait_ns += now - task.arrival_ns;
         now += task.exec_ns;
         report.total_exec_ns += task.exec_ns;
+        report.total_response_ns += now - task.arrival_ns;
+        report.deadline_misses += u32::from(task.deadline_ns.is_some_and(|d| now > d));
         report.completed += 1;
         report.makespan_ns = report.makespan_ns.max(now);
     }
@@ -512,6 +567,8 @@ pub fn simulate_static(device: &fabric::Device, workload: &Workload) -> Option<S
         icap_busy_ns: 0,
         total_wait_ns: 0,
         total_exec_ns: 0,
+        deadline_misses: 0,
+        total_response_ns: 0,
     };
     let mut free_at: Vec<(&str, u64)> = modules.iter().map(|(m, _)| (*m, 0u64)).collect();
     for task in &workload.tasks {
@@ -524,6 +581,8 @@ pub fn simulate_static(device: &fabric::Device, workload: &Workload) -> Option<S
         slot.1 = done;
         report.total_wait_ns += start - task.arrival_ns;
         report.total_exec_ns += task.exec_ns;
+        report.total_response_ns += done - task.arrival_ns;
+        report.deadline_misses += u32::from(task.deadline_ns.is_some_and(|d| done > d));
         report.completed += 1;
         report.makespan_ns = report.makespan_ns.max(done);
     }
@@ -631,6 +690,8 @@ pub mod reference {
             icap_busy_ns: 0,
             total_wait_ns: 0,
             total_exec_ns: 0,
+            deadline_misses: 0,
+            total_response_ns: 0,
         };
 
         let mut now = 0u64;
@@ -680,6 +741,13 @@ pub mod reference {
                         rt[chosen].free_at = done;
                         report.total_wait_ns += exec_start - task.arrival_ns;
                         report.total_exec_ns += task.exec_ns;
+                        // Deadline/response accounting, added alongside the
+                        // live simulator's so the equivalence proptests keep
+                        // comparing full reports (0 misses on deadline-free
+                        // loss-system workloads, like the live loop).
+                        report.total_response_ns += done - task.arrival_ns;
+                        report.deadline_misses +=
+                            u32::from(task.deadline_ns.is_some_and(|d| done > d));
                         report.completed += 1;
                         report.makespan_ns = report.makespan_ns.max(done);
                         dispatched_any = true;
@@ -766,6 +834,7 @@ mod tests {
             needs: Resources::new(40, 0, 0),
             arrival_ns: arrival,
             exec_ns: exec,
+            deadline_ns: None,
         }
     }
 
@@ -1069,6 +1138,7 @@ mod tests {
                 needs: Resources::new(100, 0, 0),
                 arrival_ns: 0,
                 exec_ns: 10,
+                deadline_ns: None,
             })
             .collect();
         assert!(simulate_static(&device, &Workload::new(tasks)).is_none());

@@ -2,6 +2,7 @@
 
 use crate::intern::{ModuleId, ModuleTable};
 use fabric::{Family, Resources};
+use prcost::rng::Rng;
 use serde::{Deserialize, Serialize};
 use synth::prm::GenericPrm;
 use synth::{PrmGenerator, SynthReport};
@@ -20,10 +21,16 @@ pub struct HwTask {
     pub arrival_ns: u64,
     /// Pure execution time once configured, nanoseconds.
     pub exec_ns: u64,
+    /// Absolute deadline (ns from simulation start), if the task is a
+    /// real-time job. `None` — the loss-system default — means the task
+    /// has no deadline and can never be counted as a miss. Periodic
+    /// task-set generators (`sched` crate) set this to
+    /// `release + relative deadline`.
+    pub deadline_ns: Option<u64>,
 }
 
 impl HwTask {
-    /// Build a task from a synthesis report.
+    /// Build a (deadline-free) task from a synthesis report.
     pub fn from_report(id: u32, report: &SynthReport, arrival_ns: u64, exec_ns: u64) -> Self {
         let lut_clb = u64::from(report.family.params().lut_clb);
         HwTask {
@@ -36,6 +43,7 @@ impl HwTask {
             ),
             arrival_ns,
             exec_ns,
+            deadline_ns: None,
         }
     }
 }
@@ -101,6 +109,13 @@ impl Workload {
     /// synthetic PRMs (scale controls resource footprints), with Poisson-ish
     /// arrivals of mean `mean_interarrival_ns` and executions of mean
     /// `mean_exec_ns`. Fully deterministic in `seed`.
+    ///
+    /// Seeding note: the stream is seeded through [`Rng::from_seed`],
+    /// which mixes the seed before the nonzero guard — the historical
+    /// `Rng(seed | 1)` seeding made seeds `2k` and `2k + 1` produce
+    /// identical workloads. Trajectories for a given seed therefore
+    /// differ from pre-fix releases (seed-pinned artifacts were
+    /// regenerated; see `results/README.md`).
     pub fn generate(
         seed: u64,
         family: Family,
@@ -117,7 +132,7 @@ impl Workload {
             })
             .collect();
 
-        let mut rng = Rng(seed | 1);
+        let mut rng = Rng::from_seed(seed);
         let mut t = 0u64;
         let mut tasks = Vec::with_capacity(n as usize);
         for id in 0..n {
@@ -136,7 +151,8 @@ impl Workload {
     /// that leaves the fabric checkerboarded once mid-sized tenants
     /// depart. Scales are capped at `32 × base_scale` so the tail stays
     /// on-device. Arrivals and lifetimes are exponential with the given
-    /// means. Fully deterministic in `seed`.
+    /// means. Fully deterministic in `seed` (seeded through
+    /// [`Rng::from_seed`]; see [`Workload::generate`]'s seeding note).
     pub fn generate_heavy_tailed(
         seed: u64,
         family: Family,
@@ -150,7 +166,7 @@ impl Workload {
         let base = base_scale.max(16);
         // Separate RNG stream for module sizes, so the arrival/lifetime
         // sequence matches `generate` semantics for a given seed count.
-        let mut size_rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let mut size_rng = Rng::from_seed(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
         let pool: Vec<SynthReport> = (0..modules)
             .map(|m| {
                 let scale =
@@ -159,7 +175,7 @@ impl Workload {
             })
             .collect();
 
-        let mut rng = Rng(seed | 1);
+        let mut rng = Rng::from_seed(seed);
         let mut t = 0u64;
         let mut tasks = Vec::with_capacity(n as usize);
         for id in 0..n {
@@ -169,6 +185,76 @@ impl Workload {
             tasks.push(HwTask::from_report(id, report, t, exec));
         }
         Workload::new(tasks)
+    }
+
+    /// Generate a **bursty** workload: a two-state Markov-modulated
+    /// Poisson process. Arrivals alternate between an *on* phase (mean
+    /// interarrival `mean_interarrival_ns / burstiness`) and an *off*
+    /// phase (mean interarrival `mean_interarrival_ns × burstiness`),
+    /// switching phase with probability 1/8 after each arrival. The
+    /// long-run rate roughly matches [`Workload::generate`] with the
+    /// same mean, but tasks cluster into bursts that overload the PRR
+    /// pool and then drain — the arrival pattern that separates
+    /// queue-aware schedulers from myopic ones. `burstiness ≤ 1` or
+    /// `n == 0` degenerate to the plain Poisson generator's shape.
+    /// Fully deterministic in `seed`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_bursty(
+        seed: u64,
+        family: Family,
+        n: u32,
+        modules: u32,
+        scale: u32,
+        mean_interarrival_ns: u64,
+        mean_exec_ns: u64,
+        burstiness: u32,
+    ) -> Self {
+        let modules = modules.max(1);
+        let burst = u64::from(burstiness.max(1));
+        let pool: Vec<SynthReport> = (0..modules)
+            .map(|m| {
+                GenericPrm::random(seed.wrapping_add(u64::from(m) * 7919), scale).synthesize(family)
+            })
+            .collect();
+
+        let mut rng = Rng::from_seed(seed ^ 0x5bf0_3635_dcd1_d867);
+        let mut t = 0u64;
+        let mut on = true;
+        let mut tasks = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            let report = &pool[rng.below(u64::from(modules)) as usize];
+            let mean = if on {
+                (mean_interarrival_ns / burst).max(1)
+            } else {
+                mean_interarrival_ns.saturating_mul(burst)
+            };
+            t += rng.exp(mean);
+            let exec = rng.exp(mean_exec_ns).max(1);
+            tasks.push(HwTask::from_report(id, report, t, exec));
+            if rng.below(8) == 0 {
+                on = !on;
+            }
+        }
+        Workload::new(tasks)
+    }
+
+    /// Attach soft deadlines to every task: `deadline = arrival +
+    /// slack_factor × exec`. Turns any loss-system workload into one
+    /// whose [`SimReport::deadline_misses`](crate::SimReport) accounting
+    /// is meaningful — a task completing later than `slack_factor` times
+    /// its own execution time after arrival counts as a miss.
+    pub fn with_deadlines(&self, slack_factor: f64) -> Workload {
+        let slack = slack_factor.max(1.0);
+        Workload::new(
+            self.tasks
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.deadline_ns = Some(t.arrival_ns + (slack * t.exec_ns as f64) as u64);
+                    t
+                })
+                .collect(),
+        )
     }
 
     /// Largest per-kind requirement over all tasks (what a single shared
@@ -182,41 +268,6 @@ impl Workload {
     /// Distinct module names in the workload.
     pub fn module_count(&self) -> usize {
         self.modules.len()
-    }
-}
-
-/// Minimal deterministic RNG (splitmix64 + exponential sampling).
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        if n == 0 {
-            0
-        } else {
-            self.next() % n
-        }
-    }
-
-    /// Exponentially distributed sample with the given mean.
-    fn exp(&mut self, mean: u64) -> u64 {
-        let u = ((self.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
-        (-(u.ln()) * mean as f64) as u64
-    }
-
-    /// Pareto(α)-distributed sample ≥ `min` via inverse transform: the
-    /// heavy tail (infinite variance for α ≤ 2) is what makes mixed
-    /// module populations fragment the fabric.
-    fn pareto(&mut self, min: f64, alpha: f64) -> f64 {
-        let u = ((self.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
-        min / u.powf(1.0 / alpha)
     }
 }
 
@@ -234,6 +285,17 @@ mod tests {
             .windows(2)
             .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
         assert_eq!(a.tasks.len(), 100);
+    }
+
+    /// The old `Rng(seed | 1)` seeding produced identical workloads for
+    /// seeds `2k` and `2k + 1`; `Rng::from_seed` must not.
+    #[test]
+    fn adjacent_seeds_produce_distinct_workloads() {
+        for k in [0u64, 4, 11] {
+            let even = Workload::generate(2 * k, Family::Virtex5, 50, 4, 400, 5_000, 20_000);
+            let odd = Workload::generate(2 * k + 1, Family::Virtex5, 50, 4, 400, 5_000, 20_000);
+            assert_ne!(even, odd, "seeds {} and {} alias", 2 * k, 2 * k + 1);
+        }
     }
 
     #[test]
@@ -270,12 +332,42 @@ mod tests {
     }
 
     #[test]
+    fn bursty_generator_is_deterministic_and_clusters_arrivals() {
+        let a = Workload::generate_bursty(17, Family::Virtex5, 400, 8, 300, 10_000, 30_000, 8);
+        let b = Workload::generate_bursty(17, Family::Virtex5, 400, 8, 300, 10_000, 30_000, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.tasks.len(), 400);
+        // Burstiness shows as dispersion: the squared coefficient of
+        // variation of interarrivals is well above the exponential's 1.
+        let gaps: Vec<f64> = a
+            .tasks
+            .windows(2)
+            .map(|w| (w[1].arrival_ns - w[0].arrival_ns) as f64)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let scv = var / (mean * mean);
+        assert!(scv > 2.0, "interarrival SCV {scv} — not bursty");
+    }
+
+    #[test]
+    fn with_deadlines_sets_arrival_plus_slack() {
+        let w = Workload::generate(5, Family::Virtex5, 30, 4, 300, 2_000, 10_000);
+        assert!(w.tasks.iter().all(|t| t.deadline_ns.is_none()));
+        let d = w.with_deadlines(2.0);
+        for t in &d.tasks {
+            assert_eq!(t.deadline_ns, Some(t.arrival_ns + 2 * t.exec_ns));
+        }
+    }
+
+    #[test]
     fn from_report_derives_clb_need_with_ceiling() {
         let r = SynthReport::new("m", Family::Virtex5, 9, 9, 0, 2, 1);
         let t = HwTask::from_report(0, &r, 0, 100);
         assert_eq!(t.needs.clb(), 2); // ceil(9/8)
         assert_eq!(t.needs.dsp(), 2);
         assert_eq!(t.needs.bram(), 1);
+        assert_eq!(t.deadline_ns, None);
     }
 
     #[test]

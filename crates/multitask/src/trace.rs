@@ -130,6 +130,9 @@ pub fn parse_workload(text: &str) -> Result<Workload, TraceError> {
             needs: t.needs,
             arrival_ns: t.arrival_ns,
             exec_ns: t.exec_ns,
+            // The trace text format has no deadline column; parsed
+            // workloads are loss-system (no deadline accounting).
+            deadline_ns: None,
         })
         .collect();
     Ok(Workload::new(tasks))

@@ -45,6 +45,7 @@ fn arb_tasks() -> impl Strategy<Value = Vec<HwTask>> {
                 needs: Resources::new(clb, dsp, bram),
                 arrival_ns: arrival,
                 exec_ns: exec,
+                deadline_ns: None,
             })
             .collect()
     })

@@ -358,27 +358,23 @@ struct Chain<'a> {
     net_off: &'a [u32],
     net_data: &'a [u32],
     s: &'a mut ChainScratch,
-    rng: u64,
+    /// Shared deterministic stream ([`prcost::rng::Rng`]) continued from
+    /// the chain's raw per-chain state — bit-compatible with the private
+    /// splitmix copy this replaced, so per-seed trajectories are
+    /// unchanged.
+    rng: prcost::rng::Rng,
     /// Running total HPWL in x16 fixed point, maintained incrementally.
     total: u64,
 }
 
 impl Chain<'_> {
-    fn rand(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
     /// Uniform draw in `[0, n)` by widening multiply — unlike the seed's
     /// `rand() % n`, this has no modulo bias (for any `n`, buckets differ
     /// by at most one part in 2⁶⁴). Per-seed move sequences therefore
     /// differ from the frozen [`reference`] placer; the change is noted in
     /// the `BENCH_place.json` baseline.
     fn rand_below(&mut self, n: usize) -> usize {
-        ((u128::from(self.rand()) * n as u128) >> 64) as usize
+        self.rng.rand_below(n)
     }
 
     /// Seed all net boxes and the running total from the current
@@ -524,7 +520,9 @@ impl Chain<'_> {
         }
 
         let accept = delta <= 0 || {
-            let u = (self.rand() >> 11) as f64 / (1u64 << 53) as f64;
+            // Unclamped 53-bit uniform (not `Rng::unit`): the frozen
+            // trajectory used the raw draw, and a zero here is harmless.
+            let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
             u < (-(delta as f64 / 16.0) / temp.max(1e-9)).exp()
         };
         if accept {
@@ -702,7 +700,9 @@ fn place_impl(
             net_off,
             net_data,
             s,
-            rng: cfg.seed ^ ((chain_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+            rng: prcost::rng::Rng::from_raw(
+                cfg.seed ^ ((chain_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+            ),
             total: 0,
         };
         chain.reset_boxes();

@@ -1,0 +1,259 @@
+//! Classical admission tests adapted to PRR pools.
+//!
+//! Both tests treat the PRR pool as `m` partitioned processors (a job
+//! executes inside one PRR; there is no migration mid-job) and inflate
+//! every job's cost with the worst-case reconfiguration time: in the
+//! worst case every release finds its module evicted and pays a full
+//! partial-bitstream transfer through the shared ICAP before executing.
+//! That transfer time comes straight from the paper's cost chain —
+//! organization → bitstream bytes (Eqs. 18–23) →
+//! [`bitstream::IcapModel::transfer_time`] — which is exactly what
+//! makes PRR sizing a schedulability question and not just a throughput
+//! one.
+//!
+//! * [`utilization_bound_admit`] — worst-fit-decreasing partition onto
+//!   the `m` PRRs, each bin checked against its Liu–Layland bound
+//!   `n_b (2^{1/n_b} − 1)` over *inflated* utilizations.
+//! * [`response_time_admit`] — the same partition, then an exact
+//!   rate-monotonic response-time analysis per PRR with release jitter:
+//!   `R = C + Σ_hp ⌈(R + J_j)/T_j⌉ C_j`, admitted iff `R + J ≤ D`
+//!   for every task. On jitter-free implicit-deadline sets it strictly
+//!   dominates the bound (admits harmonic sets the bound rejects, never
+//!   the converse on the same partition); with jitter or constrained
+//!   deadlines the bound — which ignores both — can optimistically
+//!   admit sets the RTA correctly rejects.
+
+use crate::taskset::{PeriodicTask, TaskSet};
+use multitask::PrSystem;
+use serde::Serialize;
+
+/// Result of an admission test.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmissionOutcome {
+    /// Whether the whole set was admitted.
+    pub admitted: bool,
+    /// Total utilization after reconfiguration inflation.
+    pub inflated_utilization: f64,
+    /// Tasks per PRR in the partition (empty if partitioning itself
+    /// failed — some task's inflated utilization exceeds 1).
+    pub tasks_per_prr: Vec<u32>,
+}
+
+/// Worst-case single reconfiguration in `system`: the slowest PRR's
+/// partial-bitstream transfer through the shared ICAP.
+pub fn worst_reconfig_ns(system: &PrSystem) -> u64 {
+    system
+        .prrs
+        .iter()
+        .map(|p| system.reconfig_ns(p))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Utilization with every job paying a full reconfiguration.
+fn inflated_util(task: &PeriodicTask, reconfig_ns: u64) -> f64 {
+    (task.wcet_ns + reconfig_ns) as f64 / task.period_ns as f64
+}
+
+/// Worst-fit-decreasing partition of task indices onto `m` bins by
+/// inflated utilization, bin capacity 1.0: each task goes to the
+/// least-loaded bin that still fits it, which balances utilization
+/// across the PRRs (first-fit would pack one bin to ~1.0 and doom its
+/// per-bin test no matter how light the total load is). Returns
+/// per-bin task-index lists, or `None` if some task fits no bin.
+fn partition_wfd(ts: &TaskSet, m: usize, reconfig_ns: u64) -> Option<Vec<Vec<usize>>> {
+    let mut order: Vec<usize> = (0..ts.tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        inflated_util(&ts.tasks[b], reconfig_ns)
+            .partial_cmp(&inflated_util(&ts.tasks[a], reconfig_ns))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut load = vec![0.0f64; m];
+    for i in order {
+        let u = inflated_util(&ts.tasks[i], reconfig_ns);
+        let slot = (0..m).filter(|&b| load[b] + u <= 1.0).min_by(|&a, &b| {
+            load[a]
+                .partial_cmp(&load[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        load[slot] += u;
+        bins[slot].push(i);
+    }
+    Some(bins)
+}
+
+fn outcome(
+    ts: &TaskSet,
+    reconfig_ns: u64,
+    bins: Option<&[Vec<usize>]>,
+    admitted: bool,
+) -> AdmissionOutcome {
+    AdmissionOutcome {
+        admitted,
+        inflated_utilization: ts.tasks.iter().map(|t| inflated_util(t, reconfig_ns)).sum(),
+        tasks_per_prr: bins
+            .map(|b| b.iter().map(|bin| bin.len() as u32).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Partitioned Liu–Layland utilization-bound test over `m` PRRs, each
+/// job's cost inflated by `reconfig_ns`.
+pub fn utilization_bound_admit(ts: &TaskSet, m: usize, reconfig_ns: u64) -> AdmissionOutcome {
+    let m = m.max(1);
+    let Some(bins) = partition_wfd(ts, m, reconfig_ns) else {
+        return outcome(ts, reconfig_ns, None, false);
+    };
+    let admitted = bins.iter().all(|bin| {
+        if bin.is_empty() {
+            return true;
+        }
+        let n = bin.len() as f64;
+        let bound = n * (2f64.powf(1.0 / n) - 1.0);
+        let u: f64 = bin
+            .iter()
+            .map(|&i| inflated_util(&ts.tasks[i], reconfig_ns))
+            .sum();
+        u <= bound
+    });
+    outcome(ts, reconfig_ns, Some(&bins), admitted)
+}
+
+/// Rate-monotonic response-time analysis for one PRR's task-index bin.
+/// Returns whether every task's worst-case response (including its own
+/// jitter) meets its relative deadline.
+fn rta_bin(ts: &TaskSet, bin: &[usize], reconfig_ns: u64) -> bool {
+    // RM priority order: shorter period first (stable on ties).
+    let mut order: Vec<usize> = bin.to_vec();
+    order.sort_by_key(|&i| (ts.tasks[i].period_ns, i));
+    for (pos, &i) in order.iter().enumerate() {
+        let t = &ts.tasks[i];
+        let c = t.wcet_ns + reconfig_ns;
+        let mut r = c;
+        // Fixpoint iteration; the deadline caps divergence.
+        loop {
+            let mut next = c;
+            for &j in &order[..pos] {
+                let hp = &ts.tasks[j];
+                let releases = (r + hp.jitter_ns).div_ceil(hp.period_ns);
+                next += releases * (hp.wcet_ns + reconfig_ns);
+            }
+            if next == r {
+                break;
+            }
+            r = next;
+            if r + t.jitter_ns > t.deadline_ns {
+                return false;
+            }
+        }
+        if r + t.jitter_ns > t.deadline_ns {
+            return false;
+        }
+    }
+    true
+}
+
+/// Partitioned rate-monotonic response-time test over `m` PRRs with
+/// release jitter, each job's cost inflated by `reconfig_ns`.
+pub fn response_time_admit(ts: &TaskSet, m: usize, reconfig_ns: u64) -> AdmissionOutcome {
+    let m = m.max(1);
+    let Some(bins) = partition_wfd(ts, m, reconfig_ns) else {
+        return outcome(ts, reconfig_ns, None, false);
+    };
+    let admitted = bins.iter().all(|bin| rta_bin(ts, bin, reconfig_ns));
+    outcome(ts, reconfig_ns, Some(&bins), admitted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(period: u64, wcet: u64) -> PeriodicTask {
+        PeriodicTask {
+            module: format!("t{period}_{wcet}"),
+            needs: fabric::Resources::new(1, 0, 0),
+            period_ns: period,
+            wcet_ns: wcet,
+            deadline_ns: period,
+            jitter_ns: 0,
+        }
+    }
+
+    #[test]
+    fn light_set_admitted_by_both() {
+        let ts = TaskSet {
+            tasks: vec![task(1000, 100), task(2000, 200), task(4000, 300)],
+        };
+        assert!(utilization_bound_admit(&ts, 1, 0).admitted);
+        assert!(response_time_admit(&ts, 1, 0).admitted);
+    }
+
+    #[test]
+    fn overloaded_set_rejected_by_both() {
+        // U = 1.5 on one PRR.
+        let ts = TaskSet {
+            tasks: vec![task(1000, 800), task(1000, 700)],
+        };
+        assert!(!utilization_bound_admit(&ts, 1, 0).admitted);
+        assert!(!response_time_admit(&ts, 1, 0).admitted);
+        // Two PRRs absorb it.
+        assert!(utilization_bound_admit(&ts, 2, 0).admitted);
+        assert!(response_time_admit(&ts, 2, 0).admitted);
+    }
+
+    #[test]
+    fn rta_admits_harmonic_sets_the_bound_rejects() {
+        // Harmonic periods at U = 1.0: LL bound (~0.757 for n=3) says
+        // no, exact RTA says yes — the classical separation.
+        let ts = TaskSet {
+            tasks: vec![task(1000, 500), task(2000, 500), task(4000, 1000)],
+        };
+        let ub = utilization_bound_admit(&ts, 1, 0);
+        let rta = response_time_admit(&ts, 1, 0);
+        assert!(!ub.admitted);
+        assert!(rta.admitted);
+        assert!((ub.inflated_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconfiguration_inflation_can_break_feasibility() {
+        let ts = TaskSet {
+            tasks: vec![task(1000, 300), task(2000, 600)],
+        };
+        assert!(response_time_admit(&ts, 1, 0).admitted);
+        // 300 ns of reconfiguration per release pushes the set over.
+        let r = response_time_admit(&ts, 1, 300);
+        assert!(!r.admitted);
+        assert!(r.inflated_utilization > 1.0);
+    }
+
+    #[test]
+    fn jitter_eats_slack() {
+        let mut tight = task(1000, 480);
+        let other = task(1000, 480);
+        // Fits exactly without jitter (480 + 480 = 960 ≤ 1000)…
+        let ts = TaskSet {
+            tasks: vec![tight.clone(), other.clone()],
+        };
+        assert!(response_time_admit(&ts, 1, 0).admitted);
+        // …but 60 ns of jitter on the low-priority task breaks it.
+        tight.jitter_ns = 60;
+        let ts = TaskSet {
+            tasks: vec![tight, other],
+        };
+        assert!(!response_time_admit(&ts, 1, 0).admitted);
+    }
+
+    #[test]
+    fn unpartitionable_task_reports_empty_bins() {
+        // Inflated utilization > 1 for a single task: no bin fits it.
+        let ts = TaskSet {
+            tasks: vec![task(1000, 1200)],
+        };
+        let out = response_time_admit(&ts, 4, 0);
+        assert!(!out.admitted);
+        assert!(out.tasks_per_prr.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 //! prfpga sweep [--json <file>] [--metrics <file>]
 //! prfpga defrag [--device <name>] [--seed S] [--tasks N] [--policy <p>] [--depth N] [--proactive] [--json <file>]
 //! prfpga bench-pipeline [--tasks N] [--device <name>] [--workers W|W1,W2,...] [--json <file>] [--metrics <file>]
+//! prfpga sched-ablate [--seed S] [--tasks N] [--horizon-ms H] [--episodes E] [--admission-sets K] [--slack F] [--json <file>]
 //! ```
 
 use parflow::autofloorplan::{auto_floorplan, PrrSpec};
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-service") => cmd_bench_service(&args[1..]),
         Some("bench-pipeline") => cmd_bench_pipeline(&args[1..]),
+        Some("sched-ablate") => cmd_sched_ablate(&args[1..]),
         _ => {
             eprintln!(
                 "usage: prfpga <devices|plan|bitstream|dump|floorplan|sweep|defrag> ...\n\
@@ -60,7 +62,12 @@ fn main() -> ExitCode {
                                                             stream N tasks through synth -> plan ->\n\
                                                             place -> bitstream -> simulate; a comma\n\
                                                             list of workers sweeps the scaling table;\n\
-                                                            writes results/BENCH_pipeline.json"
+                                                            writes results/BENCH_pipeline.json\n\
+                 sched-ablate [--seed S] [--tasks N] [--horizon-ms H] [--episodes E]\n\
+                              [--admission-sets K] [--slack F] [--json FILE]\n\
+                                                            scheduler zoo x workload classes x defrag\n\
+                                                            policies + admission tests on a mixed PRR\n\
+                                                            pool; writes results/BENCH_sched.json"
             );
             return ExitCode::from(2);
         }
@@ -443,6 +450,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
                     needs: t.needs,
                     arrival_ns: t.arrival_ns,
                     exec_ns: t.exec_ns,
+                    deadline_ns: None,
                 })
                 .collect(),
         );
@@ -816,5 +824,108 @@ fn cmd_bench_pipeline(args: &[String]) -> Result<(), AnyError> {
         std::fs::write(mpath, serde_json::to_string_pretty(&metrics)?)?;
         println!("wrote metrics snapshot to {mpath}");
     }
+    Ok(())
+}
+
+fn cmd_sched_ablate(args: &[String]) -> Result<(), AnyError> {
+    use prfpga::sched::{run_ablation, AblationConfig};
+
+    let num = |name: &str, default: u64| -> u64 {
+        flag(args, name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let defaults = AblationConfig::default();
+    let cfg = AblationConfig {
+        seed: num("--seed", defaults.seed),
+        tasks: num("--tasks", u64::from(defaults.tasks)) as u32,
+        horizon_ms: num("--horizon-ms", defaults.horizon_ms),
+        train_episodes: num("--episodes", u64::from(defaults.train_episodes)) as u32,
+        deadline_slack: flag(args, "--slack")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.deadline_slack),
+        admission_sets: num("--admission-sets", u64::from(defaults.admission_sets)) as u32,
+    };
+    let report = run_ablation(&cfg);
+
+    println!(
+        "scheduler zoo on {} ({} PRRs: {}), seed {}",
+        report.device,
+        report.prrs.len(),
+        report.prrs.join(" "),
+        cfg.seed,
+    );
+    println!(
+        "{:<14} {:<16} {:>8} {:>9} {:>8} {:>11} {:>7} {:>6}",
+        "class", "scheduler", "admitted", "completed", "miss", "resp ms", "reuse", "icap"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<14} {:<16} {:>8} {:>9} {:>8.3} {:>11.3} {:>7.3} {:>6.3}",
+            r.class,
+            r.scheduler,
+            r.admitted,
+            r.completed,
+            r.deadline_miss_ratio,
+            r.mean_response_ms,
+            r.reuse_rate,
+            r.icap_utilization,
+        );
+    }
+    println!(
+        "\nadmission ({} sets/level, worst reconfig {:.1} us):",
+        cfg.admission_sets,
+        report.worst_reconfig_ns as f64 / 1e3,
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "target U", "LL bound", "RTA", "mean inflated U"
+    );
+    for a in &report.admission {
+        println!(
+            "{:<10} {:>9}/{:<2} {:>9}/{:<2} {:>16.3}",
+            a.target_utilization,
+            a.ub_admitted,
+            a.tasksets,
+            a.rta_admitted,
+            a.tasksets,
+            a.mean_inflated_utilization,
+        );
+    }
+    println!("\ndefrag (layout loss-system):");
+    println!(
+        "{:<14} {:<14} {:>8} {:>10} {:>7} {:>9}",
+        "class", "policy", "admitted", "rej(frag)", "relocs", "reloc ms"
+    );
+    for d in &report.defrag {
+        println!(
+            "{:<14} {:<14} {:>8} {:>10} {:>7} {:>9.3}",
+            d.class, d.policy, d.admitted, d.rejected_fragmentation, d.relocations, d.relocation_ms,
+        );
+    }
+    println!(
+        "\nlearned beats first-fit on: {}",
+        if report.learned_beats_firstfit.is_empty() {
+            "none".to_string()
+        } else {
+            report.learned_beats_firstfit.join(", ")
+        }
+    );
+
+    // Same artifact convention as bench-pipeline above.
+    let path = match flag(args, "--json") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir = std::env::var("PRFPGA_RESULTS_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| {
+                    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+                });
+            std::fs::create_dir_all(&dir)?;
+            dir.join("BENCH_sched.json")
+        }
+    };
+    std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+    println!("wrote {}", path.display());
     Ok(())
 }

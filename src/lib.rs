@@ -32,6 +32,9 @@
 //! * [`multitask`] — hardware-multitasking discrete-event simulation.
 //! * [`layout`] — online layout manager: free-space tracking,
 //!   fragmentation metrics, ICAP-costed defragmentation.
+//! * [`sched`] — real-time scheduling layer: periodic task sets
+//!   (UUniFast), reconfiguration-aware admission tests, a learned
+//!   placement policy, and the scheduler-zoo ablation harness.
 //! * [`baselines`] — prior-work cost models and naive sizing strategies.
 
 // `deny` rather than `forbid`: `pipeline`'s off-Linux peak-RSS fallback
@@ -47,6 +50,7 @@ pub use layout;
 pub use multitask;
 pub use parflow;
 pub use prcost;
+pub use sched;
 pub use synth;
 
 pub mod pipeline;
@@ -65,6 +69,10 @@ pub mod prelude {
     pub use prcost::{
         plan_prr, plan_shared_prr, Engine, MetricsSnapshot, PlanScratch, PrrOrganization, PrrPlan,
         PrrRequirements,
+    };
+    pub use sched::{
+        response_time_admit, run_ablation, utilization_bound_admit, AblationConfig, FrozenPolicy,
+        TaskSet, TaskSetConfig,
     };
     pub use synth::{self, PaperPrm, PrmGenerator, SynthReport};
 }
